@@ -1,0 +1,65 @@
+// Command omcast-all regenerates every figure of the paper's evaluation
+// (Figures 4-14) plus the design ablations, printing each table as it
+// completes and optionally writing the whole report to a file.
+//
+// Usage:
+//
+//	omcast-all                  # full-scale reproduction (several minutes)
+//	omcast-all -quick           # reduced-scale smoke pass (~seconds)
+//	omcast-all -o results.txt   # also write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"omcast/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed    = flag.Int64("seed", 1, "base random seed")
+		quick   = flag.Bool("quick", false, "reduced scale for a fast smoke pass")
+		out     = flag.String("o", "", "also write the report to this file")
+		verbose = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	if *verbose {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	runner := experiments.NewRunner(opts)
+
+	var report strings.Builder
+	start := time.Now()
+	for _, id := range experiments.IDs() {
+		table, err := runner.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-all: %v\n", err)
+			return 1
+		}
+		block := table.Format() + fmt.Sprintf("(completed in %.1fs)\n\n", table.Elapsed.Seconds())
+		fmt.Print(block)
+		report.WriteString(block)
+	}
+	fmt.Printf("all experiments completed in %.1fs\n", time.Since(start).Seconds())
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-all: writing %s: %v\n", *out, err)
+			return 1
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+// Command omcast-sim regenerates one figure of the paper's evaluation.
+//
+// Usage:
+//
+//	omcast-sim -fig fig4                 # full-scale run of Figure 4
+//	omcast-sim -fig fig14 -quick         # reduced-scale smoke run
+//	omcast-sim -fig fig11 -size 4000 -v  # single-size figure at custom M
+//	omcast-sim -list                     # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"omcast/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		fig      = flag.String("fig", "", "experiment ID (fig4..fig14 or an ablation; see -list)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		size     = flag.Int("size", 0, "member count for single-size figures (default 8000)")
+		sizes    = flag.String("sizes", "", "comma-separated member counts for size sweeps (default 2000,5000,8000,11000,14000)")
+		warmup   = flag.Duration("warmup", 0, "warm-up horizon (default 3h)")
+		measure  = flag.Duration("measure", 0, "measurement window (default 1h)")
+		replicas = flag.Int("replicas", 0, "seeds behind Figure 14's confidence intervals (default 5)")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		asCSV    = flag.Bool("csv", false, "emit the table as CSV instead of aligned text")
+		verbose  = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return 0
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "omcast-sim: -fig is required (try -list)")
+		flag.Usage()
+		return 2
+	}
+	opts := experiments.Options{
+		Seed:     *seed,
+		Size:     *size,
+		Warmup:   *warmup,
+		Measure:  *measure,
+		Replicas: *replicas,
+		Quick:    *quick,
+	}
+	if *sizes != "" {
+		parsed, err := parseSizes(*sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", err)
+			return 2
+		}
+		opts.Sizes = parsed
+	}
+	if *verbose {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	table, err := experiments.NewRunner(opts).Run(*fig)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", err)
+		return 1
+	}
+	if *asCSV {
+		fmt.Print(table.CSV())
+	} else {
+		fmt.Print(table.Format())
+		fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
+	}
+	return 0
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+// Command omcast-topo generates a GT-ITM-style transit-stub topology and
+// prints its structural statistics: router counts, degree distribution, and
+// a sampled unicast-delay profile between stub routers (the population
+// overlay members are placed on).
+//
+// Usage:
+//
+//	omcast-topo                      # the paper's 15600-router topology
+//	omcast-topo -transit-domains 3 -transit-nodes 8 -stub-domains 2 -stub-nodes 8
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"omcast/internal/stats"
+	"omcast/internal/topology"
+	"omcast/internal/xrand"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed           = flag.Int64("seed", 1, "random seed")
+		transitDomains = flag.Int("transit-domains", 0, "transit domains (default 6)")
+		transitNodes   = flag.Int("transit-nodes", 0, "routers per transit domain (default 40)")
+		stubDomains    = flag.Int("stub-domains", 0, "stub domains per transit router (default 4)")
+		stubNodes      = flag.Int("stub-nodes", 0, "routers per stub domain (default 16)")
+		samples        = flag.Int("samples", 20000, "random stub pairs for the delay profile")
+		verify         = flag.Bool("verify", false, "cross-check the O(1) oracle against full Dijkstra on sampled sources")
+		dotFile        = flag.String("dot", "", "write the topology as GraphViz DOT to this file")
+	)
+	flag.Parse()
+
+	cfg := topology.DefaultConfig(*seed)
+	if *transitDomains > 0 {
+		cfg.TransitDomains = *transitDomains
+	}
+	if *transitNodes > 0 {
+		cfg.TransitNodesPerDomain = *transitNodes
+	}
+	if *stubDomains > 0 {
+		cfg.StubDomainsPerTransit = *stubDomains
+	}
+	if *stubNodes > 0 {
+		cfg.StubNodesPerDomain = *stubNodes
+	}
+
+	start := time.Now()
+	topo, err := topology.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-topo: %v\n", err)
+		return 1
+	}
+	fmt.Printf("generated in %.1fms\n", float64(time.Since(start).Microseconds())/1000)
+	fmt.Printf("routers: %d total = %d transit + %d stub\n", topo.Size(), topo.TransitCount(), topo.StubCount())
+	fmt.Printf("stub domains: %d of %d routers each, single-homed\n",
+		cfg.TransitCount()*cfg.StubDomainsPerTransit, cfg.StubNodesPerDomain)
+
+	degSum, degMax := 0, 0
+	for id := topology.NodeID(0); int(id) < topo.Size(); id++ {
+		d := topo.Degree(id)
+		degSum += d
+		if d > degMax {
+			degMax = d
+		}
+	}
+	fmt.Printf("links: %d (avg degree %.2f, max %d)\n", degSum/2, float64(degSum)/float64(topo.Size()), degMax)
+
+	rng := xrand.NewNamed(*seed, "topo.samples")
+	delays := make([]float64, 0, *samples)
+	for i := 0; i < *samples; i++ {
+		a, b := topo.RandomStub(rng), topo.RandomStub(rng)
+		if a == b {
+			continue
+		}
+		delays = append(delays, float64(topo.Delay(a, b))/float64(time.Millisecond))
+	}
+	p50, err := stats.Percentile(delays, 50)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-topo: %v\n", err)
+		return 1
+	}
+	p95, _ := stats.Percentile(delays, 95)
+	mx, _ := stats.Max(delays)
+	fmt.Printf("stub-to-stub unicast delay over %d pairs: mean %.1fms, p50 %.1fms, p95 %.1fms, max %.1fms\n",
+		len(delays), stats.Mean(delays), p50, p95, mx)
+
+	if *dotFile != "" {
+		if err := writeDOT(*dotFile, topo); err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-topo: %v\n", err)
+			return 1
+		}
+		fmt.Printf("DOT graph written to %s\n", *dotFile)
+	}
+
+	if *verify {
+		mismatches := 0
+		for i := 0; i < 3; i++ {
+			src := topo.RandomStub(rng)
+			dist := topo.DijkstraFrom(src)
+			for v := topology.NodeID(0); int(v) < topo.Size(); v++ {
+				if topo.Delay(src, v) != dist[v] {
+					mismatches++
+				}
+			}
+		}
+		if mismatches > 0 {
+			fmt.Fprintf(os.Stderr, "omcast-topo: oracle mismatched Dijkstra on %d pairs\n", mismatches)
+			return 1
+		}
+		fmt.Println("oracle verified: exact match with full-graph Dijkstra on 3 sampled sources")
+	}
+	return 0
+}
+
+// writeDOT renders the topology as a GraphViz graph: transit routers as
+// boxes, stub routers as points, edge length labels in milliseconds.
+func writeDOT(path string, topo *topology.Topology) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "graph transitstub {")
+	fmt.Fprintln(w, "  node [shape=point];")
+	for id := topology.NodeID(0); int(id) < topo.Size(); id++ {
+		if topo.KindOf(id) == topology.Transit {
+			fmt.Fprintf(w, "  n%d [shape=box, label=\"t%d\"];\n", id, id)
+		}
+	}
+	topo.VisitLinks(func(a, b topology.NodeID, delay time.Duration) {
+		fmt.Fprintf(w, "  n%d -- n%d [label=\"%.1f\"];\n", a, b, float64(delay)/float64(time.Millisecond))
+	})
+	fmt.Fprintln(w, "}")
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

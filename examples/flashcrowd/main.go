@@ -1,0 +1,56 @@
+// Flashcrowd: stress the distributed construction algorithms with a burst of
+// simultaneous arrivals — the scenario Section 3.1 uses to argue against
+// centralized tree construction ("the nodes may arrive in flash crowds").
+// A 50% audience spike lands in a single instant; the example reports how
+// each algorithm's tree absorbs it.
+//
+//	go run ./examples/flashcrowd [-size 2000] [-burst 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"omcast"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flashcrowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	size := flag.Int("size", 2000, "steady-state audience before the burst")
+	burst := flag.Int("burst", 1000, "members arriving simultaneously")
+	flag.Parse()
+
+	// The burst lands mid-warm-up; the measurement window then captures the
+	// tree digesting the crowd.
+	burstAt := 30 * time.Minute
+	fmt.Printf("steady audience %d; %d members arrive at once at t=%v\n\n", *size, *burst, burstAt)
+	fmt.Printf("%-28s %14s %14s %10s %14s\n",
+		"algorithm", "disruptions", "delay", "stretch", "reconnections")
+	for _, alg := range []omcast.Algorithm{omcast.MinimumDepth, omcast.LongestFirst, omcast.ROST} {
+		res, err := omcast.Run(omcast.Config{
+			Seed:       11,
+			Algorithm:  alg,
+			TargetSize: *size,
+			Warmup:     time.Hour,
+			Measure:    2 * time.Hour,
+			FlashCrowd: &omcast.FlashCrowd{At: burstAt, Size: *burst},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s %14.2f %12.0fms %10.2f %14.2f\n",
+			alg, res.AvgDisruptions, res.AvgServiceDelayMS, res.AvgStretch, res.AvgReconnections)
+	}
+	fmt.Println("\n(all three are fully distributed: each arrival contacts at most 100 members, so the")
+	fmt.Println("burst needs no central coordinator; ROST additionally repairs the hasty placements")
+	fmt.Println("afterwards through BTP switching)")
+	return nil
+}

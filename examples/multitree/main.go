@@ -1,0 +1,61 @@
+// Multitree: the paper's stated future direction — applying its single-tree
+// techniques to multiple-tree delivery. The stream is split into MDC stripes
+// delivered over independent trees, so one member failure degrades quality
+// (one stripe) instead of interrupting playback. The example compares the
+// single-tree baseline against 4-stripe variants, with and without
+// interior-node disjointness and per-stripe ROST maintenance.
+//
+//	go run ./examples/multitree [-size 1500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"omcast"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multitree:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	size := flag.Int("size", 1500, "steady-state audience size")
+	flag.Parse()
+
+	base := omcast.Config{
+		Seed:       5,
+		TargetSize: *size,
+		Warmup:     time.Hour,
+		Measure:    time.Hour,
+	}
+	type variant struct {
+		label string
+		mt    omcast.MultiTreeConfig
+	}
+	variants := []variant{
+		{"single tree", omcast.MultiTreeConfig{Stripes: 1}},
+		{"4 stripes, split bandwidth", omcast.MultiTreeConfig{Stripes: 4, Quorum: 3}},
+		{"4 stripes, interior-disjoint", omcast.MultiTreeConfig{Stripes: 4, Quorum: 3, Disjoint: true}},
+		{"4 stripes, split + ROST", omcast.MultiTreeConfig{Stripes: 4, Quorum: 3, UseROST: true}},
+	}
+	fmt.Printf("audience %d; MDC quorum 3 of 4 stripes (one description of slack)\n\n", *size)
+	fmt.Printf("%-32s %14s %16s %12s\n", "configuration", "outage ratio", "delivery ratio", "tree depths")
+	for _, v := range variants {
+		res, err := omcast.RunMultiTree(base, v.mt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-32s %13.3f%% %15.2f%% %12v\n",
+			v.label, res.OutageRatio*100, res.FullQualityRatio*100, res.MaxDepths)
+	}
+	fmt.Println("\n(outage = view time below the MDC quorum, the multi-tree analogue of the paper's")
+	fmt.Println("starving-time ratio; the coding slack absorbs single-stripe disruptions, which is")
+	fmt.Println("why the striped variants suffer far fewer outages than the single tree)")
+	return nil
+}

@@ -1,0 +1,3 @@
+module omcast
+
+go 1.22

@@ -1,0 +1,365 @@
+// Package construct implements the overlay tree-construction algorithms the
+// paper evaluates against ROST (Section 5):
+//
+//   - Minimum-depth: a joining member samples up to 100 known members and
+//     picks the spare-capacity parent highest in the tree, tie-broken by
+//     network delay. Distributed, no optimization overhead.
+//   - Longest-first: as above, but picks the oldest spare-capacity parent.
+//   - Relaxed bandwidth-ordered (BO): a centralized variant of the
+//     high-bandwidth-first algorithm. A joining member scans layers from the
+//     top; if a weaker node occupies a high position the new member replaces
+//     it and the evicted node rejoins. Produces bandwidth ordering between
+//     parents and children.
+//   - Relaxed time-ordered (TO): the same eviction scan keyed on age; an
+//     evicted node's excess children (the replacement may have less capacity)
+//     also rejoin.
+//
+// ROST's join step is the minimum-depth rule (Section 3.3), so the rost
+// package reuses MinDepth from here.
+package construct
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"omcast/internal/overlay"
+	"omcast/internal/topology"
+	"omcast/internal/xrand"
+)
+
+// ErrNoParent is returned when no reachable member has spare capacity (and,
+// for the ordered algorithms, nobody can be evicted either). The caller is
+// expected to retry the join later.
+var ErrNoParent = errors.New("construct: no parent with spare capacity found")
+
+// DefaultCandidateCount is the membership-discovery bound from the paper: a
+// joining node learns about up to 100 existing members.
+const DefaultCandidateCount = 100
+
+// Env carries the shared machinery every strategy needs.
+type Env struct {
+	// Rng drives candidate sampling and random tie-breaks.
+	Rng *xrand.Source
+	// Delay returns the unicast delay between two underlay routers.
+	Delay func(a, b topology.NodeID) time.Duration
+	// CandidateCount bounds membership discovery for the distributed
+	// algorithms; 0 means DefaultCandidateCount.
+	CandidateCount int
+}
+
+func (e *Env) candidateCount() int {
+	if e.CandidateCount <= 0 {
+		return DefaultCandidateCount
+	}
+	return e.CandidateCount
+}
+
+// Strategy attaches joining (or rejoining) members to the tree.
+type Strategy interface {
+	// Name returns the algorithm's display name as used in the paper's
+	// figures.
+	Name() string
+	// Join finds a parent for m and attaches it, possibly restructuring the
+	// tree (evictions). m must be live and detached. Join returns
+	// ErrNoParent when the overlay is saturated.
+	Join(tree *overlay.Tree, m *overlay.Member, now time.Duration) error
+}
+
+// candidates samples the joining member's partial view of the overlay and
+// always includes the source (the bootstrap mechanism guarantees at least
+// one active contact, and the source is every session's first), mirroring
+// the paper's join procedure.
+func (e *Env) candidates(tree *overlay.Tree, m *overlay.Member) []*overlay.Member {
+	cands := tree.Sample(e.Rng, e.candidateCount(), m)
+	return append(cands, tree.Root())
+}
+
+// MinDepth is the minimum-depth algorithm.
+type MinDepth struct {
+	Env *Env
+}
+
+var _ Strategy = (*MinDepth)(nil)
+
+// Name implements Strategy.
+func (a *MinDepth) Name() string { return "Minimum-depth" }
+
+// Join implements Strategy: pick the spare-capacity candidate highest in the
+// tree; among equals, the one nearest to m in the underlay.
+func (a *MinDepth) Join(tree *overlay.Tree, m *overlay.Member, _ time.Duration) error {
+	var best *overlay.Member
+	var bestDelay time.Duration
+	for _, c := range a.Env.candidates(tree, m) {
+		if !usableParent(c, m) {
+			continue
+		}
+		switch {
+		case best == nil, c.Depth() < best.Depth():
+			best = c
+			bestDelay = a.Env.Delay(m.Attach, c.Attach)
+		case c.Depth() == best.Depth():
+			if d := a.Env.Delay(m.Attach, c.Attach); d < bestDelay {
+				best = c
+				bestDelay = d
+			}
+		}
+	}
+	if best == nil {
+		return ErrNoParent
+	}
+	return tree.Attach(m, best)
+}
+
+// LongestFirst is the longest-first algorithm.
+type LongestFirst struct {
+	Env *Env
+}
+
+var _ Strategy = (*LongestFirst)(nil)
+
+// Name implements Strategy.
+func (a *LongestFirst) Name() string { return "Longest-first" }
+
+// Join implements Strategy: pick the oldest spare-capacity candidate
+// (smallest join time); among equals, the nearest.
+func (a *LongestFirst) Join(tree *overlay.Tree, m *overlay.Member, _ time.Duration) error {
+	var best *overlay.Member
+	var bestDelay time.Duration
+	for _, c := range a.Env.candidates(tree, m) {
+		if !usableParent(c, m) {
+			continue
+		}
+		switch {
+		case best == nil, c.JoinTime < best.JoinTime:
+			best = c
+			bestDelay = a.Env.Delay(m.Attach, c.Attach)
+		case c.JoinTime == best.JoinTime:
+			if d := a.Env.Delay(m.Attach, c.Attach); d < bestDelay {
+				best = c
+				bestDelay = d
+			}
+		}
+	}
+	if best == nil {
+		return ErrNoParent
+	}
+	return tree.Attach(m, best)
+}
+
+// ContributorPriority wraps an inner strategy with the incentive rule of
+// Section 3.2 ("a node can be encouraged to contribute more bandwidth
+// resource or longer service time as a trade for service quality"): members
+// that contribute no forwarding bandwidth (free-riders, out-degree zero) are
+// parked at the deepest spare position instead of competing for the high
+// slots. Free-riders are permanent leaves — they can never be displaced by
+// BTP switching, so letting them claim high slots starves the tree's fanout;
+// contributors join through the inner strategy unchanged.
+type ContributorPriority struct {
+	Env   *Env
+	Inner Strategy
+}
+
+var _ Strategy = (*ContributorPriority)(nil)
+
+// Name implements Strategy.
+func (a *ContributorPriority) Name() string { return a.Inner.Name() + " (contributor priority)" }
+
+// Join implements Strategy.
+func (a *ContributorPriority) Join(tree *overlay.Tree, m *overlay.Member, now time.Duration) error {
+	if m.OutDegree() > 0 {
+		return a.Inner.Join(tree, m, now)
+	}
+	var best *overlay.Member
+	var bestDelay time.Duration
+	for _, c := range a.Env.candidates(tree, m) {
+		if !usableParent(c, m) {
+			continue
+		}
+		switch {
+		case best == nil, c.Depth() > best.Depth():
+			best = c
+			bestDelay = a.Env.Delay(m.Attach, c.Attach)
+		case c.Depth() == best.Depth():
+			if d := a.Env.Delay(m.Attach, c.Attach); d < bestDelay {
+				best = c
+				bestDelay = d
+			}
+		}
+	}
+	if best == nil {
+		return ErrNoParent
+	}
+	return tree.Attach(m, best)
+}
+
+// rankFn orders members for the eviction-based algorithms: it returns true
+// when a strictly outranks b (bigger bandwidth for BO, older age for TO).
+type rankFn func(a, b *overlay.Member) bool
+
+// relaxedOrdered is the shared top-down eviction scan behind the relaxed BO
+// and relaxed TO algorithms. Both assume a central administrator with global
+// topological knowledge, which is exactly how the paper frames them.
+type relaxedOrdered struct {
+	env      *Env
+	name     string
+	outranks rankFn
+	// adoptAll reports whether a replacement is guaranteed to fit all the
+	// evictee's children (true for BO: bandwidth ordering implies capacity
+	// ordering; false for TO).
+	adoptAll bool
+	// depth guard against pathological eviction chains.
+	evicting int
+}
+
+// Name implements Strategy.
+func (a *relaxedOrdered) Name() string { return a.name }
+
+// Join implements Strategy.
+func (a *relaxedOrdered) Join(tree *overlay.Tree, m *overlay.Member, now time.Duration) error {
+	maxDepth := tree.MaxDepth()
+	for d := 1; d <= maxDepth+1; d++ {
+		// The paper's relaxed ordering "always searches from the high to low
+		// layers to see if there is a smaller-bandwidth or younger node, and
+		// if so, the located node is replaced with the new one": taking over
+		// an outranked layer-d occupant is preferred over a free slot at the
+		// same layer — that strictness is what keeps the tree ordered, and
+		// it is why these centralized algorithms pay the protocol overhead
+		// Figure 10 reports.
+		if a.evicting < 1000 { // bound cascades; beyond this just attach
+			if victim := a.weakestOutranked(tree.Level(d), m); victim != nil {
+				return a.replace(tree, m, victim, now)
+			}
+		}
+		if parent := nearestSpare(a.env, tree.Level(d-1), m); parent != nil {
+			return tree.Attach(m, parent)
+		}
+	}
+	return ErrNoParent
+}
+
+// weakestOutranked returns the most-outranked member of level that m
+// outranks, or nil.
+func (a *relaxedOrdered) weakestOutranked(level []*overlay.Member, m *overlay.Member) *overlay.Member {
+	var victim *overlay.Member
+	for _, c := range level {
+		if c.Parent() == nil { // the root cannot be evicted
+			continue
+		}
+		if !a.outranks(m, c) {
+			continue
+		}
+		if victim == nil || a.outranks(victim, c) {
+			victim = c
+		}
+	}
+	return victim
+}
+
+// replace puts m into victim's tree position. m adopts as many of victim's
+// children as its out-degree allows (all of them under bandwidth ordering);
+// the victim and any leftover children rejoin through the same algorithm.
+// Every forced reconnection is charged to the protocol-overhead metric.
+func (a *relaxedOrdered) replace(tree *overlay.Tree, m, victim *overlay.Member, now time.Duration) error {
+	parent := victim.Parent()
+	children := append([]*overlay.Member(nil), victim.Children()...)
+	for _, c := range children {
+		if err := tree.Detach(c); err != nil {
+			return fmt.Errorf("construct: detaching child %d of victim: %w", c.ID, err)
+		}
+	}
+	if err := tree.Detach(victim); err != nil {
+		return fmt.Errorf("construct: detaching victim %d: %w", victim.ID, err)
+	}
+	if err := tree.Attach(m, parent); err != nil {
+		return fmt.Errorf("construct: attaching replacement %d: %w", m.ID, err)
+	}
+	// Keep the strongest children in place; the order matters only when m
+	// cannot adopt everyone (TO case).
+	if !a.adoptAll {
+		sortByRank(children, a.outranks)
+	}
+	var leftovers []*overlay.Member
+	for _, c := range children {
+		if m.HasSpare() {
+			if err := tree.Attach(c, m); err != nil {
+				return fmt.Errorf("construct: re-adopting child %d: %w", c.ID, err)
+			}
+			continue
+		}
+		leftovers = append(leftovers, c)
+	}
+	// The victim (now childless) rejoins, then leftover children with their
+	// subtrees. Rejoin failures leave them detached; the churn driver will
+	// retry them like any other orphan, so saturation here is not fatal.
+	a.evicting++
+	defer func() { a.evicting-- }()
+	victim.Reconnections++
+	if err := a.Join(tree, victim, now); err != nil && !errors.Is(err, ErrNoParent) {
+		return fmt.Errorf("construct: rejoining victim %d: %w", victim.ID, err)
+	}
+	for _, c := range leftovers {
+		c.Reconnections++
+		if err := a.Join(tree, c, now); err != nil && !errors.Is(err, ErrNoParent) {
+			return fmt.Errorf("construct: rejoining leftover child %d: %w", c.ID, err)
+		}
+	}
+	return nil
+}
+
+// NewRelaxedBandwidthOrdered returns the centralized relaxed-BO strategy.
+func NewRelaxedBandwidthOrdered(env *Env) Strategy {
+	return &relaxedOrdered{
+		env:  env,
+		name: "Relaxed bandwidth-ordered",
+		outranks: func(a, b *overlay.Member) bool {
+			return a.Bandwidth > b.Bandwidth
+		},
+		adoptAll: true,
+	}
+}
+
+// NewRelaxedTimeOrdered returns the centralized relaxed-TO strategy.
+func NewRelaxedTimeOrdered(env *Env) Strategy {
+	return &relaxedOrdered{
+		env:  env,
+		name: "Relaxed time-ordered",
+		outranks: func(a, b *overlay.Member) bool {
+			// Older (earlier join) outranks younger.
+			return a.JoinTime < b.JoinTime
+		},
+		adoptAll: false,
+	}
+}
+
+// usableParent reports whether c can accept m as a child right now.
+func usableParent(c, m *overlay.Member) bool {
+	return c != m && c.Attached() && c.HasSpare()
+}
+
+// nearestSpare returns the member of level with spare capacity nearest to m
+// in the underlay, or nil.
+func nearestSpare(env *Env, level []*overlay.Member, m *overlay.Member) *overlay.Member {
+	var best *overlay.Member
+	var bestDelay time.Duration
+	for _, c := range level {
+		if !usableParent(c, m) {
+			continue
+		}
+		d := env.Delay(m.Attach, c.Attach)
+		if best == nil || d < bestDelay {
+			best, bestDelay = c, d
+		}
+	}
+	return best
+}
+
+// sortByRank orders members best-ranked first (insertion sort; eviction
+// child lists are tiny).
+func sortByRank(ms []*overlay.Member, outranks rankFn) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && outranks(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}

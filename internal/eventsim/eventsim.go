@@ -1,0 +1,189 @@
+// Package eventsim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of timed events.
+// Events scheduled for the same instant fire in scheduling order, which keeps
+// runs bit-for-bit reproducible for a fixed seed and event program. All
+// simulated time is expressed as time.Duration offsets from the start of the
+// simulation.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Handler is the callback invoked when an event fires. The current simulator
+// is passed in so handlers can schedule follow-up events.
+type Handler func(sim *Simulator)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop before
+// the horizon was reached.
+var ErrStopped = errors.New("eventsim: simulation stopped")
+
+// event is a single queued callback.
+type event struct {
+	at      time.Duration
+	seq     uint64 // tie-break: FIFO among equal timestamps
+	handler Handler
+	// canceled events stay in the heap but are skipped when popped; this is
+	// cheaper than O(n) removal and keeps Cancel O(1).
+	canceled bool
+	index    int
+}
+
+// EventID identifies a scheduled event so it can be canceled. The zero value
+// is never a valid ID.
+type EventID struct {
+	ev *event
+}
+
+// Valid reports whether the ID refers to a scheduled event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		// heap.Push is only ever called by this package with *event; a
+		// mismatch is a programming error surfaced loudly in tests.
+		panic(fmt.Sprintf("eventsim: pushed %T, want *event", x))
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event scheduler. The zero value is
+// not usable; construct with New.
+type Simulator struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// processed counts events that actually fired (canceled events excluded).
+	processed uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Processed returns the number of events that have fired so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events still queued, including canceled
+// events that have not yet been popped.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule registers handler to fire at absolute virtual time at. Times in
+// the past (before Now) are clamped to Now, so the event fires next. The
+// returned EventID can be passed to Cancel.
+func (s *Simulator) Schedule(at time.Duration, handler Handler) EventID {
+	if handler == nil {
+		panic("eventsim: Schedule called with nil handler")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, handler: handler}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev: ev}
+}
+
+// ScheduleAfter registers handler to fire delay after the current time.
+// Negative delays are clamped to zero.
+func (s *Simulator) ScheduleAfter(delay time.Duration, handler Handler) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.Schedule(s.now+delay, handler)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an already-fired
+// or already-canceled event is a no-op. It reports whether the event was
+// live before the call.
+func (s *Simulator) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.canceled || id.ev.index < 0 {
+		return false
+	}
+	id.ev.canceled = true
+	return true
+}
+
+// Stop halts the run loop after the currently firing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run processes events in timestamp order until the queue is empty or the
+// clock would pass horizon. Events exactly at the horizon still fire. It
+// returns ErrStopped if Stop was called, otherwise nil.
+func (s *Simulator) Run(horizon time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > horizon {
+			// Leave future events queued; advance the clock to the horizon
+			// so a subsequent Run continues from there.
+			s.now = horizon
+			return nil
+		}
+		popped, ok := heap.Pop(&s.queue).(*event)
+		if !ok {
+			return errors.New("eventsim: corrupt event queue")
+		}
+		if popped.canceled {
+			continue
+		}
+		s.now = popped.at
+		popped.handler(s)
+		s.processed++
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	if horizon > s.now && horizon != MaxHorizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// MaxHorizon is a horizon value meaning "run until the queue drains".
+const MaxHorizon = time.Duration(math.MaxInt64)
+
+// RunAll processes events until the queue is empty or Stop is called.
+func (s *Simulator) RunAll() error {
+	return s.Run(MaxHorizon)
+}

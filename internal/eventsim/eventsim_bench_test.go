@@ -1,0 +1,37 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire measures the kernel's heap throughput: one schedule
+// plus one fire per iteration, over a standing queue of 10k events.
+func BenchmarkScheduleFire(b *testing.B) {
+	sim := New()
+	for i := 0; i < 10000; i++ {
+		sim.Schedule(time.Duration(i)*time.Millisecond, func(*Simulator) {})
+	}
+	b.ResetTimer()
+	at := 10 * time.Second
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(at, func(*Simulator) {})
+		at += time.Millisecond
+	}
+	if err := sim.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunDense measures draining one million same-window events.
+func BenchmarkRunDense(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := New()
+		for j := 0; j < 1_000_000; j++ {
+			sim.Schedule(time.Duration(j%1000)*time.Millisecond, func(*Simulator) {})
+		}
+		if err := sim.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

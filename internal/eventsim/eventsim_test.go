@@ -1,0 +1,299 @@
+package eventsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	sim := New()
+	var got []int
+	sim.Schedule(3*time.Second, func(*Simulator) { got = append(got, 3) })
+	sim.Schedule(1*time.Second, func(*Simulator) { got = append(got, 1) })
+	sim.Schedule(2*time.Second, func(*Simulator) { got = append(got, 2) })
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	sim := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		sim.Schedule(time.Second, func(*Simulator) { got = append(got, i) })
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-timestamp order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	sim := New()
+	var at time.Duration
+	sim.Schedule(5*time.Second, func(s *Simulator) { at = s.Now() })
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if at != 5*time.Second {
+		t.Fatalf("Now inside handler = %v, want 5s", at)
+	}
+	if sim.Now() != 5*time.Second {
+		t.Fatalf("final Now = %v, want 5s", sim.Now())
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	sim := New()
+	var second time.Duration
+	sim.Schedule(2*time.Second, func(s *Simulator) {
+		s.ScheduleAfter(3*time.Second, func(s2 *Simulator) { second = s2.Now() })
+	})
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if second != 5*time.Second {
+		t.Fatalf("chained event fired at %v, want 5s", second)
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	sim := New()
+	fired := false
+	sim.Schedule(10*time.Second, func(s *Simulator) {
+		s.Schedule(1*time.Second, func(*Simulator) { fired = true })
+	})
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !fired {
+		t.Fatal("event scheduled in the past never fired")
+	}
+	if sim.Now() != 10*time.Second {
+		t.Fatalf("clock moved backwards: %v", sim.Now())
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	sim := New()
+	fired := false
+	sim.ScheduleAfter(-time.Second, func(*Simulator) { fired = true })
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	sim := New()
+	fired := false
+	id := sim.Schedule(time.Second, func(*Simulator) { fired = true })
+	if !sim.Cancel(id) {
+		t.Fatal("Cancel returned false for a live event")
+	}
+	if sim.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if sim.Processed() != 0 {
+		t.Fatalf("Processed = %d, want 0", sim.Processed())
+	}
+}
+
+func TestCancelZeroID(t *testing.T) {
+	sim := New()
+	if sim.Cancel(EventID{}) {
+		t.Fatal("Cancel of zero EventID returned true")
+	}
+	if (EventID{}).Valid() {
+		t.Fatal("zero EventID reports Valid")
+	}
+}
+
+func TestHorizonLeavesFutureEvents(t *testing.T) {
+	sim := New()
+	var got []time.Duration
+	for _, at := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		at := at
+		sim.Schedule(at, func(s *Simulator) { got = append(got, s.Now()) })
+	}
+	if err := sim.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("fired %d events by horizon, want 2 (event at horizon must fire)", len(got))
+	}
+	if sim.Now() != 2*time.Second {
+		t.Fatalf("Now after horizon run = %v, want 2s", sim.Now())
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("second RunAll: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("resumed run fired %d total, want 3", len(got))
+	}
+}
+
+func TestHorizonAdvancesIdleClock(t *testing.T) {
+	sim := New()
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sim.Now() != time.Minute {
+		t.Fatalf("idle run left clock at %v, want 1m", sim.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	sim := New()
+	count := 0
+	for i := 0; i < 5; i++ {
+		sim.Schedule(time.Duration(i)*time.Second, func(s *Simulator) {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	err := sim.RunAll()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("RunAll after Stop = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Fatalf("fired %d events, want 2", count)
+	}
+	// The remaining events are still runnable.
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("resume after Stop: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("after resume fired %d, want 5", count)
+	}
+}
+
+func TestProcessedAndPending(t *testing.T) {
+	sim := New()
+	for i := 0; i < 4; i++ {
+		sim.Schedule(time.Duration(i)*time.Second, func(*Simulator) {})
+	}
+	if sim.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", sim.Pending())
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if sim.Processed() != 4 {
+		t.Fatalf("Processed = %d, want 4", sim.Processed())
+	}
+	if sim.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", sim.Pending())
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	New().Schedule(time.Second, nil)
+}
+
+func TestManyEventsStressOrdering(t *testing.T) {
+	sim := New()
+	const n = 10000
+	var last time.Duration = -1
+	ok := true
+	// Pseudo-random but fixed times; verify global ordering.
+	x := uint64(12345)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		at := time.Duration(x%1000) * time.Millisecond
+		sim.Schedule(at, func(s *Simulator) {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		})
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !ok {
+		t.Fatal("events fired out of time order")
+	}
+	if sim.Processed() != n {
+		t.Fatalf("Processed = %d, want %d", sim.Processed(), n)
+	}
+}
+
+// TestQuickScheduleCancelOrdering drives random schedule/cancel programs via
+// testing/quick: whatever the interleaving, fired events come out in
+// timestamp order, canceled events never fire, and the processed count
+// matches the survivors.
+func TestQuickScheduleCancelOrdering(t *testing.T) {
+	f := func(times []uint16, cancelMask []bool) bool {
+		sim := New()
+		type slot struct {
+			id       EventID
+			at       time.Duration
+			canceled bool
+		}
+		var slots []slot
+		fired := 0
+		lastAt := time.Duration(-1)
+		ordered := true
+		for i, raw := range times {
+			at := time.Duration(raw) * time.Millisecond
+			idx := len(slots)
+			id := sim.Schedule(at, func(s *Simulator) {
+				fired++
+				if s.Now() < lastAt {
+					ordered = false
+				}
+				lastAt = s.Now()
+				_ = idx
+			})
+			slots = append(slots, slot{id: id, at: at})
+			if i < len(cancelMask) && cancelMask[i] {
+				if !sim.Cancel(id) {
+					return false
+				}
+				slots[idx].canceled = true
+			}
+		}
+		if err := sim.RunAll(); err != nil {
+			return false
+		}
+		want := 0
+		for _, s := range slots {
+			if !s.canceled {
+				want++
+			}
+		}
+		return ordered && fired == want && sim.Processed() == uint64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

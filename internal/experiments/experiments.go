@@ -1,0 +1,757 @@
+// Package experiments defines one regenerator per figure of the paper's
+// evaluation (Figures 4-14) plus the ablations DESIGN.md calls out. Each
+// experiment produces a Table with exactly the series the paper plots, so
+// the CLI tools and benchmarks can print paper-vs-measured comparisons.
+//
+// Runs that share simulations (Figures 4, 7, 8 and 10 all read the same
+// tree-level sweep; Figures 6 and 9 share the tracked-member runs) are
+// cached inside a Runner so `omcast-all` does the work once.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"omcast"
+	"omcast/internal/stats"
+)
+
+// Options scales the experiment suite.
+type Options struct {
+	// Seed is the base random seed; replicated runs use Seed, Seed+1, ...
+	Seed int64
+	// Sizes are the steady-state member counts for the size sweeps
+	// (Figures 4, 7, 8, 10, 12); nil means the paper's {2000, 5000, 8000,
+	// 11000, 14000}.
+	Sizes []int
+	// Size is the member count for single-size figures (5, 6, 9, 11, 13,
+	// 14); zero means the paper's 8000.
+	Size int
+	// Warmup and Measure bound each run; zero means 3 h / 1 h.
+	Warmup, Measure time.Duration
+	// Replicas is the number of independent seeds behind Figure 14's 95%
+	// confidence intervals; zero means 5.
+	Replicas int
+	// SweepSeeds averages the Figure 4/7/8/10 size sweep over this many
+	// seeds; zero means 3.
+	SweepSeeds int
+	// Quick shrinks everything (small topology, few hundred members, short
+	// windows) for smoke tests and benchmarks.
+	Quick bool
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sizes == nil {
+		o.Sizes = []int{2000, 5000, 8000, 11000, 14000}
+	}
+	if o.Size == 0 {
+		o.Size = 8000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 3 * time.Hour
+	}
+	if o.Measure <= 0 {
+		o.Measure = time.Hour
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 5
+	}
+	if o.SweepSeeds <= 0 {
+		o.SweepSeeds = 3
+	}
+	if o.Quick {
+		o.Sizes = []int{400, 800}
+		o.Size = 800
+		o.Warmup = 45 * time.Minute
+		o.Measure = 30 * time.Minute
+		o.Replicas = 2
+		o.SweepSeeds = 1
+	}
+	return o
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// baseConfig builds the session configuration for one run.
+func (o Options) baseConfig(seed int64, alg omcast.Algorithm, size int) omcast.Config {
+	cfg := omcast.Config{
+		Seed:       seed,
+		Algorithm:  alg,
+		TargetSize: size,
+		Warmup:     o.Warmup,
+		Measure:    o.Measure,
+	}
+	if o.Quick {
+		cfg.Topology = omcast.SmallTopology()
+	}
+	return cfg
+}
+
+// Table is one regenerated figure: a header row plus formatted data rows.
+type Table struct {
+	ID      string
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+	Elapsed time.Duration
+}
+
+// Format renders the table as aligned plain text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for r, row := range rows {
+		for i, cell := range row {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", pad+2, cell)
+		}
+		b.WriteString("\n")
+		if r == 0 {
+			for i := range t.Header {
+				b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 comma-separated values (header first),
+// for plotting pipelines. Cells keep their unit suffixes; strip them with
+// the consumer of your choice.
+func (t Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	// Write never fails on a strings.Builder; the error is surfaced by
+	// Flush below for completeness.
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// IDs lists all experiment identifiers in figure order.
+func IDs() []string {
+	return []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14",
+		"ablation-recovery", "ablation-rejoin", "ablation-priority", "ablation-guard",
+		"extension-multitree",
+	}
+}
+
+// Runner executes experiments with shared-run caching.
+type Runner struct {
+	opts Options
+
+	sweep   map[omcast.Algorithm][]omcast.TreeResult // per size
+	tracked map[omcast.Algorithm]omcast.TrackedSeries
+	fig5    map[omcast.Algorithm][]float64
+}
+
+// NewRunner builds a Runner over the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts.withDefaults()}
+}
+
+// Run executes one experiment by ID.
+func (r *Runner) Run(id string) (Table, error) {
+	start := time.Now()
+	var (
+		t   Table
+		err error
+	)
+	switch id {
+	case "fig4":
+		t, err = r.fig4()
+	case "fig5":
+		t, err = r.fig5Table()
+	case "fig6":
+		t, err = r.fig6()
+	case "fig7":
+		t, err = r.fig7()
+	case "fig8":
+		t, err = r.fig8()
+	case "fig9":
+		t, err = r.fig9()
+	case "fig10":
+		t, err = r.fig10()
+	case "fig11":
+		t, err = r.fig11()
+	case "fig12":
+		t, err = r.fig12()
+	case "fig13":
+		t, err = r.fig13()
+	case "fig14":
+		t, err = r.fig14()
+	case "ablation-recovery":
+		t, err = r.ablationRecovery()
+	case "ablation-rejoin":
+		t, err = r.ablationRejoin()
+	case "ablation-priority":
+		t, err = r.ablationPriority()
+	case "ablation-guard":
+		t, err = r.ablationGuard()
+	case "extension-multitree":
+		t, err = r.extensionMultiTree()
+	default:
+		return Table{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	if err != nil {
+		return Table{}, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	t.ID = id
+	t.Elapsed = time.Since(start)
+	return t, nil
+}
+
+// All runs every experiment in order.
+func (r *Runner) All() ([]Table, error) {
+	tables := make([]Table, 0, len(IDs()))
+	for _, id := range IDs() {
+		t, err := r.Run(id)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// treeSweep runs (once) the shared size sweep behind Figures 4, 7, 8, 10.
+func (r *Runner) treeSweep() (map[omcast.Algorithm][]omcast.TreeResult, error) {
+	if r.sweep != nil {
+		return r.sweep, nil
+	}
+	sweep := make(map[omcast.Algorithm][]omcast.TreeResult, len(omcast.Algorithms))
+	for _, alg := range omcast.Algorithms {
+		for _, size := range r.opts.Sizes {
+			avg, err := r.averagedRun(alg, size)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %v at %d: %w", alg, size, err)
+			}
+			sweep[alg] = append(sweep[alg], avg)
+			r.opts.progress("sweep %-26s M=%-6d disruptions=%.2f delay=%.0fms (%d seeds)",
+				alg, size, avg.AvgDisruptions, avg.AvgServiceDelayMS, r.opts.SweepSeeds)
+		}
+	}
+	r.sweep = sweep
+	return sweep, nil
+}
+
+// averagedRun averages the sweep metrics over SweepSeeds independent seeds.
+func (r *Runner) averagedRun(alg omcast.Algorithm, size int) (omcast.TreeResult, error) {
+	var avg omcast.TreeResult
+	n := float64(r.opts.SweepSeeds)
+	for rep := 0; rep < r.opts.SweepSeeds; rep++ {
+		res, err := omcast.Run(r.opts.baseConfig(r.opts.Seed+int64(rep), alg, size))
+		if err != nil {
+			return omcast.TreeResult{}, err
+		}
+		avg.Algorithm = res.Algorithm
+		avg.AvgDisruptions += res.AvgDisruptions / n
+		avg.AvgReconnections += res.AvgReconnections / n
+		avg.PerLifetimeDisruptions += res.PerLifetimeDisruptions / n
+		avg.PerLifetimeReconnections += res.PerLifetimeReconnections / n
+		avg.AvgServiceDelayMS += res.AvgServiceDelayMS / n
+		avg.AvgStretch += res.AvgStretch / n
+		avg.AvgSize += res.AvgSize / n
+		avg.Departures += res.Departures
+	}
+	return avg, nil
+}
+
+// sweepTable renders one metric of the shared sweep.
+func (r *Runner) sweepTable(title, unit string, metric func(omcast.TreeResult) float64) (Table, error) {
+	sweep, err := r.treeSweep()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  title,
+		Header: []string{"avg size"},
+	}
+	for _, alg := range omcast.Algorithms {
+		t.Header = append(t.Header, alg.String())
+	}
+	for i, size := range r.opts.Sizes {
+		row := []string{fmt.Sprintf("%.0f", sweep[omcast.MinimumDepth][i].AvgSize)}
+		for _, alg := range omcast.Algorithms {
+			row = append(row, fmt.Sprintf("%.2f%s", metric(sweep[alg][i]), unit))
+		}
+		t.Rows = append(t.Rows, row)
+		_ = size
+	}
+	return t, nil
+}
+
+func (r *Runner) fig4() (Table, error) {
+	t, err := r.sweepTable("Avg streaming disruptions per node vs steady-state size", "", func(res omcast.TreeResult) float64 {
+		return res.AvgDisruptions
+	})
+	t.Notes = append(t.Notes,
+		"paper: ROST lowest everywhere; 36-57% below relaxed BO, up to 40% below relaxed TO;",
+		"minimum-depth and longest-first worst and most size-sensitive")
+	return t, err
+}
+
+func (r *Runner) fig7() (Table, error) {
+	t, err := r.sweepTable("Avg end-to-end service delay vs size", "ms", func(res omcast.TreeResult) float64 {
+		return res.AvgServiceDelayMS
+	})
+	t.Notes = append(t.Notes,
+		"paper: relaxed BO shortest (centralized); ROST best of the distributed algorithms;",
+		"longest-first by far the tallest tree")
+	return t, err
+}
+
+func (r *Runner) fig8() (Table, error) {
+	t, err := r.sweepTable("Avg network stretch vs size", "", func(res omcast.TreeResult) float64 {
+		return res.AvgStretch
+	})
+	t.Notes = append(t.Notes, "paper: same ordering as Figure 7")
+	return t, err
+}
+
+func (r *Runner) fig10() (Table, error) {
+	t, err := r.sweepTable("Optimizer reconnections per node vs size (protocol overhead)", "", func(res omcast.TreeResult) float64 {
+		return res.AvgReconnections
+	})
+	t.Notes = append(t.Notes,
+		"paper: minimum-depth and longest-first impose none; relaxed TO highest, relaxed BO next;",
+		"ROST far below one reconnection per node")
+	return t, err
+}
+
+// fig5Data runs (once) the 5-algorithm single-size comparison behind the
+// disruption CDF.
+func (r *Runner) fig5Data() (map[omcast.Algorithm][]float64, error) {
+	if r.fig5 != nil {
+		return r.fig5, nil
+	}
+	data := make(map[omcast.Algorithm][]float64, len(omcast.Algorithms))
+	for _, alg := range omcast.Algorithms {
+		res, err := omcast.Run(r.opts.baseConfig(r.opts.Seed, alg, r.opts.Size))
+		if err != nil {
+			return nil, err
+		}
+		data[alg] = res.DisruptionCounts
+		r.opts.progress("fig5 %-26s members=%d", alg, len(res.DisruptionCounts))
+	}
+	r.fig5 = data
+	return data, nil
+}
+
+func (r *Runner) fig5Table() (Table, error) {
+	data, err := r.fig5Data()
+	if err != nil {
+		return Table{}, err
+	}
+	thresholds := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	t := Table{
+		Title:  fmt.Sprintf("CDF of per-node disruption counts (%d nodes)", r.opts.Size),
+		Header: []string{"disruptions <="},
+		Notes: []string{
+			"cumulative percentage of nodes with at most X disruptions over the window",
+			"paper: the ROST curve dominates (is leftmost/highest) at every threshold",
+		},
+	}
+	for _, alg := range omcast.Algorithms {
+		t.Header = append(t.Header, alg.String())
+	}
+	for _, th := range thresholds {
+		row := []string{fmt.Sprintf("%.0f", th)}
+		for _, alg := range omcast.Algorithms {
+			points := stats.CDFAt(data[alg], []float64{th})
+			row = append(row, fmt.Sprintf("%.1f%%", points[0].Fraction*100))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// trackedRuns runs (once) the Figure 6/9 typical-member sessions.
+func (r *Runner) trackedRuns() (map[omcast.Algorithm]omcast.TrackedSeries, error) {
+	if r.tracked != nil {
+		return r.tracked, nil
+	}
+	observe := 300 * time.Minute
+	if r.opts.Quick {
+		observe = 60 * time.Minute
+	}
+	out := make(map[omcast.Algorithm]omcast.TrackedSeries, len(omcast.Algorithms))
+	for _, alg := range omcast.Algorithms {
+		series, _, err := omcast.RunTracked(r.opts.baseConfig(r.opts.Seed, alg, r.opts.Size), 2, observe)
+		if err != nil {
+			return nil, err
+		}
+		out[alg] = series
+		r.opts.progress("tracked %-26s samples=%d", alg, len(series.Minutes))
+	}
+	r.tracked = out
+	return out, nil
+}
+
+// trackedTable renders one series of the tracked runs sampled at the
+// paper's 33-minute ticks.
+func (r *Runner) trackedTable(title string, value func(omcast.TrackedSeries, int) string) (Table, error) {
+	data, err := r.trackedRuns()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{Title: title, Header: []string{"minute"}}
+	for _, alg := range omcast.Algorithms {
+		t.Header = append(t.Header, alg.String())
+	}
+	// Find the shortest series to bound sampling.
+	minLen := -1
+	for _, alg := range omcast.Algorithms {
+		if n := len(data[alg].Minutes); minLen < 0 || n < minLen {
+			minLen = n
+		}
+	}
+	step := 33
+	if r.opts.Quick {
+		step = 10
+	}
+	for i := 0; i < minLen; i += step {
+		row := []string{fmt.Sprintf("%.0f", data[omcast.MinimumDepth].Minutes[i])}
+		for _, alg := range omcast.Algorithms {
+			row = append(row, value(data[alg], i))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func (r *Runner) fig6() (Table, error) {
+	t, err := r.trackedTable("Cumulative disruptions of a typical member over time",
+		func(s omcast.TrackedSeries, i int) string {
+			return fmt.Sprintf("%d", s.Disruptions[i])
+		})
+	t.Notes = append(t.Notes,
+		"paper: under ROST the slope flattens as the member ages and ascends the tree")
+	return t, err
+}
+
+func (r *Runner) fig9() (Table, error) {
+	t, err := r.trackedTable("Service delay of a typical member over time",
+		func(s omcast.TrackedSeries, i int) string {
+			return fmt.Sprintf("%.0fms", s.ServiceDelayMS[i])
+		})
+	t.Notes = append(t.Notes,
+		"paper: ROST and relaxed TO delays shrink as the member climbs; the others fluctuate without converging",
+		"0ms samples mean the member was between parents at the sampling instant")
+	return t, err
+}
+
+func (r *Runner) fig11() (Table, error) {
+	intervals := []time.Duration{480 * time.Second, 960 * time.Second, 1200 * time.Second, 1800 * time.Second}
+	if r.opts.Quick {
+		intervals = []time.Duration{240 * time.Second, 960 * time.Second}
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Effect of the ROST switching interval (%d nodes)", r.opts.Size),
+		Header: []string{"interval", "disruptions/node", "service delay", "stretch", "reconnections/node"},
+		Notes: []string{
+			"paper: smaller intervals improve reliability, delay and stretch at a small overhead cost",
+			"(0.15 reconnections per node at the smallest interval)",
+		},
+	}
+	for _, iv := range intervals {
+		cfg := r.opts.baseConfig(r.opts.Seed, omcast.ROST, r.opts.Size)
+		cfg.SwitchInterval = iv
+		res, err := omcast.Run(cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0fs", iv.Seconds()),
+			fmt.Sprintf("%.2f", res.AvgDisruptions),
+			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS),
+			fmt.Sprintf("%.2f", res.AvgStretch),
+			fmt.Sprintf("%.2f", res.AvgReconnections),
+		})
+		r.opts.progress("fig11 interval=%v disruptions=%.2f", iv, res.AvgDisruptions)
+	}
+	return t, nil
+}
+
+func (r *Runner) fig12() (Table, error) {
+	groups := []int{1, 2, 3, 4}
+	t := Table{
+		Title:  "Avg starving-time ratio vs size for recovery group sizes 1-4 (min-depth tree, CER)",
+		Header: []string{"avg size"},
+		Notes: []string{
+			"paper: growing the group from 1 to 3 cuts the starving time by an order of magnitude (<0.2% everywhere)",
+		},
+	}
+	for _, k := range groups {
+		t.Header = append(t.Header, fmt.Sprintf("K=%d", k))
+	}
+	for _, size := range r.opts.Sizes {
+		row := make([]string, 0, len(groups)+1)
+		for _, k := range groups {
+			res, err := omcast.RunStreaming(r.opts.baseConfig(r.opts.Seed, omcast.MinimumDepth, size),
+				omcast.StreamConfig{Recovery: omcast.CER, GroupSize: k})
+			if err != nil {
+				return Table{}, err
+			}
+			if len(row) == 0 {
+				row = append(row, fmt.Sprintf("%.0f", res.AvgSize))
+			}
+			row = append(row, fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100))
+			r.opts.progress("fig12 M=%-6d K=%d starving=%.3f%%", size, k, res.AvgStarvingRatio*100)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func (r *Runner) fig13() (Table, error) {
+	buffers := []time.Duration{5 * time.Second, 10 * time.Second, 15 * time.Second, 20 * time.Second, 25 * time.Second, 30 * time.Second}
+	groups := []int{1, 2, 3}
+	if r.opts.Quick {
+		buffers = []time.Duration{5 * time.Second, 20 * time.Second}
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Avg starving-time ratio vs buffer size (%d nodes, min-depth tree, CER)", r.opts.Size),
+		Header: []string{"buffer"},
+		Notes: []string{
+			"paper: with one recovery node only a ~27s buffer reaches what two recovery nodes achieve at 5s",
+		},
+	}
+	for _, k := range groups {
+		t.Header = append(t.Header, fmt.Sprintf("K=%d", k))
+	}
+	for _, b := range buffers {
+		row := []string{fmt.Sprintf("%.0fs", b.Seconds())}
+		for _, k := range groups {
+			res, err := omcast.RunStreaming(r.opts.baseConfig(r.opts.Seed, omcast.MinimumDepth, r.opts.Size),
+				omcast.StreamConfig{Recovery: omcast.CER, GroupSize: k, Buffer: b})
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100))
+			r.opts.progress("fig13 B=%v K=%d starving=%.3f%%", b, k, res.AvgStarvingRatio*100)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func (r *Runner) fig14() (Table, error) {
+	groups := []int{1, 2, 3}
+	t := Table{
+		Title:  fmt.Sprintf("ROST+CER vs minimum-depth + single-source (%d nodes, 95%% CI over %d seeds)", r.opts.Size, r.opts.Replicas),
+		Header: []string{"group size", "ROST+CER", "min-depth + single source", "improvement"},
+		Notes: []string{
+			"paper: ROST+CER reduces the starving ratio 8-9x on average; even at group size 1 it beats",
+			"the baseline with two recovery nodes",
+		},
+	}
+	for _, k := range groups {
+		var rost, base []float64
+		for rep := 0; rep < r.opts.Replicas; rep++ {
+			seed := r.opts.Seed + int64(rep)
+			a, err := omcast.RunStreaming(r.opts.baseConfig(seed, omcast.ROST, r.opts.Size),
+				omcast.StreamConfig{Recovery: omcast.CER, GroupSize: k})
+			if err != nil {
+				return Table{}, err
+			}
+			b, err := omcast.RunStreaming(r.opts.baseConfig(seed, omcast.MinimumDepth, r.opts.Size),
+				omcast.StreamConfig{Recovery: omcast.SingleSource, GroupSize: k})
+			if err != nil {
+				return Table{}, err
+			}
+			rost = append(rost, a.AvgStarvingRatio*100)
+			base = append(base, b.AvgStarvingRatio*100)
+			r.opts.progress("fig14 K=%d seed=%d rost=%.3f%% base=%.3f%%", k, seed, a.AvgStarvingRatio*100, b.AvgStarvingRatio*100)
+		}
+		ra := stats.ConfidenceInterval95(rost)
+		ba := stats.ConfidenceInterval95(base)
+		improvement := "n/a"
+		if ra.Mean > 0 {
+			improvement = fmt.Sprintf("%.1fx", ba.Mean/ra.Mean)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3f%% +/- %.3f", ra.Mean, ra.Radius),
+			fmt.Sprintf("%.3f%% +/- %.3f", ba.Mean, ba.Radius),
+			improvement,
+		})
+	}
+	return t, nil
+}
+
+func (r *Runner) ablationRecovery() (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: recovery group selection and striping (%d nodes, min-depth tree, K=3)", r.opts.Size),
+		Header: []string{"scheme", "starving ratio"},
+		Notes:  []string{"isolates the value of MLC selection (Algorithm 1) from the value of bandwidth striping"},
+	}
+	for _, scheme := range []omcast.Recovery{omcast.CER, omcast.CERRandomGroup, omcast.SingleSource} {
+		res, err := omcast.RunStreaming(r.opts.baseConfig(r.opts.Seed, omcast.MinimumDepth, r.opts.Size),
+			omcast.StreamConfig{Recovery: scheme, GroupSize: 3})
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{scheme.String(), fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100)})
+		r.opts.progress("ablation-recovery %s starving=%.3f%%", scheme, res.AvgStarvingRatio*100)
+	}
+	return t, nil
+}
+
+func (r *Runner) ablationRejoin() (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: ancestor-first orphan rejoin (%d nodes, ROST)", r.opts.Size),
+		Header: []string{"orphan rejoin", "disruptions/node", "service delay"},
+		Notes:  []string{"ancestor rejoin keeps freed interior positions inside the affected subtree"},
+	}
+	for _, disable := range []bool{false, true} {
+		cfg := r.opts.baseConfig(r.opts.Seed, omcast.ROST, r.opts.Size)
+		cfg.DisableAncestorRejoin = disable
+		res, err := omcast.Run(cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		label := "ancestor-first"
+		if disable {
+			label = "full re-join"
+		}
+		t.Rows = append(t.Rows, []string{label,
+			fmt.Sprintf("%.2f", res.AvgDisruptions),
+			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS)})
+		r.opts.progress("ablation-rejoin disable=%v disruptions=%.2f", disable, res.AvgDisruptions)
+	}
+	return t, nil
+}
+
+func (r *Runner) ablationPriority() (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: contributor-priority join (%d nodes, ROST)", r.opts.Size),
+		Header: []string{"join rule", "disruptions/node", "service delay", "stretch"},
+		Notes:  []string{"parking free-riders deep keeps high slots for members switching can actually displace"},
+	}
+	for _, cp := range []bool{false, true} {
+		cfg := r.opts.baseConfig(r.opts.Seed, omcast.ROST, r.opts.Size)
+		cfg.ContributorPriority = cp
+		res, err := omcast.Run(cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		label := "minimum-depth for all"
+		if cp {
+			label = "contributor priority"
+		}
+		t.Rows = append(t.Rows, []string{label,
+			fmt.Sprintf("%.2f", res.AvgDisruptions),
+			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS),
+			fmt.Sprintf("%.2f", res.AvgStretch)})
+		r.opts.progress("ablation-priority cp=%v disruptions=%.2f", cp, res.AvgDisruptions)
+	}
+	return t, nil
+}
+
+func (r *Runner) ablationGuard() (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: ROST bandwidth guard on switching (%d nodes)", r.opts.Size),
+		Header: []string{"guard", "disruptions/node", "reconnections/node", "service delay"},
+		Notes:  []string{"without the guard, lower-bandwidth children switch up only to be overtaken and demoted again"},
+	}
+	for _, disabled := range []bool{false, true} {
+		cfg := r.opts.baseConfig(r.opts.Seed, omcast.ROST, r.opts.Size)
+		cfg.DisableBandwidthGuard = disabled
+		res, err := omcast.Run(cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		label := "bandwidth >= parent required"
+		if disabled {
+			label = "BTP comparison only"
+		}
+		t.Rows = append(t.Rows, []string{label,
+			fmt.Sprintf("%.2f", res.AvgDisruptions),
+			fmt.Sprintf("%.2f", res.AvgReconnections),
+			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS)})
+		r.opts.progress("ablation-guard disabled=%v disruptions=%.2f", disabled, res.AvgDisruptions)
+	}
+	return t, nil
+}
+
+func (r *Runner) extensionMultiTree() (Table, error) {
+	size := r.opts.Size / 4
+	if r.opts.Quick {
+		size = r.opts.Size
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Extension: multiple-tree delivery with MDC (%d nodes)", size),
+		Header: []string{"configuration", "outage ratio", "delivery ratio", "episodes"},
+		Notes: []string{
+			"the paper's stated future direction: striping the stream over T trees so one failure",
+			"degrades (one stripe) instead of interrupting; quorum = stripes-1 models one-description slack",
+		},
+	}
+	type variant struct {
+		label string
+		mt    omcast.MultiTreeConfig
+	}
+	variants := []variant{
+		{"single tree (baseline)", omcast.MultiTreeConfig{Stripes: 1}},
+		{"4 stripes, split bandwidth", omcast.MultiTreeConfig{Stripes: 4, Quorum: 3}},
+		{"4 stripes, interior-disjoint", omcast.MultiTreeConfig{Stripes: 4, Quorum: 3, Disjoint: true}},
+		{"4 stripes, split + ROST", omcast.MultiTreeConfig{Stripes: 4, Quorum: 3, UseROST: true}},
+	}
+	for _, v := range variants {
+		res, err := omcast.RunMultiTree(r.opts.baseConfig(r.opts.Seed, omcast.MinimumDepth, size), v.mt)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			v.label,
+			fmt.Sprintf("%.3f%%", res.OutageRatio*100),
+			fmt.Sprintf("%.2f%%", res.FullQualityRatio*100),
+			fmt.Sprintf("%d", res.Episodes),
+		})
+		r.opts.progress("multitree %-30s outage=%.3f%%", v.label, res.OutageRatio*100)
+	}
+	return t, nil
+}
+
+// SortTables orders tables in canonical experiment order.
+func SortTables(tables []Table) {
+	order := make(map[string]int, len(IDs()))
+	for i, id := range IDs() {
+		order[id] = i
+	}
+	sort.SliceStable(tables, func(i, j int) bool {
+		return order[tables[i].ID] < order[tables[j].ID]
+	})
+}

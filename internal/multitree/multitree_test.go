@@ -1,0 +1,213 @@
+package multitree
+
+import (
+	"testing"
+	"time"
+)
+
+// quickCfg is a small, fast session.
+func quickCfg(seed int64, stripes int) Config {
+	return Config{
+		Seed:       seed,
+		Stripes:    stripes,
+		TargetSize: 300,
+		Warmup:     1200 * time.Second,
+		Measure:    1200 * time.Second,
+	}
+}
+
+func runSession(t *testing.T, cfg Config) (*Session, Result) {
+	t.Helper()
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < cfg.Stripes; i++ {
+		if err := s.Tree(i).CheckInvariants(); err != nil {
+			t.Fatalf("tree %d invariants: %v", i, err)
+		}
+	}
+	return s, res
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Stripes: 0, TargetSize: 10}).Validate(); err == nil {
+		t.Fatal("zero stripes accepted")
+	}
+	if err := (Config{Stripes: 2, TargetSize: 0}).Validate(); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewSession(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{Stripes: 4, TargetSize: 10}.withDefaults()
+	if cfg.Contribution != SplitContribution {
+		t.Fatal("contribution default wrong")
+	}
+	if cfg.QuorumStripes != 4 {
+		t.Fatalf("quorum default = %d, want 4 (= stripes)", cfg.QuorumStripes)
+	}
+	if cfg.Rate != 10 || cfg.Buffer != 5*time.Second {
+		t.Fatal("stream defaults wrong")
+	}
+	over := Config{Stripes: 2, TargetSize: 10, QuorumStripes: 5}.withDefaults()
+	if over.QuorumStripes != 2 {
+		t.Fatalf("oversized quorum not clamped: %d", over.QuorumStripes)
+	}
+}
+
+func TestContributionString(t *testing.T) {
+	if SplitContribution.String() != "split" || DisjointContribution.String() != "disjoint" {
+		t.Fatal("contribution names wrong")
+	}
+}
+
+func TestSingleStripeDegeneratesToSingleTree(t *testing.T) {
+	_, res := runSession(t, quickCfg(1, 1))
+	if res.Members == 0 {
+		t.Fatal("no members measured")
+	}
+	if len(res.MaxDepths) != 1 {
+		t.Fatalf("MaxDepths = %v, want one tree", res.MaxDepths)
+	}
+	if res.FullQualityRatio <= 0 || res.FullQualityRatio > 1 {
+		t.Fatalf("quality ratio %g out of range", res.FullQualityRatio)
+	}
+}
+
+func TestMultiStripeRuns(t *testing.T) {
+	s, res := runSession(t, quickCfg(2, 4))
+	if len(res.MaxDepths) != 4 {
+		t.Fatalf("MaxDepths = %v, want 4 trees", res.MaxDepths)
+	}
+	if res.Episodes == 0 {
+		t.Fatal("no recovery episodes under churn")
+	}
+	// Every participant node count matches across trees: members join all
+	// stripes.
+	sizes := make([]int, 4)
+	for i := range sizes {
+		sizes[i] = s.Tree(i).Size()
+	}
+	for i := 1; i < 4; i++ {
+		diff := sizes[i] - sizes[0]
+		if diff < -2 || diff > 2 {
+			t.Fatalf("stripe tree sizes diverge: %v", sizes)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, a := runSession(t, quickCfg(3, 2))
+	_, b := runSession(t, quickCfg(3, 2))
+	if a.FullQualityRatio != b.FullQualityRatio || a.OutageRatio != b.OutageRatio ||
+		a.Episodes != b.Episodes {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestMDCQuorumAbsorbsLosses: with coding slack (quorum < stripes), the
+// outage ratio must not exceed the no-slack outage ratio on the same run.
+func TestMDCQuorumAbsorbsLosses(t *testing.T) {
+	strict := quickCfg(4, 4)
+	strict.QuorumStripes = 4
+	_, a := runSession(t, strict)
+	slack := quickCfg(4, 4)
+	slack.QuorumStripes = 3
+	_, b := runSession(t, slack)
+	if b.OutageRatio > a.OutageRatio {
+		t.Fatalf("coding slack increased outages: %g > %g", b.OutageRatio, a.OutageRatio)
+	}
+	if a.FullQualityRatio != b.FullQualityRatio {
+		t.Fatal("quorum changed raw delivery (it must only change the outage mapping)")
+	}
+}
+
+// TestDisjointContribution: members are interior in at most one tree.
+func TestDisjointContribution(t *testing.T) {
+	cfg := quickCfg(5, 3)
+	cfg.Contribution = DisjointContribution
+	s, res := runSession(t, cfg)
+	if res.Members == 0 {
+		t.Fatal("no members measured")
+	}
+	// Inspect the live population: a participant's nodes may have children
+	// only in its designated tree.
+	for id, p := range s.participants {
+		interior := 0
+		for tr, n := range p.nodes {
+			if n != nil && len(n.Children()) > 0 {
+				interior++
+				if tr != p.designated {
+					t.Fatalf("participant %d interior in tree %d, designated %d", id, tr, p.designated)
+				}
+			}
+		}
+		if interior > 1 {
+			t.Fatalf("participant %d interior in %d trees", id, interior)
+		}
+	}
+}
+
+// TestROSTPerStripe: switching runs in every stripe tree.
+func TestROSTPerStripe(t *testing.T) {
+	cfg := quickCfg(6, 2)
+	cfg.UseROST = true
+	cfg.SwitchInterval = 120 * time.Second
+	_, res := runSession(t, cfg)
+	if res.Members == 0 {
+		t.Fatal("no members measured")
+	}
+}
+
+// TestStripePacketNumbering: stripe generation times interleave correctly.
+func TestStripePacketNumbering(t *testing.T) {
+	s, err := NewSession(quickCfg(7, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global packet n = k*4 + t is generated at n/Rate seconds.
+	for tr := 0; tr < 4; tr++ {
+		for k := int64(0); k < 50; k++ {
+			want := time.Duration(float64(k*4+int64(tr)) / 10 * float64(time.Second))
+			if got := s.stripeGen(tr, k); got != want {
+				t.Fatalf("stripeGen(%d,%d) = %v, want %v", tr, k, got, want)
+			}
+		}
+	}
+	// packetAfter returns the first stripe packet at or after t.
+	for tr := 0; tr < 4; tr++ {
+		for _, at := range []time.Duration{0, time.Second, 1234 * time.Millisecond, time.Hour} {
+			k := s.stripePacketAfter(tr, at)
+			if s.stripeGen(tr, k) < at {
+				t.Fatalf("stripePacketAfter(%d,%v) = %d generated before t", tr, at, k)
+			}
+			if k > 0 && s.stripeGen(tr, k-1) >= at {
+				t.Fatalf("stripePacketAfter(%d,%v) = %d not minimal", tr, at, k)
+			}
+		}
+	}
+}
+
+// TestMoreStripesReduceOutage is the extension's headline: with the same
+// population and MDC slack of one stripe, striping reduces outages compared
+// to the single tree because a failure interrupts only one stripe.
+func TestMoreStripesReduceOutage(t *testing.T) {
+	single := quickCfg(8, 1)
+	single.TargetSize = 500
+	_, a := runSession(t, single)
+	striped := quickCfg(8, 4)
+	striped.TargetSize = 500
+	striped.QuorumStripes = 3
+	_, b := runSession(t, striped)
+	if b.OutageRatio >= a.OutageRatio {
+		t.Fatalf("4-stripe MDC outage %g not below single-tree %g", b.OutageRatio, a.OutageRatio)
+	}
+}

@@ -1,0 +1,1088 @@
+// Package node is the live implementation of the paper's protocol stack: a
+// concurrent runtime that speaks the wire vocabulary over a Transport (an
+// in-process network for tests, UDP for real deployments). It implements:
+//
+//   - the joining handshake (membership discovery, min-depth parent choice);
+//   - parent/child heartbeats with failure detection;
+//   - stream forwarding with a repair buffer;
+//   - gap detection, Explicit Loss Notification, and CER-style striped
+//     repair from a recovery group;
+//   - membership gossip (bounded partial views with ancestor paths);
+//   - the ROST switching handshake (propose / accept / commit), driven by
+//     the bandwidth-time product carried on heartbeats.
+//
+// The simulation packages answer "does the design work at scale"; this
+// package answers "does the protocol actually run" — its integration tests
+// boot dozens of nodes, stream packets, kill members and watch the overlay
+// heal in real time.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"omcast/internal/wire"
+)
+
+// Config parameterises one protocol node.
+type Config struct {
+	// Source marks the stream origin (depth 0, never joins).
+	Source bool
+	// Bandwidth is the node's outbound bandwidth in stream-rate units; its
+	// out-degree is floor(Bandwidth).
+	Bandwidth float64
+	// StreamRate is the source's packet rate (packets per second).
+	StreamRate float64
+	// Bootstrap lists known members to discover the overlay through.
+	Bootstrap []wire.Addr
+
+	// HeartbeatInterval paces liveness messages; HeartbeatTimeout declares
+	// a neighbour dead (default 3x the interval).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// GossipInterval paces membership exchanges.
+	GossipInterval time.Duration
+	// SwitchInterval paces ROST switching checks; zero disables switching.
+	SwitchInterval time.Duration
+	// BufferPackets bounds the repair buffer (default 256).
+	BufferPackets int
+	// RecoveryGroup is the CER group size K (default 3).
+	RecoveryGroup int
+	// MembershipLimit bounds the partial view (default 100).
+	MembershipLimit int
+	// PlaybackBuffer is the player's start-up buffering (default 2 s):
+	// packet n's playout deadline is firstArrival + PlaybackBuffer +
+	// (n-first)/rate; packets absent at their deadline count as starved
+	// playback slots (the live analogue of the paper's starving-time ratio).
+	PlaybackBuffer time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 3 * c.HeartbeatInterval
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 2 * c.HeartbeatInterval
+	}
+	if c.BufferPackets <= 0 {
+		c.BufferPackets = 256
+	}
+	if c.RecoveryGroup <= 0 {
+		c.RecoveryGroup = 3
+	}
+	if c.MembershipLimit <= 0 {
+		c.MembershipLimit = 100
+	}
+	if c.StreamRate <= 0 {
+		c.StreamRate = 10
+	}
+	if c.PlaybackBuffer <= 0 {
+		c.PlaybackBuffer = 2 * time.Second
+	}
+	return c
+}
+
+// Stats is a snapshot of a node's protocol counters.
+type Stats struct {
+	Attached        bool
+	Parent          wire.Addr
+	Depth           int
+	Children        int
+	HighestPacket   int64
+	PacketsReceived int64
+	PacketsRepaired int64
+	RepairsServed   int64
+	Rejoins         int64
+	Switches        int64
+	ELNsSent        int64
+	KnownMembers    int
+	// PlayedSlots / StarvedSlots drive the live starving-time ratio: slots
+	// whose packet was (or was not) buffered by its playout deadline.
+	PlayedSlots  int64
+	StarvedSlots int64
+}
+
+// StarvingRatio is the fraction of playout slots that starved (0 before
+// playback starts).
+func (s Stats) StarvingRatio() float64 {
+	total := s.PlayedSlots + s.StarvedSlots
+	if total == 0 {
+		return 0
+	}
+	return float64(s.StarvedSlots) / float64(total)
+}
+
+// peer tracks a neighbour's liveness.
+type peer struct {
+	lastSeen time.Time
+}
+
+// memberRecord is a gossip entry with freshness.
+type memberRecord struct {
+	info wire.MemberInfo
+	seen time.Time
+}
+
+// Node is one protocol participant.
+type Node struct {
+	cfg       Config
+	transport Transport
+
+	mu         sync.Mutex
+	attached   bool
+	parent     wire.Addr
+	parentSeen time.Time
+	parentBTP  float64
+	parentBW   float64
+	depth      int
+	children   map[wire.Addr]*peer
+	ancestors  []wire.Addr
+	joinedAt   time.Time
+	switching  bool
+
+	membership map[wire.Addr]memberRecord
+	// lastJoinTarget detects unanswered join attempts: a candidate that
+	// neither accepts nor rejects within one tick is presumed dead and
+	// dropped from the view (dead members never send Rejects).
+	lastJoinTarget wire.Addr
+
+	// buffer holds recent packets for repair service and loss detection.
+	buffer  map[int64][]byte
+	highest int64
+	// Playback clock: packet playFirst plays at playStart; the deadline of
+	// packet n is playStart + (n - playFirst)/rate. playChecked is the last
+	// sequence already scored.
+	playFirst   int64
+	playStart   time.Time
+	playChecked int64
+	// repairing marks ranges under upstream recovery (set by ELN).
+	upstreamRepair int64 // highest sequence covered by a received ELN
+
+	stats Stats
+
+	seq  uint64
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New creates a node over the given transport.
+func New(cfg Config, tr Transport) *Node {
+	n := &Node{
+		cfg:        cfg.withDefaults(),
+		transport:  tr,
+		children:   make(map[wire.Addr]*peer),
+		membership: make(map[wire.Addr]memberRecord),
+		buffer:     make(map[int64][]byte),
+		highest:    -1,
+		playFirst:  -1,
+		done:       make(chan struct{}),
+	}
+	tr.SetHandler(n.onDatagram)
+	return n
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() wire.Addr { return n.transport.Addr() }
+
+// Start launches the node's background loops.
+func (n *Node) Start() {
+	if n.cfg.Source {
+		n.mu.Lock()
+		n.attached = true
+		n.joinedAt = time.Now()
+		n.mu.Unlock()
+		n.spawn(n.streamLoop)
+	} else {
+		n.spawn(n.joinLoop)
+	}
+	n.spawn(n.heartbeatLoop)
+	n.spawn(n.gossipLoop)
+	if n.cfg.SwitchInterval > 0 && !n.cfg.Source {
+		n.spawn(n.switchLoop)
+	}
+}
+
+// Stop shuts the node down gracefully: children and parent are notified so
+// the overlay heals immediately.
+func (n *Node) Stop() {
+	n.once.Do(func() {
+		n.mu.Lock()
+		targets := make([]wire.Addr, 0, len(n.children)+1)
+		if n.attached && n.parent != "" {
+			targets = append(targets, n.parent)
+		}
+		for c := range n.children {
+			targets = append(targets, c)
+		}
+		n.mu.Unlock()
+		for _, t := range targets {
+			n.send(t, wire.Envelope{Type: wire.TypeLeave})
+		}
+		close(n.done)
+		n.wg.Wait()
+		_ = n.transport.Close()
+	})
+}
+
+// Kill terminates abruptly (no notifications) — the failure case the paper
+// studies.
+func (n *Node) Kill() {
+	n.once.Do(func() {
+		close(n.done)
+		n.wg.Wait()
+		_ = n.transport.Close()
+	})
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.Attached = n.attached
+	s.Parent = n.parent
+	s.Depth = n.depth
+	s.Children = len(n.children)
+	s.HighestPacket = n.highest
+	s.KnownMembers = len(n.membership)
+	return s
+}
+
+func (n *Node) spawn(loop func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		loop()
+	}()
+}
+
+func (n *Node) send(to wire.Addr, env wire.Envelope) {
+	env.From = n.Addr()
+	data, err := wire.Encode(env)
+	if err != nil {
+		return // unencodable envelopes are a programming error; drop
+	}
+	_ = n.transport.Send(to, data) // datagram semantics: errors are drops
+}
+
+// outDegree is the node's child capacity.
+func (n *Node) outDegree() int {
+	if n.cfg.Source {
+		if n.cfg.Bandwidth < 1 {
+			return 16
+		}
+	}
+	if n.cfg.Bandwidth < 0 {
+		return 0
+	}
+	return int(n.cfg.Bandwidth)
+}
+
+// btpLocked returns the node's bandwidth-time product (mu held).
+func (n *Node) btpLocked() float64 {
+	if n.joinedAt.IsZero() {
+		return 0
+	}
+	return n.cfg.Bandwidth * time.Since(n.joinedAt).Seconds()
+}
+
+// ---- joining ----
+
+// joinLoop keeps the node attached: it discovers members, picks the highest
+// spare-capacity parent and retries until accepted; it also re-runs after a
+// parent failure.
+func (n *Node) joinLoop() {
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		n.mu.Lock()
+		attached := n.attached
+		n.mu.Unlock()
+		if !attached {
+			n.tryJoin()
+		}
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// tryJoin sends a Join to the best-known candidate parent (minimum depth,
+// then spare capacity) and seeds discovery from the bootstrap list.
+func (n *Node) tryJoin() {
+	n.mu.Lock()
+	// The previous attempt went unanswered (no Accept, no Reject): the
+	// candidate is dead or unreachable — drop it so we move on.
+	if n.lastJoinTarget != "" {
+		delete(n.membership, n.lastJoinTarget)
+		n.lastJoinTarget = ""
+	}
+	cands := make([]wire.MemberInfo, 0, len(n.membership))
+	for _, rec := range n.membership {
+		if rec.info.Spare > 0 {
+			cands = append(cands, rec.info)
+		}
+	}
+	n.mu.Unlock()
+	if len(cands) == 0 {
+		// Nothing usable known yet: ask the bootstrap members for their
+		// views (announcing ourselves in the same datagram).
+		for _, b := range n.cfg.Bootstrap {
+			n.send(b, wire.Envelope{
+				Type:    wire.TypeMembershipRequest,
+				Limit:   n.cfg.MembershipLimit,
+				Members: n.announceMembers(),
+			})
+		}
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Depth != cands[j].Depth {
+			return cands[i].Depth < cands[j].Depth
+		}
+		return cands[i].Spare > cands[j].Spare
+	})
+	n.mu.Lock()
+	n.lastJoinTarget = cands[0].Addr
+	n.mu.Unlock()
+	n.send(cands[0].Addr, wire.Envelope{Type: wire.TypeJoin, Bandwidth: n.cfg.Bandwidth})
+}
+
+func (n *Node) handleJoin(env wire.Envelope) {
+	n.mu.Lock()
+	accept := n.attached && !n.switching && len(n.children) < n.outDegree() && env.From != n.parent
+	if accept {
+		n.children[env.From] = &peer{lastSeen: time.Now()}
+	}
+	depth := n.depth
+	n.mu.Unlock()
+	if accept {
+		n.send(env.From, wire.Envelope{Type: wire.TypeAccept, Depth: depth})
+	} else {
+		n.send(env.From, wire.Envelope{Type: wire.TypeReject})
+	}
+}
+
+// handleReject invalidates the rejecting member's cached spare capacity so
+// the next join attempt moves on instead of hammering a full parent with
+// stale gossip data.
+func (n *Node) handleReject(env wire.Envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rec, ok := n.membership[env.From]; ok {
+		rec.info.Spare = 0
+		n.membership[env.From] = rec
+	}
+	if n.lastJoinTarget == env.From {
+		n.lastJoinTarget = "" // answered: alive, just full
+	}
+}
+
+func (n *Node) handleAccept(env wire.Envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.attached || n.cfg.Source {
+		// Duplicate accept (we joined elsewhere meanwhile): we simply never
+		// heartbeat this parent; it will drop us.
+		return
+	}
+	n.attached = true
+	n.parent = env.From
+	n.parentSeen = time.Now()
+	n.depth = env.Depth + 1
+	n.lastJoinTarget = ""
+	if n.joinedAt.IsZero() {
+		n.joinedAt = time.Now()
+	}
+}
+
+// ---- heartbeats & failure detection ----
+
+func (n *Node) heartbeatLoop() {
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+		n.beat()
+	}
+}
+
+func (n *Node) beat() {
+	n.mu.Lock()
+	n.seq++
+	seq := n.seq
+	parent := wire.Addr("")
+	if n.attached && !n.cfg.Source {
+		parent = n.parent
+	}
+	children := make([]wire.Addr, 0, len(n.children))
+	var deadChildren []wire.Addr
+	now := time.Now()
+	for c, p := range n.children {
+		if now.Sub(p.lastSeen) > n.cfg.HeartbeatTimeout {
+			deadChildren = append(deadChildren, c)
+			continue
+		}
+		children = append(children, c)
+	}
+	for _, c := range deadChildren {
+		delete(n.children, c)
+	}
+	parentDead := parent != "" && now.Sub(n.parentSeen) > n.cfg.HeartbeatTimeout
+	btp := n.btpLocked()
+	bw := n.cfg.Bandwidth
+	n.advancePlaybackLocked(now)
+	n.mu.Unlock()
+
+	if parentDead {
+		n.onParentFailure()
+		parent = ""
+	}
+	n.mu.Lock()
+	depth := n.depth
+	n.mu.Unlock()
+	hb := wire.Envelope{Type: wire.TypeHeartbeat, Seq: seq, BTP: btp, Bandwidth: bw, Depth: depth}
+	if parent != "" {
+		n.send(parent, hb)
+	}
+	for _, c := range children {
+		n.send(c, hb)
+	}
+}
+
+// advancePlaybackLocked scores every playout slot whose deadline has passed:
+// present packets count as played, absent ones as starved. Requires mu.
+func (n *Node) advancePlaybackLocked(now time.Time) {
+	if n.playFirst < 0 || now.Before(n.playStart) {
+		return
+	}
+	due := n.playFirst + int64(now.Sub(n.playStart).Seconds()*n.cfg.StreamRate)
+	for seq := n.playChecked + 1; seq <= due; seq++ {
+		if _, ok := n.buffer[seq]; ok {
+			n.stats.PlayedSlots++
+		} else {
+			n.stats.StarvedSlots++
+		}
+		n.playChecked = seq
+	}
+}
+
+func (n *Node) handleHeartbeat(env wire.Envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	if env.From == n.parent {
+		n.parentSeen = now
+		n.parentBTP = env.BTP
+		n.parentBW = env.Bandwidth
+		// Depths drift after switches; the parent's heartbeat is the truth.
+		n.depth = env.Depth + 1
+		return
+	}
+	if p, ok := n.children[env.From]; ok {
+		p.lastSeen = now
+	}
+}
+
+// onParentFailure detaches, launches CER recovery for the in-flight gap and
+// lets joinLoop find a new parent.
+func (n *Node) onParentFailure() {
+	n.mu.Lock()
+	n.attached = false
+	n.parent = ""
+	n.stats.Rejoins++
+	first := n.highest + 1
+	n.mu.Unlock()
+	// Ask the recovery group for everything from the gap start; the range
+	// end is open-ended — estimated as one detection window of packets.
+	last := first + int64(n.cfg.StreamRate*n.cfg.HeartbeatTimeout.Seconds()) + 1
+	n.requestRepair(first, last)
+	n.notifyELN(first, last)
+}
+
+func (n *Node) handleLeave(env wire.Envelope) {
+	n.mu.Lock()
+	fromParent := env.From == n.parent && n.attached
+	delete(n.children, env.From)
+	if fromParent {
+		n.attached = false
+		n.parent = ""
+		n.stats.Rejoins++
+	}
+	n.mu.Unlock()
+	// A graceful leave needs no loss recovery: the stream stops cleanly and
+	// resumes after the rejoin; repair fills whatever the rejoin gap misses.
+}
+
+// ---- streaming ----
+
+// streamLoop generates the source's packets.
+func (n *Node) streamLoop() {
+	interval := time.Duration(float64(time.Second) / n.cfg.StreamRate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var seq int64
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		n.buffer[seq] = nil
+		n.highest = seq
+		n.trimBufferLocked()
+		children := n.childrenLocked()
+		n.mu.Unlock()
+		for _, c := range children {
+			n.send(c, wire.Envelope{Type: wire.TypePacket, Packet: seq})
+		}
+		seq++
+	}
+}
+
+func (n *Node) childrenLocked() []wire.Addr {
+	out := make([]wire.Addr, 0, len(n.children))
+	for c := range n.children {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (n *Node) trimBufferLocked() {
+	low := n.highest - int64(n.cfg.BufferPackets)
+	for seq := range n.buffer {
+		if seq < low {
+			delete(n.buffer, seq)
+		}
+	}
+}
+
+// acceptPacket stores and forwards one packet; returns the gap to repair if
+// one opened.
+func (n *Node) acceptPacket(env wire.Envelope, repaired bool) {
+	n.mu.Lock()
+	if _, dup := n.buffer[env.Packet]; dup {
+		n.mu.Unlock()
+		return
+	}
+	n.buffer[env.Packet] = env.Payload
+	n.stats.PacketsReceived++
+	if repaired {
+		n.stats.PacketsRepaired++
+	}
+	if n.playFirst < 0 {
+		// Playback starts one buffering interval after the first packet.
+		n.playFirst = env.Packet
+		n.playChecked = env.Packet - 1
+		n.playStart = time.Now().Add(n.cfg.PlaybackBuffer)
+	}
+	var gapFirst, gapLast int64 = -1, -1
+	if env.Packet > n.highest+1 && n.highest >= 0 {
+		gapFirst, gapLast = n.highest+1, env.Packet-1
+		// Skip ranges an upstream ELN already covers.
+		if gapFirst <= n.upstreamRepair {
+			gapFirst = n.upstreamRepair + 1
+		}
+	}
+	if env.Packet > n.highest {
+		n.highest = env.Packet
+	}
+	n.trimBufferLocked()
+	children := n.childrenLocked()
+	n.mu.Unlock()
+
+	for _, c := range children {
+		n.send(c, wire.Envelope{Type: wire.TypePacket, Packet: env.Packet, Payload: env.Payload})
+	}
+	if gapFirst >= 0 && gapFirst <= gapLast {
+		n.requestRepair(gapFirst, gapLast)
+		n.notifyELN(gapFirst, gapLast)
+	}
+}
+
+// ---- ELN & repair (CER) ----
+
+// notifyELN tells the subtree that the given range is being repaired
+// upstream, so descendants do not issue duplicate requests.
+func (n *Node) notifyELN(first, last int64) {
+	n.mu.Lock()
+	children := n.childrenLocked()
+	n.stats.ELNsSent += int64(len(children))
+	n.mu.Unlock()
+	for _, c := range children {
+		n.send(c, wire.Envelope{Type: wire.TypeELN, FirstMissing: first, LastMissing: last})
+	}
+}
+
+func (n *Node) handleELN(env wire.Envelope) {
+	n.mu.Lock()
+	fromParent := env.From == n.parent
+	if fromParent && env.LastMissing > n.upstreamRepair {
+		n.upstreamRepair = env.LastMissing
+	}
+	children := n.childrenLocked()
+	n.mu.Unlock()
+	if !fromParent {
+		return
+	}
+	// Propagate downstream.
+	for _, c := range children {
+		n.send(c, wire.Envelope{Type: wire.TypeELN, FirstMissing: env.FirstMissing, LastMissing: env.LastMissing})
+	}
+}
+
+// requestRepair sends a striped CER request to the recovery group.
+func (n *Node) requestRepair(first, last int64) {
+	if last < first {
+		return
+	}
+	group := n.recoveryGroup()
+	if len(group) == 0 {
+		return
+	}
+	chain := group[1:]
+	n.send(group[0], wire.Envelope{
+		Type:         wire.TypeRepairRequest,
+		FirstMissing: first,
+		LastMissing:  last,
+		Chain:        chain,
+		Epsilon:      0,
+	})
+}
+
+// recoveryGroup picks K known members with minimal loss correlation to this
+// node: own ancestors are excluded, and candidates whose root paths diverge
+// from ours earliest are preferred (the live approximation of Algorithm 1's
+// subtree spreading).
+func (n *Node) recoveryGroup() []wire.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	banned := map[wire.Addr]bool{n.Addr(): true, n.parent: true}
+	for _, a := range n.ancestors {
+		banned[a] = true
+	}
+	mine := map[wire.Addr]bool{}
+	for _, a := range n.ancestors {
+		mine[a] = true
+	}
+	type scored struct {
+		addr    wire.Addr
+		overlap int
+	}
+	var cands []scored
+	for addr, rec := range n.membership {
+		if banned[addr] {
+			continue
+		}
+		overlap := 0
+		for _, a := range rec.info.Ancestors {
+			if mine[a] {
+				overlap++
+			}
+		}
+		cands = append(cands, scored{addr: addr, overlap: overlap})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].overlap != cands[j].overlap {
+			return cands[i].overlap < cands[j].overlap
+		}
+		return cands[i].addr < cands[j].addr
+	})
+	k := n.cfg.RecoveryGroup
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]wire.Addr, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, c.addr)
+	}
+	return out
+}
+
+// handleRepairRequest serves the packets it has (its epsilon share of the
+// stripe space) and forwards the remainder along the chain.
+func (n *Node) handleRepairRequest(env wire.Envelope) {
+	requester := env.Requester
+	if requester == "" {
+		requester = env.From
+	}
+	share := 1.0 / float64(n.cfg.RecoveryGroup) // static residual-share model
+	lo, hi := env.Epsilon, env.Epsilon+share
+	n.mu.Lock()
+	var serve []int64
+	for seq := env.FirstMissing; seq <= env.LastMissing; seq++ {
+		frac := float64(seq%100) / 100
+		if frac >= lo && frac < hi {
+			if _, ok := n.buffer[seq]; ok {
+				serve = append(serve, seq)
+			}
+		}
+	}
+	n.stats.RepairsServed += int64(len(serve))
+	n.mu.Unlock()
+	for _, seq := range serve {
+		n.send(requester, wire.Envelope{Type: wire.TypeRepairData, Packet: seq})
+	}
+	// NACK-chain forwarding: the next node covers the next stripe slice.
+	if len(env.Chain) > 0 && hi < 1 {
+		n.send(env.Chain[0], wire.Envelope{
+			Type:         wire.TypeRepairRequest,
+			Requester:    requester,
+			FirstMissing: env.FirstMissing,
+			LastMissing:  env.LastMissing,
+			Chain:        env.Chain[1:],
+			Epsilon:      hi,
+		})
+	}
+}
+
+// ---- membership gossip ----
+
+func (n *Node) gossipLoop() {
+	ticker := time.NewTicker(n.cfg.GossipInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+		target := n.gossipTarget()
+		if target != "" {
+			n.send(target, wire.Envelope{
+				Type:    wire.TypeMembershipRequest,
+				Limit:   n.cfg.MembershipLimit,
+				Members: n.announceMembers(),
+			})
+		}
+		n.refreshAncestors()
+	}
+}
+
+// announceMembers is the push half of the gossip: our own record (when we
+// hold a tree position) plus a handful of known entries.
+func (n *Node) announceMembers() []wire.MemberInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]wire.MemberInfo, 0, 9)
+	if n.attached || n.cfg.Source {
+		out = append(out, n.selfInfoLocked())
+	}
+	for _, rec := range n.membership {
+		if len(out) >= cap(out) {
+			break
+		}
+		out = append(out, rec.info)
+	}
+	return out
+}
+
+func (n *Node) gossipTarget() wire.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for addr := range n.membership { // map order gives a cheap random pick
+		return addr
+	}
+	if len(n.cfg.Bootstrap) > 0 {
+		return n.cfg.Bootstrap[0]
+	}
+	return ""
+}
+
+// refreshAncestors asks the parent chain implicitly: the node's own ancestor
+// list is parent + parent's advertised ancestors from gossip.
+func (n *Node) refreshAncestors() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.attached || n.cfg.Source {
+		n.ancestors = nil
+		return
+	}
+	anc := []wire.Addr{n.parent}
+	if rec, ok := n.membership[n.parent]; ok {
+		anc = append(anc, rec.info.Ancestors...)
+	}
+	if len(anc) > 16 {
+		anc = anc[:16]
+	}
+	n.ancestors = anc
+}
+
+func (n *Node) selfInfoLocked() wire.MemberInfo {
+	return wire.MemberInfo{
+		Addr:      n.Addr(),
+		Depth:     n.depth,
+		Spare:     n.outDegree() - len(n.children),
+		Bandwidth: n.cfg.Bandwidth,
+		Ancestors: append([]wire.Addr(nil), n.ancestors...),
+	}
+}
+
+func (n *Node) handleMembershipRequest(env wire.Envelope) {
+	// Push-pull: the request carries the requester's own view (at least its
+	// self record), so knowledge spreads in both directions — without this
+	// the bootstrap member would never learn the overlay exists.
+	n.mergeMembers(env.From, env.Members)
+	limit := env.Limit
+	if limit <= 0 || limit > n.cfg.MembershipLimit {
+		limit = n.cfg.MembershipLimit
+	}
+	n.mu.Lock()
+	members := make([]wire.MemberInfo, 0, limit)
+	if n.attached || n.cfg.Source {
+		members = append(members, n.selfInfoLocked())
+	}
+	for _, rec := range n.membership {
+		if len(members) >= limit {
+			break
+		}
+		members = append(members, rec.info)
+	}
+	n.mu.Unlock()
+	n.send(env.From, wire.Envelope{Type: wire.TypeMembershipReply, Members: members})
+}
+
+// mergeMembers folds gossip entries into the view: first-hand entries (the
+// sender describing itself) always win; second-hand copies fill gaps only —
+// stale relays must not clobber live capacity data.
+func (n *Node) mergeMembers(from wire.Addr, members []wire.MemberInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	for _, info := range members {
+		if info.Addr == n.Addr() {
+			continue
+		}
+		_, known := n.membership[info.Addr]
+		if info.Addr == from || !known {
+			n.membership[info.Addr] = memberRecord{info: info, seen: now}
+		}
+	}
+}
+
+func (n *Node) handleMembershipReply(env wire.Envelope) {
+	n.mergeMembers(env.From, env.Members)
+	// Bound the view.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.membership) > 4*n.cfg.MembershipLimit {
+		now := time.Now()
+		for addr, rec := range n.membership {
+			if now.Sub(rec.seen) > 10*n.cfg.GossipInterval {
+				delete(n.membership, addr)
+			}
+		}
+	}
+}
+
+// ---- ROST switching ----
+
+func (n *Node) switchLoop() {
+	ticker := time.NewTicker(n.cfg.SwitchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		eligible := n.attached && !n.switching && n.parent != "" &&
+			n.parentBW > 0 && // a heartbeat told us the parent's properties
+			n.cfg.Bandwidth >= n.parentBW &&
+			n.btpLocked() > n.parentBTP &&
+			n.depth > 1 // never displace the source
+		parent := n.parent
+		btp := n.btpLocked()
+		if eligible {
+			n.switching = true
+		}
+		n.mu.Unlock()
+		if eligible {
+			n.send(parent, wire.Envelope{Type: wire.TypeSwitchPropose, BTP: btp})
+			// Unlock if no commit completes within a few heartbeats.
+			time.AfterFunc(3*n.cfg.HeartbeatInterval, func() {
+				n.mu.Lock()
+				n.switching = false
+				n.mu.Unlock()
+			})
+		}
+	}
+}
+
+// handleSwitchPropose runs on the parent: re-validate and accept.
+func (n *Node) handleSwitchPropose(env wire.Envelope) {
+	n.mu.Lock()
+	_, isChild := n.children[env.From]
+	ok := isChild && n.attached && !n.switching && !n.cfg.Source &&
+		env.BTP > n.btpLocked()
+	var grandparent wire.Addr
+	if ok {
+		n.switching = true
+		grandparent = n.parent
+	}
+	n.mu.Unlock()
+	if !ok {
+		n.send(env.From, wire.Envelope{Type: wire.TypeSwitchReject})
+		return
+	}
+	n.send(env.From, wire.Envelope{Type: wire.TypeSwitchAccept, NewParent: grandparent})
+}
+
+// handleSwitchAccept runs on the initiator: commit the exchange.
+func (n *Node) handleSwitchAccept(env wire.Envelope) {
+	n.mu.Lock()
+	if env.From != n.parent || env.NewParent == "" {
+		n.switching = false
+		n.mu.Unlock()
+		return
+	}
+	oldParent := n.parent
+	grandparent := env.NewParent
+	// Re-point: we take the parent's position.
+	n.parent = grandparent
+	n.parentSeen = time.Now()
+	n.parentBTP = 0
+	n.parentBW = 0
+	n.depth-- // we move one layer up
+	// The old parent becomes our child.
+	n.children[oldParent] = &peer{lastSeen: time.Now()}
+	// Capacity overflow: hand our lowest-priority child to the old parent
+	// (it just freed the slot we occupied).
+	var demoted wire.Addr
+	if len(n.children) > n.outDegree() {
+		for c := range n.children {
+			if c != oldParent {
+				demoted = c
+				break
+			}
+		}
+		if demoted != "" {
+			delete(n.children, demoted)
+		}
+	}
+	n.switching = false
+	n.stats.Switches++
+	n.mu.Unlock()
+
+	// Tell the grandparent to swap its child pointer, the old parent to
+	// demote itself, and the displaced child where to go.
+	n.send(grandparent, wire.Envelope{Type: wire.TypeSwitchCommit, Chain: []wire.Addr{oldParent}})
+	n.send(oldParent, wire.Envelope{Type: wire.TypeSwitchCommit, NewParent: n.Addr()})
+	if demoted != "" {
+		n.send(demoted, wire.Envelope{Type: wire.TypeSwitchCommit, NewParent: oldParent})
+	}
+}
+
+// handleSwitchCommit adjusts links after an exchange. Three shapes:
+//   - at the grandparent: Chain[0] names the child being replaced by From;
+//   - at the demoted parent: NewParent names its new parent (the initiator);
+//   - at a displaced grandchild: NewParent names where to re-join.
+func (n *Node) handleSwitchCommit(env wire.Envelope) {
+	n.mu.Lock()
+	if len(env.Chain) == 1 {
+		// Grandparent: replace the child entry.
+		old := env.Chain[0]
+		if _, ok := n.children[old]; ok {
+			delete(n.children, old)
+			n.children[env.From] = &peer{lastSeen: time.Now()}
+		}
+		n.mu.Unlock()
+		return
+	}
+	if env.NewParent == n.Addr() {
+		n.mu.Unlock()
+		return
+	}
+	if env.From == n.parent || env.NewParent != "" {
+		// Demoted parent or displaced grandchild: re-point to NewParent.
+		wasParent := n.parent
+		n.parent = env.NewParent
+		n.parentSeen = time.Now()
+		n.parentBTP = 0
+		n.parentBW = 0
+		n.depth++ // one layer down (approximate; gossip refreshes it)
+		delete(n.children, env.NewParent)
+		n.switching = false
+		n.mu.Unlock()
+		// Greet the new parent so it knows us (idempotent join-as-child).
+		n.send(env.NewParent, wire.Envelope{Type: wire.TypeJoin, Bandwidth: n.cfg.Bandwidth})
+		_ = wasParent
+		return
+	}
+	n.mu.Unlock()
+}
+
+// ---- dispatch ----
+
+func (n *Node) onDatagram(data []byte) {
+	env, err := wire.Decode(data)
+	if err != nil {
+		return // malformed datagrams are dropped
+	}
+	select {
+	case <-n.done:
+		return
+	default:
+	}
+	switch env.Type {
+	case wire.TypeJoin:
+		n.handleJoin(env)
+	case wire.TypeAccept:
+		n.handleAccept(env)
+	case wire.TypeReject:
+		n.handleReject(env)
+	case wire.TypeLeave:
+		n.handleLeave(env)
+	case wire.TypeHeartbeat:
+		n.handleHeartbeat(env)
+	case wire.TypePacket:
+		n.acceptPacket(env, false)
+	case wire.TypeELN:
+		n.handleELN(env)
+	case wire.TypeRepairRequest:
+		n.handleRepairRequest(env)
+	case wire.TypeRepairData:
+		n.acceptPacket(env, true)
+	case wire.TypeMembershipRequest:
+		n.handleMembershipRequest(env)
+	case wire.TypeMembershipReply:
+		n.handleMembershipReply(env)
+	case wire.TypeSwitchPropose:
+		n.handleSwitchPropose(env)
+	case wire.TypeSwitchAccept:
+		n.handleSwitchAccept(env)
+	case wire.TypeSwitchReject:
+		n.mu.Lock()
+		n.switching = false
+		n.mu.Unlock()
+	case wire.TypeSwitchCommit:
+		n.handleSwitchCommit(env)
+	}
+}
+
+// Errors used by callers embedding the runtime.
+var (
+	// ErrNotAttached reports an operation requiring a live tree position.
+	ErrNotAttached = errors.New("node: not attached")
+)
+
+// String renders a debug summary.
+func (n *Node) String() string {
+	s := n.Stats()
+	return fmt.Sprintf("node(%s depth=%d children=%d highest=%d)", n.Addr(), s.Depth, s.Children, s.HighestPacket)
+}

@@ -1,0 +1,552 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"omcast/internal/wire"
+)
+
+// fast is the accelerated timing profile the integration tests run at.
+var fast = Config{
+	HeartbeatInterval: 20 * time.Millisecond,
+	GossipInterval:    25 * time.Millisecond,
+	StreamRate:        100, // 100 pkt/s keeps test wall-time short
+	BufferPackets:     512,
+	RecoveryGroup:     3,
+}
+
+// cluster boots a source plus n members on an in-memory network.
+type cluster struct {
+	t      *testing.T
+	net    *MemNetwork
+	source *Node
+	nodes  []*Node
+}
+
+func newCluster(t *testing.T, n int, mutate func(i int, cfg *Config)) *cluster {
+	return newClusterSrc(t, n, 8, mutate)
+}
+
+func newClusterSrc(t *testing.T, n int, srcBandwidth float64, mutate func(i int, cfg *Config)) *cluster {
+	t.Helper()
+	network := NewMemNetwork(nil)
+	c := &cluster{t: t, net: network}
+	t.Cleanup(func() {
+		for _, nd := range append([]*Node{c.source}, c.nodes...) {
+			if nd != nil {
+				nd.Kill()
+			}
+		}
+		network.Close()
+	})
+
+	srcCfg := fast
+	srcCfg.Source = true
+	srcCfg.Bandwidth = srcBandwidth
+	ep, err := network.Endpoint("source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.source = New(srcCfg, ep)
+	c.source.Start()
+
+	for i := 0; i < n; i++ {
+		cfg := fast
+		cfg.Bandwidth = 3
+		cfg.Bootstrap = []wire.Addr{"source"}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		ep, err := network.Endpoint(wire.Addr(fmt.Sprintf("n%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := New(cfg, ep)
+		c.nodes = append(c.nodes, nd)
+		nd.Start()
+	}
+	return c
+}
+
+// eventually polls cond until it holds or the deadline expires.
+func eventually(t *testing.T, within time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition %q not reached within %v", what, within)
+}
+
+func (c *cluster) allAttached() bool {
+	for _, nd := range c.nodes {
+		if !nd.Stats().Attached {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTreeForms(t *testing.T) {
+	c := newCluster(t, 12, nil)
+	eventually(t, 5*time.Second, "all 12 nodes attached", c.allAttached)
+	// Structural sanity: depths are positive and parents resolve.
+	for _, nd := range c.nodes {
+		s := nd.Stats()
+		if s.Depth < 1 {
+			t.Fatalf("%s attached at depth %d", nd, s.Depth)
+		}
+		if s.Parent == "" {
+			t.Fatalf("%s attached without a parent", nd)
+		}
+	}
+}
+
+func TestStreamFlows(t *testing.T) {
+	c := newCluster(t, 10, nil)
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+	// Every node's stream position advances with the source.
+	eventually(t, 5*time.Second, "everyone past packet 50", func() bool {
+		for _, nd := range c.nodes {
+			if nd.Stats().HighestPacket < 50 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, nd := range c.nodes {
+		s := nd.Stats()
+		if s.PacketsReceived == 0 {
+			t.Fatalf("%s attached but received nothing", nd)
+		}
+	}
+}
+
+// TestFailureRecovery kills an interior node and requires (a) its children
+// to re-attach and (b) the stream to keep advancing for everyone else.
+func TestFailureRecovery(t *testing.T) {
+	c := newCluster(t, 14, nil)
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+	eventually(t, 5*time.Second, "stream warm", func() bool {
+		for _, nd := range c.nodes {
+			if nd.Stats().HighestPacket < 20 {
+				return false
+			}
+		}
+		return true
+	})
+	// Find an interior node (has children).
+	var victim *Node
+	for _, nd := range c.nodes {
+		if nd.Stats().Children > 0 {
+			victim = nd
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no interior member in this layout")
+	}
+	victimHighest := victim.Stats().HighestPacket
+	victim.Kill()
+	survivors := make([]*Node, 0, len(c.nodes)-1)
+	for _, nd := range c.nodes {
+		if nd != victim {
+			survivors = append(survivors, nd)
+		}
+	}
+	eventually(t, 8*time.Second, "survivors re-attached and streaming past the failure point", func() bool {
+		for _, nd := range survivors {
+			s := nd.Stats()
+			if !s.Attached || s.Parent == victim.Addr() {
+				return false
+			}
+			if s.HighestPacket < victimHighest+100 {
+				return false
+			}
+		}
+		return true
+	})
+	// At least one orphan recorded a rejoin.
+	rejoins := int64(0)
+	for _, nd := range survivors {
+		rejoins += nd.Stats().Rejoins
+	}
+	if rejoins == 0 {
+		t.Fatal("no rejoins after an interior failure")
+	}
+}
+
+// TestGracefulLeave: a Stop()ed node notifies neighbours, so children rejoin
+// without waiting for heartbeat timeouts.
+func TestGracefulLeave(t *testing.T) {
+	c := newCluster(t, 10, nil)
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+	var leaver *Node
+	for _, nd := range c.nodes {
+		if nd.Stats().Children > 0 {
+			leaver = nd
+			break
+		}
+	}
+	if leaver == nil {
+		t.Skip("no interior member in this layout")
+	}
+	leaver.Stop()
+	eventually(t, 5*time.Second, "survivors re-attached", func() bool {
+		for _, nd := range c.nodes {
+			if nd == leaver {
+				continue
+			}
+			s := nd.Stats()
+			if !s.Attached || s.Parent == leaver.Addr() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestRepairFillsGaps: a node that missed packets recovers them from its
+// recovery group (PacketsRepaired > 0 somewhere after an interior failure).
+func TestRepairFillsGaps(t *testing.T) {
+	c := newCluster(t, 14, nil)
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+	eventually(t, 5*time.Second, "stream warm", func() bool {
+		for _, nd := range c.nodes {
+			if nd.Stats().HighestPacket < 30 {
+				return false
+			}
+		}
+		return true
+	})
+	var victim *Node
+	for _, nd := range c.nodes {
+		if nd.Stats().Children > 0 {
+			victim = nd
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no interior member")
+	}
+	victim.Kill()
+	eventually(t, 8*time.Second, "repaired packets observed", func() bool {
+		var repaired, served int64
+		for _, nd := range c.nodes {
+			if nd == victim {
+				continue
+			}
+			s := nd.Stats()
+			repaired += s.PacketsRepaired
+			served += s.RepairsServed
+		}
+		return repaired > 0 && served > 0
+	})
+}
+
+// TestSwitchPromotesStrongNode: with switching enabled and a deliberately
+// weak first-joiner, a strong later node ends up closer to the source.
+func TestSwitchPromotesStrongNode(t *testing.T) {
+	// A narrow source (2 slots) forces depth, giving switching something to
+	// optimise.
+	c := newClusterSrc(t, 7, 2, func(i int, cfg *Config) {
+		cfg.SwitchInterval = 60 * time.Millisecond
+		cfg.Bandwidth = 2
+	})
+	eventually(t, 8*time.Second, "all attached", c.allAttached)
+	// Now a genuinely late, strong node arrives: it must start deep (the
+	// depth-1 slots are taken) and earn its way up via BTP switching.
+	strongCfg := fast
+	strongCfg.Bandwidth = 6
+	strongCfg.SwitchInterval = 60 * time.Millisecond
+	strongCfg.Bootstrap = []wire.Addr{"source"}
+	ep, err := c.net.Endpoint("strong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong := New(strongCfg, ep)
+	c.nodes = append(c.nodes, strong)
+	strong.Start()
+	eventually(t, 10*time.Second, "a switch completed somewhere", func() bool {
+		total := int64(0)
+		for _, nd := range c.nodes {
+			total += nd.Stats().Switches
+		}
+		return total > 0
+	})
+	// The overlay remains attached and streaming after switches.
+	eventually(t, 5*time.Second, "overlay still healthy", func() bool {
+		for _, nd := range c.nodes {
+			if !nd.Stats().Attached {
+				return false
+			}
+		}
+		return strong.Stats().Attached
+	})
+}
+
+// TestELNSuppression: after an interior failure, descendants receive ELN and
+// rely on upstream repair (ELNsSent > 0).
+func TestELNPropagates(t *testing.T) {
+	// A narrow source forces chains, so orphans have children of their own
+	// — the population ELN exists for.
+	c := newClusterSrc(t, 14, 2, func(i int, cfg *Config) {
+		cfg.Bandwidth = 2
+	})
+	eventually(t, 8*time.Second, "all attached", c.allAttached)
+	eventually(t, 5*time.Second, "stream warm", func() bool {
+		for _, nd := range c.nodes {
+			if nd.Stats().HighestPacket < 30 {
+				return false
+			}
+		}
+		return true
+	})
+	// ELN is sent by an orphan that still has children of its own, so kill
+	// the PARENT of an interior member.
+	byAddr := map[wire.Addr]*Node{}
+	for _, nd := range c.nodes {
+		byAddr[nd.Addr()] = nd
+	}
+	var victim *Node
+	for _, nd := range c.nodes {
+		if nd.Stats().Children == 0 {
+			continue
+		}
+		if p, ok := byAddr[nd.Stats().Parent]; ok && p.Stats().Children > 0 {
+			victim = p
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no interior member with an interior child in this layout")
+	}
+	victim.Kill()
+	eventually(t, 8*time.Second, "ELN messages sent", func() bool {
+		var elns int64
+		for _, nd := range c.nodes {
+			elns += nd.Stats().ELNsSent
+		}
+		return elns > 0
+	})
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	eventually(t, 5*time.Second, "attached", c.allAttached)
+	s := c.nodes[0].Stats()
+	if s.KnownMembers == 0 {
+		t.Fatal("gossip produced no membership")
+	}
+	if got := c.nodes[0].String(); got == "" {
+		t.Fatal("empty debug string")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.HeartbeatInterval <= 0 || cfg.HeartbeatTimeout <= 0 ||
+		cfg.GossipInterval <= 0 || cfg.BufferPackets <= 0 ||
+		cfg.RecoveryGroup <= 0 || cfg.MembershipLimit <= 0 || cfg.StreamRate <= 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	network := NewMemNetwork(nil)
+	defer network.Close()
+	ep, err := network.Endpoint("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := New(fast, ep)
+	nd.Start()
+	nd.Stop()
+	nd.Stop() // second stop must not panic or deadlock
+	nd.Kill() // nor a kill after a stop
+}
+
+// TestChurnStress runs a 25-node overlay through several seconds of random
+// kills and replacements; the overlay must end attached and streaming.
+func TestChurnStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test in -short mode")
+	}
+	c := newClusterSrc(t, 25, 4, func(i int, cfg *Config) {
+		cfg.Bandwidth = 2 + float64(i%3)
+		cfg.SwitchInterval = 150 * time.Millisecond
+	})
+	eventually(t, 10*time.Second, "all attached", c.allAttached)
+
+	// Churn: kill five nodes one by one, adding a replacement each time.
+	next := 100
+	for round := 0; round < 5; round++ {
+		// Kill a random live node (prefer interior for maximum damage).
+		var victim *Node
+		for _, nd := range c.nodes {
+			if nd.Stats().Attached && nd.Stats().Children > 0 {
+				victim = nd
+				break
+			}
+		}
+		if victim == nil {
+			for _, nd := range c.nodes {
+				if nd.Stats().Attached {
+					victim = nd
+					break
+				}
+			}
+		}
+		if victim == nil {
+			t.Fatal("nobody left to kill")
+		}
+		victim.Kill()
+		// Replacement joins through the source.
+		cfg := fast
+		cfg.Bandwidth = 3
+		cfg.SwitchInterval = 150 * time.Millisecond
+		cfg.Bootstrap = []wire.Addr{"source"}
+		ep, err := c.net.Endpoint(wire.Addr(fmt.Sprintf("r%02d", next)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		next++
+		repl := New(cfg, ep)
+		repl.Start()
+		// Swap into the roster replacing the victim.
+		for i, nd := range c.nodes {
+			if nd == victim {
+				c.nodes[i] = repl
+			}
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+	eventually(t, 15*time.Second, "overlay healthy after churn", func() bool {
+		for _, nd := range c.nodes {
+			s := nd.Stats()
+			if !s.Attached {
+				return false
+			}
+		}
+		return true
+	})
+	// The stream still advances for everyone.
+	marks := make([]int64, len(c.nodes))
+	for i, nd := range c.nodes {
+		marks[i] = nd.Stats().HighestPacket
+	}
+	eventually(t, 10*time.Second, "stream advancing everywhere", func() bool {
+		for i, nd := range c.nodes {
+			if nd.Stats().HighestPacket <= marks[i] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestDepthSelfCorrects: after switches reshuffle the tree, heartbeat-carried
+// depths keep every node's depth = parent depth + 1.
+func TestDepthSelfCorrects(t *testing.T) {
+	c := newClusterSrc(t, 10, 2, func(i int, cfg *Config) {
+		cfg.Bandwidth = 2 + float64(i%2)*2
+		cfg.SwitchInterval = 100 * time.Millisecond
+	})
+	eventually(t, 8*time.Second, "all attached", c.allAttached)
+	time.Sleep(time.Second) // let switches and heartbeats settle
+	byAddr := map[wire.Addr]*Node{"source": c.source}
+	for _, nd := range c.nodes {
+		byAddr[nd.Addr()] = nd
+	}
+	eventually(t, 5*time.Second, "depths consistent", func() bool {
+		for _, nd := range c.nodes {
+			s := nd.Stats()
+			if !s.Attached {
+				return false
+			}
+			parent, ok := byAddr[s.Parent]
+			if !ok {
+				continue // parent may be a replacement not in the map
+			}
+			if s.Depth != parent.Stats().Depth+1 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestPlaybackScoring feeds a lone node packets directly, stops, and checks
+// that slots past the playout deadline are scored played vs starved.
+func TestPlaybackScoring(t *testing.T) {
+	network := NewMemNetwork(nil)
+	defer network.Close()
+	ep, err := network.Endpoint("viewer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeder, err := network.Endpoint("feeder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fast
+	cfg.Bandwidth = 1
+	cfg.PlaybackBuffer = 100 * time.Millisecond
+	cfg.StreamRate = 100
+	nd := New(cfg, ep)
+	nd.Start()
+	defer nd.Kill()
+
+	send := func(seq int64) {
+		data, err := wire.Encode(wire.Envelope{Type: wire.TypePacket, From: "feeder", Packet: seq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := feeder.Send("viewer", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Packets 0..49 then a hole 50..59 then 60..79.
+	for seq := int64(0); seq < 50; seq++ {
+		send(seq)
+	}
+	for seq := int64(60); seq < 80; seq++ {
+		send(seq)
+	}
+	eventually(t, 5*time.Second, "playback scored the hole", func() bool {
+		s := nd.Stats()
+		return s.StarvedSlots >= 10 && s.PlayedSlots >= 60
+	})
+	s := nd.Stats()
+	if s.StarvingRatio() <= 0 || s.StarvingRatio() >= 1 {
+		t.Fatalf("starving ratio = %g, want in (0,1)", s.StarvingRatio())
+	}
+}
+
+// TestHealthyPlaybackDoesNotStarve: in a stable cluster, starved slots stay
+// at (near) zero.
+func TestHealthyPlaybackDoesNotStarve(t *testing.T) {
+	c := newCluster(t, 8, func(i int, cfg *Config) {
+		cfg.PlaybackBuffer = 200 * time.Millisecond
+	})
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+	eventually(t, 5*time.Second, "playback running", func() bool {
+		for _, nd := range c.nodes {
+			if nd.Stats().PlayedSlots < 100 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, nd := range c.nodes {
+		s := nd.Stats()
+		if s.StarvingRatio() > 0.05 {
+			t.Fatalf("%s starving ratio %.3f in a healthy overlay", nd, s.StarvingRatio())
+		}
+	}
+}

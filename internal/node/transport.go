@@ -1,0 +1,290 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"omcast/internal/wire"
+)
+
+// Transport moves encoded envelopes between protocol endpoints. Handlers run
+// on transport-owned goroutines; implementations deliver each datagram at
+// most once and may drop or reorder (the protocol tolerates both).
+type Transport interface {
+	// Addr returns this endpoint's address.
+	Addr() wire.Addr
+	// Send transmits one datagram. It never blocks on the receiver.
+	Send(to wire.Addr, data []byte) error
+	// SetHandler installs the receive callback; must be called before the
+	// first delivery is expected.
+	SetHandler(h func(data []byte))
+	// Close releases the endpoint; Send afterwards fails.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("node: transport closed")
+
+// ErrUnknownAddr is returned by the in-memory transport for unregistered
+// destinations.
+var ErrUnknownAddr = errors.New("node: unknown address")
+
+// MemNetwork is an in-process datagram network for tests and examples: each
+// endpoint is a registered mailbox, delivery happens on a per-endpoint
+// goroutine after a configurable latency.
+type MemNetwork struct {
+	mu      sync.Mutex
+	nodes   map[wire.Addr]*memEndpoint
+	latency func(from, to wire.Addr) time.Duration
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewMemNetwork creates a network; latency may be nil (instant delivery).
+func NewMemNetwork(latency func(from, to wire.Addr) time.Duration) *MemNetwork {
+	return &MemNetwork{
+		nodes:   make(map[wire.Addr]*memEndpoint),
+		latency: latency,
+	}
+}
+
+// Endpoint registers a new address on the network.
+func (n *MemNetwork) Endpoint(addr wire.Addr) (Transport, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.nodes[addr]; dup {
+		return nil, fmt.Errorf("node: address %q already registered", addr)
+	}
+	ep := &memEndpoint{
+		net:  n,
+		addr: addr,
+		inCh: make(chan []byte, 1024),
+		done: make(chan struct{}),
+	}
+	n.nodes[addr] = ep
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ep.deliverLoop()
+	}()
+	return ep, nil
+}
+
+// Close shuts the whole network down and waits for delivery goroutines.
+func (n *MemNetwork) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*memEndpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	n.wg.Wait()
+}
+
+func (n *MemNetwork) lookup(addr wire.Addr) (*memEndpoint, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.nodes[addr]
+	return ep, ok
+}
+
+func (n *MemNetwork) remove(addr wire.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+}
+
+type memEndpoint struct {
+	net  *MemNetwork
+	addr wire.Addr
+
+	mu      sync.Mutex
+	handler func([]byte)
+	closed  bool
+
+	inCh chan []byte
+	done chan struct{}
+}
+
+var _ Transport = (*memEndpoint)(nil)
+
+func (e *memEndpoint) Addr() wire.Addr { return e.addr }
+
+func (e *memEndpoint) SetHandler(h func([]byte)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *memEndpoint) Send(to wire.Addr, data []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	dst, ok := e.net.lookup(to)
+	if !ok {
+		return fmt.Errorf("node: sending to %q: %w", to, ErrUnknownAddr)
+	}
+	// Copy: the caller may reuse the buffer.
+	buf := append([]byte(nil), data...)
+	deliver := func() {
+		select {
+		case dst.inCh <- buf:
+		case <-dst.done:
+		default:
+			// Mailbox full: drop, like a congested datagram network.
+		}
+	}
+	if e.net.latency == nil {
+		deliver()
+		return nil
+	}
+	d := e.net.latency(e.addr, to)
+	if d <= 0 {
+		deliver()
+		return nil
+	}
+	// The timer callback is safe after Close: deliver selects on dst.done.
+	time.AfterFunc(d, deliver)
+	return nil
+}
+
+func (e *memEndpoint) deliverLoop() {
+	for {
+		select {
+		case <-e.done:
+			return
+		case data := <-e.inCh:
+			e.mu.Lock()
+			h := e.handler
+			e.mu.Unlock()
+			if h != nil {
+				h(data)
+			}
+		}
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.net.remove(e.addr)
+	return nil
+}
+
+// UDPTransport runs the protocol over real UDP datagrams.
+type UDPTransport struct {
+	conn *net.UDPConn
+	addr wire.Addr
+
+	mu      sync.Mutex
+	handler func([]byte)
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// NewUDPTransport binds a UDP socket. Pass "127.0.0.1:0" for an ephemeral
+// loopback port.
+func NewUDPTransport(listen string) (*UDPTransport, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("node: resolving %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("node: binding %q: %w", listen, err)
+	}
+	t := &UDPTransport{
+		conn: conn,
+		addr: wire.Addr(conn.LocalAddr().String()),
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop()
+	}()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *UDPTransport) Addr() wire.Addr { return t.addr }
+
+// SetHandler implements Transport.
+func (t *UDPTransport) SetHandler(h func([]byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(to wire.Addr, data []byte) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	raddr, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return fmt.Errorf("node: resolving %q: %w", to, err)
+	}
+	if _, err := t.conn.WriteToUDP(data, raddr); err != nil {
+		return fmt.Errorf("node: sending to %q: %w", to, err)
+	}
+	return nil
+}
+
+func (t *UDPTransport) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		data := append([]byte(nil), buf[:n]...)
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(data)
+		}
+	}
+}
+
+// Close shuts the socket and waits for the read loop.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

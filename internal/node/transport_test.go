@@ -1,0 +1,216 @@
+package node
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"omcast/internal/wire"
+)
+
+func TestMemNetworkDelivery(t *testing.T) {
+	network := NewMemNetwork(nil)
+	defer network.Close()
+	a, err := network.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := network.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []string
+	b.SetHandler(func(data []byte) {
+		mu.Lock()
+		got = append(got, string(data))
+		mu.Unlock()
+	})
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, time.Second, "datagram delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1 && got[0] == "hello"
+	})
+	if a.Addr() != "a" || b.Addr() != "b" {
+		t.Fatal("addresses wrong")
+	}
+}
+
+func TestMemNetworkUnknownAddr(t *testing.T) {
+	network := NewMemNetwork(nil)
+	defer network.Close()
+	a, err := network.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("ghost", []byte("x")); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("send to ghost = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestMemNetworkDuplicateAddr(t *testing.T) {
+	network := NewMemNetwork(nil)
+	defer network.Close()
+	if _, err := network.Endpoint("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.Endpoint("dup"); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestMemNetworkCloseSemantics(t *testing.T) {
+	network := NewMemNetwork(nil)
+	a, err := network.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("a", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	network.Close()
+	if _, err := network.Endpoint("late"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("endpoint after network close = %v, want ErrClosed", err)
+	}
+	network.Close() // idempotent
+}
+
+func TestMemNetworkLatency(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	network := NewMemNetwork(func(from, to wire.Addr) time.Duration { return delay })
+	defer network.Close()
+	a, err := network.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := network.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var deliveredAt time.Time
+	b.SetHandler(func([]byte) {
+		mu.Lock()
+		deliveredAt = time.Now()
+		mu.Unlock()
+	})
+	sentAt := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, time.Second, "delayed delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return !deliveredAt.IsZero()
+	})
+	if elapsed := deliveredAt.Sub(sentAt); elapsed < delay/2 {
+		t.Fatalf("delivered after %v, want >= ~%v", elapsed, delay)
+	}
+}
+
+func TestUDPTransportRoundTrip(t *testing.T) {
+	a, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := a.Close(); err != nil {
+			t.Errorf("close a: %v", err)
+		}
+	}()
+	b, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := b.Close(); err != nil {
+			t.Errorf("close b: %v", err)
+		}
+	}()
+	var mu sync.Mutex
+	var got []byte
+	b.SetHandler(func(data []byte) {
+		mu.Lock()
+		got = append([]byte(nil), data...)
+		mu.Unlock()
+	})
+	if err := a.Send(b.Addr(), []byte("over udp")); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, 2*time.Second, "udp datagram delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return string(got) == "over udp"
+	})
+}
+
+func TestUDPTransportErrors(t *testing.T) {
+	a, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("not-an-addr", []byte("x")); err == nil {
+		t.Fatal("send to garbage address succeeded")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("127.0.0.1:1", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if _, err := NewUDPTransport("999.999.999.999:70000"); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+// TestNodesOverUDP boots a small overlay on real loopback sockets.
+func TestNodesOverUDP(t *testing.T) {
+	srcTr, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcCfg := fast
+	srcCfg.Source = true
+	srcCfg.Bandwidth = 4
+	src := New(srcCfg, srcTr)
+	src.Start()
+	defer src.Kill()
+
+	var nodes []*Node
+	for i := 0; i < 5; i++ {
+		tr, err := NewUDPTransport("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fast
+		cfg.Bandwidth = 3
+		cfg.Bootstrap = []wire.Addr{src.Addr()}
+		nd := New(cfg, tr)
+		nodes = append(nodes, nd)
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Kill()
+		}
+	}()
+	eventually(t, 10*time.Second, "udp overlay attached and streaming", func() bool {
+		for _, nd := range nodes {
+			s := nd.Stats()
+			if !s.Attached || s.HighestPacket < 20 {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,574 @@
+// Package overlay implements the single-tree overlay multicast substrate the
+// paper's algorithms operate on: members with out-degree constraints derived
+// from their outbound bandwidths, parent/child links, per-layer indexing (the
+// centralized relaxed-BO/TO algorithms scan layers top-down), overlay path
+// delays, and the disruption/reconnection accounting the evaluation reports.
+//
+// The package is purely structural: which parent a member picks, when nodes
+// switch positions, and how losses are repaired live in the construct, rost
+// and cer packages.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"omcast/internal/topology"
+	"omcast/internal/xrand"
+)
+
+// MemberID identifies an overlay member for the lifetime of a simulation.
+// IDs are never reused. The zero value is not a valid ID.
+type MemberID int64
+
+// Common structural errors.
+var (
+	ErrFull        = errors.New("overlay: parent has no spare out-degree")
+	ErrNotMember   = errors.New("overlay: not a current member")
+	ErrCycle       = errors.New("overlay: attach would create a cycle")
+	ErrHasParent   = errors.New("overlay: member already has a parent")
+	ErrRootLeave   = errors.New("overlay: the source cannot leave")
+	ErrSelfAttach  = errors.New("overlay: cannot attach a member to itself")
+	ErrNotAttached = errors.New("overlay: member is not attached to the tree")
+)
+
+// Member is one overlay node. Fields other than the exported identity and
+// statistics fields are maintained by Tree and must not be mutated directly.
+type Member struct {
+	ID MemberID
+	// Attach is the stub router the member sits on.
+	Attach topology.NodeID
+	// Bandwidth is the outbound access bandwidth in units of the stream
+	// rate. The member can feed floor(Bandwidth) children.
+	Bandwidth float64
+	// JoinTime is the virtual time the member entered the overlay.
+	JoinTime time.Duration
+
+	// Disruptions counts streaming disruptions experienced (one per failed
+	// ancestor, per the paper's reliability metric).
+	Disruptions int
+	// Reconnections counts optimizer-induced parent changes (switch
+	// operations and evictions); failure rejoins are not counted, matching
+	// the paper's protocol-overhead metric.
+	Reconnections int
+
+	parent    *Member
+	children  []*Member
+	depth     int
+	pathDelay time.Duration
+	attached  bool
+
+	// lockOwner is the ID of the in-flight switching operation holding this
+	// member, or zero when unlocked (ROST locking protocol).
+	lockOwner int64
+
+	// orderIdx / levelIdx index the member inside Tree.order and
+	// Tree.levels[depth] for O(1) removal.
+	orderIdx int
+	levelIdx int
+}
+
+// Parent returns the current parent, or nil for the root (and for detached
+// members).
+func (m *Member) Parent() *Member { return m.parent }
+
+// Children returns the member's children. The returned slice is owned by the
+// tree; callers must not mutate it.
+func (m *Member) Children() []*Member { return m.children }
+
+// Depth returns the member's layer (root = 0).
+func (m *Member) Depth() int { return m.depth }
+
+// PathDelay returns the accumulated delay of the overlay path from the source.
+func (m *Member) PathDelay() time.Duration { return m.pathDelay }
+
+// Attached reports whether the member currently has a position in the tree
+// (the root is always attached).
+func (m *Member) Attached() bool { return m.attached }
+
+// OutDegree returns the member's out-degree constraint: the number of
+// full-rate children its outbound bandwidth supports.
+func (m *Member) OutDegree() int {
+	if m.Bandwidth < 0 {
+		return 0
+	}
+	return int(m.Bandwidth)
+}
+
+// SpareDegree returns how many more children the member can accept.
+func (m *Member) SpareDegree() int { return m.OutDegree() - len(m.children) }
+
+// HasSpare reports whether the member can accept one more child.
+func (m *Member) HasSpare() bool { return m.SpareDegree() > 0 }
+
+// Age returns the member's age at virtual time now.
+func (m *Member) Age(now time.Duration) time.Duration {
+	if now < m.JoinTime {
+		return 0
+	}
+	return now - m.JoinTime
+}
+
+// BTP returns the member's bandwidth-time product at virtual time now:
+// outbound bandwidth x age in seconds (the ROST switching metric).
+func (m *Member) BTP(now time.Duration) float64 {
+	return m.Bandwidth * m.Age(now).Seconds()
+}
+
+// Locked reports whether the member is held by a switching operation.
+func (m *Member) Locked() bool { return m.lockOwner != 0 }
+
+// Tree is the overlay multicast tree. It is single-threaded by design (the
+// simulation kernel is sequential); no internal locking.
+type Tree struct {
+	root    *Member
+	members map[MemberID]*Member
+	// order lists attached and detached live members for O(1) sampling.
+	order []*Member
+	// levels[d] lists attached members at depth d.
+	levels [][]*Member
+	nextID MemberID
+	// delayFn gives the unicast delay between two underlay routers.
+	delayFn func(a, b topology.NodeID) time.Duration
+}
+
+// NewTree creates a tree rooted at a source member placed on rootAttach with
+// the given outbound bandwidth (the paper uses 100, i.e. 100 full-rate
+// children). delayFn supplies underlay delays; it must be non-nil.
+func NewTree(rootAttach topology.NodeID, rootBandwidth float64, delayFn func(a, b topology.NodeID) time.Duration) (*Tree, error) {
+	if delayFn == nil {
+		return nil, errors.New("overlay: nil delay function")
+	}
+	if rootBandwidth < 1 {
+		return nil, fmt.Errorf("overlay: root bandwidth %g cannot feed any child", rootBandwidth)
+	}
+	t := &Tree{
+		members: make(map[MemberID]*Member),
+		delayFn: delayFn,
+		nextID:  1,
+	}
+	root := &Member{
+		ID:        t.nextID,
+		Attach:    rootAttach,
+		Bandwidth: rootBandwidth,
+		attached:  true,
+		orderIdx:  -1, // the root is not sampleable as a rejoin candidate owner
+		levelIdx:  0,
+	}
+	t.nextID++
+	t.root = root
+	t.members[root.ID] = root
+	t.levels = append(t.levels, []*Member{root})
+	return t, nil
+}
+
+// Root returns the source member.
+func (t *Tree) Root() *Member { return t.root }
+
+// Size returns the number of live members including the source.
+func (t *Tree) Size() int { return len(t.members) }
+
+// Member returns the live member with the given ID, or nil.
+func (t *Tree) Member(id MemberID) *Member { return t.members[id] }
+
+// NewMember registers a live member without attaching it to the tree. The
+// caller attaches it with Attach once a parent is chosen.
+func (t *Tree) NewMember(attach topology.NodeID, bandwidth float64, now time.Duration) *Member {
+	m := &Member{
+		ID:        t.nextID,
+		Attach:    attach,
+		Bandwidth: bandwidth,
+		JoinTime:  now,
+		orderIdx:  len(t.order),
+		levelIdx:  -1,
+		depth:     -1,
+	}
+	t.nextID++
+	t.members[m.ID] = m
+	t.order = append(t.order, m)
+	return m
+}
+
+// Attach links child under parent. The child must be live, detached and
+// parentless; the parent must be live, attached and have spare degree.
+func (t *Tree) Attach(child, parent *Member) error {
+	switch {
+	case child == nil || parent == nil:
+		return ErrNotMember
+	case t.members[child.ID] != child || t.members[parent.ID] != parent:
+		return ErrNotMember
+	case child == parent:
+		return ErrSelfAttach
+	case child.parent != nil || child.attached:
+		return ErrHasParent
+	case !parent.attached:
+		return ErrNotAttached
+	case !parent.HasSpare():
+		return ErrFull
+	}
+	child.parent = parent
+	parent.children = append(parent.children, child)
+	child.attached = true
+	t.placeSubtree(child)
+	return nil
+}
+
+// placeSubtree recomputes depth, path delay and level indexing for m and all
+// its descendants (children of a rejoining member keep their subtrees, so a
+// re-attach moves whole subtrees).
+func (t *Tree) placeSubtree(m *Member) {
+	var place func(n *Member)
+	place = func(n *Member) {
+		n.depth = n.parent.depth + 1
+		n.pathDelay = n.parent.pathDelay + t.delayFn(n.parent.Attach, n.Attach)
+		n.attached = true
+		t.levelInsert(n)
+		for _, c := range n.children {
+			place(c)
+		}
+	}
+	place(m)
+}
+
+// Detach unlinks m from its parent, leaving m's own subtree intact but
+// marking every node in it unattached (no live path from the source).
+func (t *Tree) Detach(m *Member) error {
+	if m == nil || t.members[m.ID] != m {
+		return ErrNotMember
+	}
+	if m == t.root {
+		return ErrRootLeave
+	}
+	if m.parent == nil {
+		return ErrNotAttached
+	}
+	removeChild(m.parent, m)
+	m.parent = nil
+	var unplace func(n *Member)
+	unplace = func(n *Member) {
+		if n.attached {
+			t.levelRemove(n)
+			n.attached = false
+			n.depth = -1
+		}
+		for _, c := range n.children {
+			unplace(c)
+		}
+	}
+	unplace(m)
+	return nil
+}
+
+// Remove deletes a member from the overlay entirely (departure or failure)
+// and returns its now-orphaned children, each of which keeps its own subtree
+// and must rejoin. The children are returned detached.
+func (t *Tree) Remove(m *Member) ([]*Member, error) {
+	if m == nil || t.members[m.ID] != m {
+		return nil, ErrNotMember
+	}
+	if m == t.root {
+		return nil, ErrRootLeave
+	}
+	orphans := append([]*Member(nil), m.children...)
+	for _, c := range orphans {
+		if err := t.Detach(c); err != nil {
+			return nil, fmt.Errorf("overlay: detaching orphan %d: %w", c.ID, err)
+		}
+	}
+	if m.parent != nil {
+		if err := t.Detach(m); err != nil {
+			return nil, fmt.Errorf("overlay: detaching leaver %d: %w", m.ID, err)
+		}
+	}
+	delete(t.members, m.ID)
+	t.orderRemove(m)
+	return orphans, nil
+}
+
+// MoveSubtree re-parents m (and its whole subtree) under newParent. Used by
+// switching and eviction operations. m must currently be attached.
+func (t *Tree) MoveSubtree(m, newParent *Member) error {
+	if m == nil || newParent == nil || t.members[m.ID] != m || t.members[newParent.ID] != newParent {
+		return ErrNotMember
+	}
+	if m == t.root {
+		return ErrRootLeave
+	}
+	if m == newParent {
+		return ErrSelfAttach
+	}
+	if !newParent.attached {
+		return ErrNotAttached
+	}
+	// Reject moves under m's own subtree, which would detach the subtree
+	// from the source.
+	for p := newParent; p != nil; p = p.parent {
+		if p == m {
+			return ErrCycle
+		}
+	}
+	if !newParent.HasSpare() {
+		return ErrFull
+	}
+	if m.parent != nil {
+		removeChild(m.parent, m)
+		m.parent = nil
+		// Temporarily unplace so Attach's invariants hold.
+		var unplace func(n *Member)
+		unplace = func(n *Member) {
+			if n.attached {
+				t.levelRemove(n)
+				n.attached = false
+			}
+			for _, c := range n.children {
+				unplace(c)
+			}
+		}
+		unplace(m)
+	}
+	return t.Attach(m, newParent)
+}
+
+// VisitMembers calls fn for every live member, attached or not, in
+// unspecified order (the source included).
+func (t *Tree) VisitMembers(fn func(*Member)) {
+	fn(t.root)
+	for _, m := range t.order {
+		fn(m)
+	}
+}
+
+// VisitSubtree calls fn for every attached member in m's subtree including m
+// itself, in pre-order.
+func (t *Tree) VisitSubtree(m *Member, fn func(*Member)) {
+	if m == nil {
+		return
+	}
+	fn(m)
+	for _, c := range m.children {
+		t.VisitSubtree(c, fn)
+	}
+}
+
+// SubtreeSize returns the number of members in m's subtree including m.
+func (t *Tree) SubtreeSize(m *Member) int {
+	n := 0
+	t.VisitSubtree(m, func(*Member) { n++ })
+	return n
+}
+
+// Ancestors returns the path from m's parent up to the root, nearest first.
+func (t *Tree) Ancestors(m *Member) []*Member {
+	var out []*Member
+	for p := m.parent; p != nil; p = p.parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// MaxDepth returns the current tree height (deepest attached layer).
+func (t *Tree) MaxDepth() int {
+	for d := len(t.levels) - 1; d >= 0; d-- {
+		if len(t.levels[d]) > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Level returns the attached members at depth d. The returned slice is owned
+// by the tree; callers must not mutate it.
+func (t *Tree) Level(d int) []*Member {
+	if d < 0 || d >= len(t.levels) {
+		return nil
+	}
+	return t.levels[d]
+}
+
+// Sample returns up to n distinct live members drawn uniformly at random,
+// excluding the root and the given member. This models a joining node's
+// bounded membership discovery ("until it obtains a certain number, say 100,
+// of known members").
+func (t *Tree) Sample(rng *xrand.Source, n int, exclude *Member) []*Member {
+	if n <= 0 || len(t.order) == 0 {
+		return nil
+	}
+	if n >= len(t.order) {
+		out := make([]*Member, 0, len(t.order))
+		for _, m := range t.order {
+			if m != exclude {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	// Partial Fisher-Yates over a scratch index space would disturb t.order;
+	// instead draw with rejection, which is cheap because n << len(order) in
+	// the overlay regime (100 out of thousands).
+	seen := make(map[int]struct{}, n*2)
+	out := make([]*Member, 0, n)
+	attempts := 0
+	maxAttempts := 20 * n
+	for len(out) < n && attempts < maxAttempts {
+		attempts++
+		i := rng.Intn(len(t.order))
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		if t.order[i] == exclude {
+			continue
+		}
+		out = append(out, t.order[i])
+	}
+	return out
+}
+
+// RecordFailure increments the disruption counter of every attached member
+// in the subtrees below the failed member (the member itself is excluded: it
+// departed). It returns how many members were disrupted. Per the paper's
+// metric, an abrupt departure disrupts each descendant once.
+func (t *Tree) RecordFailure(failed *Member) int {
+	n := 0
+	for _, c := range failed.children {
+		t.VisitSubtree(c, func(d *Member) {
+			d.Disruptions++
+			n++
+		})
+	}
+	return n
+}
+
+// Lock attempts to acquire the ROST switching lock on all given members on
+// behalf of operation op (non-zero). It either locks all of them and returns
+// true, or locks none and returns false (a member already held by a
+// different operation blocks the whole set).
+func (t *Tree) Lock(op int64, members ...*Member) bool {
+	if op == 0 {
+		return false
+	}
+	for _, m := range members {
+		if m.lockOwner != 0 && m.lockOwner != op {
+			return false
+		}
+	}
+	for _, m := range members {
+		m.lockOwner = op
+	}
+	return true
+}
+
+// Unlock releases the lock on all members held by operation op.
+func (t *Tree) Unlock(op int64, members ...*Member) {
+	for _, m := range members {
+		if m.lockOwner == op {
+			m.lockOwner = 0
+		}
+	}
+}
+
+// CheckInvariants verifies structural invariants and returns the first
+// violation found, or nil. It is O(n) and intended for tests and debugging.
+func (t *Tree) CheckInvariants() error {
+	seen := make(map[MemberID]bool, len(t.members))
+	var walk func(m *Member) error
+	walk = func(m *Member) error {
+		if seen[m.ID] {
+			return fmt.Errorf("overlay: member %d reachable twice", m.ID)
+		}
+		seen[m.ID] = true
+		if len(m.children) > m.OutDegree() {
+			return fmt.Errorf("overlay: member %d has %d children, degree %d", m.ID, len(m.children), m.OutDegree())
+		}
+		for _, c := range m.children {
+			if c.parent != m {
+				return fmt.Errorf("overlay: member %d's child %d has wrong parent", m.ID, c.ID)
+			}
+			if c.attached {
+				if c.depth != m.depth+1 {
+					return fmt.Errorf("overlay: member %d depth %d, parent depth %d", c.ID, c.depth, m.depth)
+				}
+				want := m.pathDelay + t.delayFn(m.Attach, c.Attach)
+				if c.pathDelay != want {
+					return fmt.Errorf("overlay: member %d pathDelay %v, want %v", c.ID, c.pathDelay, want)
+				}
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	// Every attached member must be reachable from the root.
+	for id, m := range t.members {
+		if m.attached && !seen[id] {
+			return fmt.Errorf("overlay: attached member %d unreachable from source", id)
+		}
+	}
+	// Level index must agree with member depths.
+	counted := 0
+	for d, level := range t.levels {
+		for i, m := range level {
+			if m.depth != d || m.levelIdx != i || !m.attached {
+				return fmt.Errorf("overlay: level index corrupt at depth %d slot %d (member %d)", d, i, m.ID)
+			}
+			counted++
+		}
+	}
+	attachedCount := 0
+	for _, m := range t.members {
+		if m.attached {
+			attachedCount++
+		}
+	}
+	if counted != attachedCount {
+		return fmt.Errorf("overlay: level index holds %d members, %d attached", counted, attachedCount)
+	}
+	return nil
+}
+
+func removeChild(parent, child *Member) {
+	for i, c := range parent.children {
+		if c == child {
+			last := len(parent.children) - 1
+			parent.children[i] = parent.children[last]
+			parent.children[last] = nil
+			parent.children = parent.children[:last]
+			return
+		}
+	}
+}
+
+func (t *Tree) levelInsert(m *Member) {
+	for len(t.levels) <= m.depth {
+		t.levels = append(t.levels, nil)
+	}
+	m.levelIdx = len(t.levels[m.depth])
+	t.levels[m.depth] = append(t.levels[m.depth], m)
+}
+
+func (t *Tree) levelRemove(m *Member) {
+	level := t.levels[m.depth]
+	last := len(level) - 1
+	level[m.levelIdx] = level[last]
+	level[m.levelIdx].levelIdx = m.levelIdx
+	level[last] = nil
+	t.levels[m.depth] = level[:last]
+	m.levelIdx = -1
+}
+
+func (t *Tree) orderRemove(m *Member) {
+	if m.orderIdx < 0 {
+		return
+	}
+	last := len(t.order) - 1
+	t.order[m.orderIdx] = t.order[last]
+	t.order[m.orderIdx].orderIdx = m.orderIdx
+	t.order[last] = nil
+	t.order = t.order[:last]
+	m.orderIdx = -1
+}

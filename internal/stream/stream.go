@@ -1,0 +1,326 @@
+// Package stream implements the packet-level streaming model behind the
+// paper's CER evaluation (Section 6, Figures 12-14): a constant-rate stream
+// (10 packets/second), per-member playback buffers, parent-failure outages
+// (5 s detection + 10 s rejoin), Explicit Loss Notification down the failed
+// subtree, recovery-group repair planned by the cer package, and the
+// starving-time-ratio metric (total disruption time over total view time).
+//
+// The model is episode-lazy: packets flow implicitly while the tree is
+// healthy (they arrive well inside the buffer), and exact per-sequence
+// accounting happens only inside disruption episodes. This yields the same
+// per-packet outcomes as simulating every hop of every packet at a tiny
+// fraction of the event count (see DESIGN.md).
+package stream
+
+import (
+	"time"
+
+	"omcast/internal/cer"
+	"omcast/internal/overlay"
+	"omcast/internal/stats"
+	"omcast/internal/topology"
+	"omcast/internal/xrand"
+)
+
+// Paper defaults (Section 6, "Effects of Recovery Group Size").
+const (
+	// DefaultRate is the stream rate in packets per second.
+	DefaultRate = 10.0
+	// DefaultBuffer is the playback buffer ("5 seconds, or 50 packets").
+	DefaultBuffer = 5 * time.Second
+	// DefaultDetectDelay is the parent-failure detection time.
+	DefaultDetectDelay = 5 * time.Second
+	// DefaultRejoinDelay is the parent re-finding time after detection.
+	DefaultRejoinDelay = 10 * time.Second
+	// DefaultResidualMax bounds the uniform residual bandwidth members
+	// donate to error recovery, in packets per second.
+	DefaultResidualMax = 9.0
+	// DefaultMinViewTime is the minimum view time for a member's starving
+	// ratio to enter the statistics (very short visits carry no signal).
+	DefaultMinViewTime = 30 * time.Second
+)
+
+// Config parameterises the streaming model.
+type Config struct {
+	Rate        float64       // packets per second; 0 means DefaultRate
+	Buffer      time.Duration // playback buffer; 0 means DefaultBuffer
+	DetectDelay time.Duration // 0 means DefaultDetectDelay
+	RejoinDelay time.Duration // 0 means DefaultRejoinDelay
+	// GroupSize is the recovery group size K.
+	GroupSize int
+	// Striped selects CER multi-source striping; false is the
+	// single-source baseline.
+	Striped bool
+	// ResidualMax bounds each member's uniform residual bandwidth
+	// (packets per second); 0 means DefaultResidualMax.
+	ResidualMax float64
+	// MeasureFrom discards starving ratios finalised before this time
+	// (warm-up). Zero keeps everything.
+	MeasureFrom time.Duration
+	// MinViewTime: 0 means DefaultMinViewTime.
+	MinViewTime time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate <= 0 {
+		c.Rate = DefaultRate
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = DefaultBuffer
+	}
+	if c.DetectDelay <= 0 {
+		c.DetectDelay = DefaultDetectDelay
+	}
+	if c.RejoinDelay <= 0 {
+		c.RejoinDelay = DefaultRejoinDelay
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 1
+	}
+	if c.ResidualMax <= 0 {
+		c.ResidualMax = DefaultResidualMax
+	}
+	if c.MinViewTime <= 0 {
+		c.MinViewTime = DefaultMinViewTime
+	}
+	return c
+}
+
+// state is the per-member playback bookkeeping.
+type state struct {
+	viewStart time.Duration
+	// residual is the bandwidth (packets per second) this member donates to
+	// others' recovery.
+	residual float64
+	// starved accumulates playback slots whose packet missed its deadline.
+	starved time.Duration
+	// watermark is the highest missing sequence number already accounted,
+	// so overlapping episodes are not double-counted.
+	watermark int64
+	// outageUntil marks the end of the member's current feed interruption;
+	// a member cannot serve repairs while its own feed is down.
+	outageUntil time.Duration
+}
+
+// Model tracks playback quality for every overlay member.
+type Model struct {
+	cfg      Config
+	tree     *overlay.Tree
+	delay    func(a, b topology.NodeID) time.Duration
+	selector cer.Selector
+	rng      *xrand.Source
+
+	states map[overlay.MemberID]*state
+	ratios []float64
+
+	// Episodes counts processed outage episodes (one per orphan per
+	// failure).
+	Episodes int
+	// ELNMessages counts explicit-loss-notification sends (one per edge of
+	// each disrupted subtree per episode; sequence gaps are batched).
+	ELNMessages int
+	// RepairRequests counts recovery-group requests issued (orphans only —
+	// descendants rely on upstream recovery thanks to ELN).
+	RepairRequests int
+	// PacketsRepaired and PacketsLost tally the orphans' missing packets.
+	PacketsRepaired int
+	PacketsLost     int
+}
+
+// NewModel builds a streaming model over tree. selector chooses recovery
+// groups; delay supplies underlay latencies; rng draws residual bandwidths.
+func NewModel(tree *overlay.Tree, delay func(a, b topology.NodeID) time.Duration, selector cer.Selector, rng *xrand.Source, cfg Config) *Model {
+	return &Model{
+		cfg:      cfg.withDefaults(),
+		tree:     tree,
+		delay:    delay,
+		selector: selector,
+		rng:      rng,
+		states:   make(map[overlay.MemberID]*state),
+	}
+}
+
+// gen returns the generation time of packet n.
+func (m *Model) gen(n int64) time.Duration {
+	return time.Duration(float64(n) / m.cfg.Rate * float64(time.Second))
+}
+
+// packetAfter returns the first sequence number generated at or after t.
+func (m *Model) packetAfter(t time.Duration) int64 {
+	n := int64(t.Seconds() * m.cfg.Rate)
+	for m.gen(n) < t {
+		n++
+	}
+	return n
+}
+
+// Register starts playback tracking for a member (call on join).
+func (m *Model) Register(member *overlay.Member, now time.Duration) {
+	if _, ok := m.states[member.ID]; ok {
+		return
+	}
+	m.states[member.ID] = &state{
+		viewStart: now,
+		residual:  m.rng.Float64() * m.cfg.ResidualMax,
+		watermark: -1,
+	}
+}
+
+// Depart finalises a member's starving ratio (call when it leaves).
+func (m *Model) Depart(id overlay.MemberID, now time.Duration) {
+	st, ok := m.states[id]
+	if !ok {
+		return
+	}
+	delete(m.states, id)
+	m.finalize(st, now)
+}
+
+// Finish finalises every still-present member at the end of a run.
+func (m *Model) Finish(now time.Duration) {
+	for id, st := range m.states {
+		m.finalize(st, now)
+		delete(m.states, id)
+	}
+}
+
+func (m *Model) finalize(st *state, now time.Duration) {
+	view := now - st.viewStart
+	if view < m.cfg.MinViewTime || now < m.cfg.MeasureFrom {
+		return
+	}
+	starved := st.starved
+	if starved > view {
+		starved = view
+	}
+	m.ratios = append(m.ratios, float64(starved)/float64(view))
+}
+
+// OnFailure processes an abrupt departure: every child of the failed member
+// becomes the root of a disrupted subtree, runs CER recovery, and the
+// resulting per-packet outcomes are folded into every subtree member's
+// playback accounting. Call before the failed member is removed from the
+// tree.
+func (m *Model) OnFailure(failed *overlay.Member, now time.Duration) {
+	orphans := failed.Children()
+	if len(orphans) == 0 {
+		return
+	}
+	outageEnd := now + m.cfg.DetectDelay + m.cfg.RejoinDelay
+	// Phase 1: mark every affected member's outage window first, so that
+	// recovery-server health checks in phase 2 see members of concurrently
+	// failed sibling subtrees as unavailable.
+	for _, c := range orphans {
+		m.tree.VisitSubtree(c, func(d *overlay.Member) {
+			if st, ok := m.states[d.ID]; ok && st.viewStart <= now && st.outageUntil < outageEnd {
+				st.outageUntil = outageEnd
+			}
+		})
+	}
+	// Phase 2: each orphan plans recovery and the plan applies to its whole
+	// subtree (ELN suppresses duplicate recovery below the orphan).
+	for _, c := range orphans {
+		m.runEpisode(c, now, outageEnd)
+	}
+}
+
+// runEpisode handles one orphan's outage.
+func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration) {
+	m.Episodes++
+	first := m.packetAfter(failedAt)
+	last := m.packetAfter(outageEnd) - 1
+	if last < first {
+		return
+	}
+	requestAt := failedAt + m.cfg.DetectDelay
+	plan := m.planFor(c, first, last, requestAt, outageEnd)
+	// Fold into the subtree. ELN: c's loss notifications walk the subtree
+	// edges so descendants wait for upstream repair instead of re-requesting.
+	m.tree.VisitSubtree(c, func(d *overlay.Member) {
+		if d != c {
+			m.ELNMessages++
+		}
+		st, ok := m.states[d.ID]
+		if !ok || st.viewStart > failedAt {
+			return
+		}
+		hop := time.Duration(0)
+		if d != c {
+			hop = m.delay(c.Attach, d.Attach)
+		}
+		from := first
+		if st.watermark+1 > from {
+			from = st.watermark + 1
+		}
+		for n := from; n <= last; n++ {
+			deadline := m.gen(n) + m.cfg.Buffer
+			arrival, repaired := plan[n]
+			if !repaired || arrival+hop > deadline {
+				st.starved += time.Duration(float64(time.Second) / m.cfg.Rate)
+			}
+			if d == c {
+				if repaired && arrival <= deadline {
+					m.PacketsRepaired++
+				} else {
+					m.PacketsLost++
+				}
+			}
+		}
+		if last > st.watermark {
+			st.watermark = last
+		}
+	})
+}
+
+// planFor selects the recovery group for orphan c and plans the repairs.
+func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeAt time.Duration) cer.Plan {
+	group := m.selector.Select(c, m.cfg.GroupSize)
+	m.RepairRequests++
+	servers := make([]cer.Server, 0, len(group))
+	chain := time.Duration(0)
+	prev := c
+	for _, g := range group {
+		// The NACK chain hops requester -> g1 -> g2 -> ...
+		chain += m.delay(prev.Attach, g.Attach)
+		prev = g
+		st, ok := m.states[g.ID]
+		if !ok || st.outageUntil > requestAt {
+			continue // the server's own feed is down: it cannot help
+		}
+		servers = append(servers, cer.Server{
+			Member:     g,
+			Epsilon:    st.residual / m.cfg.Rate,
+			ChainDelay: chain,
+			Transfer:   m.delay(g.Attach, c.Attach),
+		})
+	}
+	return cer.PlanRecovery(cer.Episode{
+		FirstMissing: first,
+		LastMissing:  last,
+		RequestAt:    requestAt,
+		ResumeAt:     resumeAt,
+		Rate:         m.cfg.Rate,
+		Gen:          m.gen,
+		Striped:      m.cfg.Striped,
+	}, servers)
+}
+
+// Result summarises playback quality.
+type Result struct {
+	// AvgStarvingRatio is the mean starving-time ratio over all finalised
+	// members (the paper reports it in percent).
+	AvgStarvingRatio float64
+	// Ratios holds the per-member ratios.
+	Ratios []float64
+	// Members is the number of members contributing.
+	Members int
+}
+
+// Result gathers the metrics accumulated so far.
+func (m *Model) Result() Result {
+	return Result{
+		AvgStarvingRatio: stats.Mean(m.ratios),
+		Ratios:           append([]float64(nil), m.ratios...),
+		Members:          len(m.ratios),
+	}
+}

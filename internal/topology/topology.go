@@ -1,0 +1,557 @@
+// Package topology implements the underlying network used by the evaluation:
+// a GT-ITM-style transit-stub internetwork. The paper generates a 15600-node
+// topology (240 transit routers + 15360 stub routers) with link delays drawn
+// uniformly from [15,25] ms between transit nodes, [5,9] ms between transit
+// and stub nodes and [2,4] ms between stub nodes; multicast members are
+// placed on randomly chosen stub routers.
+//
+// Instead of materialising an all-pairs matrix over 15600 nodes (~2 GB), the
+// package exploits the transit-stub structure for an exact O(1) distance
+// oracle: every stub domain is single-homed (one gateway edge to its transit
+// router), so no shortest path can cut through a stub domain, and
+//
+//	d(u,v) = d_stub(u -> gw_u) + w(gw edge) + d_transit(t_u, t_v)
+//	       + w(gw edge) + d_stub(gw_v -> v)
+//
+// with per-domain all-pairs tables (tiny) and one all-pairs table over the
+// 240-node transit core. Exactness against full-graph Dijkstra is verified in
+// the tests.
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"omcast/internal/xrand"
+)
+
+// NodeID identifies a router in the underlying network. IDs are dense:
+// transit routers come first (0 .. TransitCount-1), stub routers follow.
+type NodeID int32
+
+// None is the sentinel for "no node".
+const None NodeID = -1
+
+// Kind distinguishes transit routers from stub routers.
+type Kind int
+
+// Router kinds.
+const (
+	Transit Kind = iota + 1
+	Stub
+)
+
+// String names the router kind.
+func (k Kind) String() string {
+	switch k {
+	case Transit:
+		return "transit"
+	case Stub:
+		return "stub"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config describes the shape of a transit-stub topology. The zero value is
+// not valid; start from DefaultConfig.
+type Config struct {
+	// Seed drives all random choices (wiring and delays).
+	Seed int64
+
+	// TransitDomains is the number of transit domains.
+	TransitDomains int
+	// TransitNodesPerDomain is the number of routers per transit domain.
+	TransitNodesPerDomain int
+	// StubDomainsPerTransit is the number of stub domains hanging off each
+	// transit router.
+	StubDomainsPerTransit int
+	// StubNodesPerDomain is the number of routers per stub domain.
+	StubNodesPerDomain int
+
+	// TransitTransitDelay bounds the uniform delay of transit-transit links.
+	TransitTransitDelay [2]time.Duration
+	// TransitStubDelay bounds the uniform delay of gateway (transit-stub)
+	// links.
+	TransitStubDelay [2]time.Duration
+	// StubStubDelay bounds the uniform delay of intra-stub-domain links.
+	StubStubDelay [2]time.Duration
+
+	// TransitChordProbability adds random intra-domain transit links on top
+	// of the connectivity ring, per node pair.
+	TransitChordProbability float64
+	// StubChordProbability likewise for stub domains.
+	StubChordProbability float64
+	// ExtraInterDomainEdges adds random transit links between distinct
+	// transit domains on top of the inter-domain ring.
+	ExtraInterDomainEdges int
+}
+
+// DefaultConfig reproduces the paper's 15600-router topology: 6 transit
+// domains x 40 routers = 240 transit routers, each transit router hosting 4
+// stub domains of 16 routers = 15360 stub routers.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                    seed,
+		TransitDomains:          6,
+		TransitNodesPerDomain:   40,
+		StubDomainsPerTransit:   4,
+		StubNodesPerDomain:      16,
+		TransitTransitDelay:     [2]time.Duration{15 * time.Millisecond, 25 * time.Millisecond},
+		TransitStubDelay:        [2]time.Duration{5 * time.Millisecond, 9 * time.Millisecond},
+		StubStubDelay:           [2]time.Duration{2 * time.Millisecond, 4 * time.Millisecond},
+		TransitChordProbability: 0.05,
+		StubChordProbability:    0.15,
+		ExtraInterDomainEdges:   6,
+	}
+}
+
+// Validate reports whether the configuration describes a buildable topology.
+func (c Config) Validate() error {
+	switch {
+	case c.TransitDomains <= 0:
+		return fmt.Errorf("topology: TransitDomains = %d, want > 0", c.TransitDomains)
+	case c.TransitNodesPerDomain <= 0:
+		return fmt.Errorf("topology: TransitNodesPerDomain = %d, want > 0", c.TransitNodesPerDomain)
+	case c.StubDomainsPerTransit < 0:
+		return fmt.Errorf("topology: StubDomainsPerTransit = %d, want >= 0", c.StubDomainsPerTransit)
+	case c.StubNodesPerDomain <= 0 && c.StubDomainsPerTransit > 0:
+		return fmt.Errorf("topology: StubNodesPerDomain = %d, want > 0", c.StubNodesPerDomain)
+	}
+	for _, r := range [][2]time.Duration{c.TransitTransitDelay, c.TransitStubDelay, c.StubStubDelay} {
+		if r[0] <= 0 || r[1] < r[0] {
+			return fmt.Errorf("topology: delay range %v invalid", r)
+		}
+	}
+	if c.TransitChordProbability < 0 || c.TransitChordProbability > 1 ||
+		c.StubChordProbability < 0 || c.StubChordProbability > 1 {
+		return fmt.Errorf("topology: chord probabilities must lie in [0,1]")
+	}
+	return nil
+}
+
+// TransitCount returns the number of transit routers the config implies.
+func (c Config) TransitCount() int { return c.TransitDomains * c.TransitNodesPerDomain }
+
+// StubCount returns the number of stub routers the config implies.
+func (c Config) StubCount() int {
+	return c.TransitCount() * c.StubDomainsPerTransit * c.StubNodesPerDomain
+}
+
+// edge is one undirected adjacency entry.
+type edge struct {
+	to    NodeID
+	delay time.Duration
+}
+
+// stubDomain holds the hierarchical routing state of one stub domain.
+type stubDomain struct {
+	first NodeID // first router ID in the domain; routers are contiguous
+	size  int
+	// gatewayStub is the stub router carrying the edge to the transit core.
+	gatewayStub NodeID
+	// transit is the transit router the domain attaches to.
+	transit NodeID
+	// gatewayDelay is the delay of the gateway edge.
+	gatewayDelay time.Duration
+	// dist is the intra-domain all-pairs delay table, indexed by local
+	// offsets (id - first).
+	dist []time.Duration // size x size, row-major
+}
+
+func (d *stubDomain) intra(u, v NodeID) time.Duration {
+	return d.dist[int(u-d.first)*d.size+int(v-d.first)]
+}
+
+// Topology is an immutable generated network. Safe for concurrent reads.
+type Topology struct {
+	cfg     Config
+	adj     [][]edge
+	kinds   []Kind
+	domain  []int32 // stub router -> stub domain index; -1 for transit
+	domains []stubDomain
+	// transitDist is the all-pairs delay table over transit routers.
+	transitDist []time.Duration // T x T, row-major
+	transitN    int
+}
+
+// New generates a topology from cfg. Generation is deterministic in
+// cfg.Seed.
+func New(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.NewNamed(cfg.Seed, "topology")
+	tn := cfg.TransitCount()
+	total := tn + cfg.StubCount()
+
+	t := &Topology{
+		cfg:      cfg,
+		adj:      make([][]edge, total),
+		kinds:    make([]Kind, total),
+		domain:   make([]int32, total),
+		transitN: tn,
+	}
+	for i := 0; i < total; i++ {
+		if i < tn {
+			t.kinds[i] = Transit
+		} else {
+			t.kinds[i] = Stub
+		}
+		t.domain[i] = -1
+	}
+
+	t.wireTransitCore(rng)
+	t.wireStubDomains(rng)
+	t.buildTransitAPSP()
+	t.buildStubAPSP()
+	return t, nil
+}
+
+// addEdge inserts an undirected link.
+func (t *Topology) addEdge(u, v NodeID, delay time.Duration) {
+	t.adj[u] = append(t.adj[u], edge{to: v, delay: delay})
+	t.adj[v] = append(t.adj[v], edge{to: u, delay: delay})
+}
+
+func (t *Topology) wireTransitCore(rng *xrand.Source) {
+	c := t.cfg
+	ttDelay := func() time.Duration {
+		return rng.UniformDuration(c.TransitTransitDelay[0], c.TransitTransitDelay[1])
+	}
+	// Intra-domain: a ring guarantees connectivity, random chords add mesh.
+	for d := 0; d < c.TransitDomains; d++ {
+		base := d * c.TransitNodesPerDomain
+		n := c.TransitNodesPerDomain
+		if n > 1 {
+			for i := 0; i < n; i++ {
+				t.addEdge(NodeID(base+i), NodeID(base+(i+1)%n), ttDelay())
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 2; j < n; j++ {
+				if i == 0 && j == n-1 {
+					continue // ring edge already present
+				}
+				if rng.Float64() < c.TransitChordProbability {
+					t.addEdge(NodeID(base+i), NodeID(base+j), ttDelay())
+				}
+			}
+		}
+	}
+	// Inter-domain: ring over domains plus extra random cross links.
+	if c.TransitDomains > 1 {
+		for d := 0; d < c.TransitDomains; d++ {
+			u := NodeID(d*c.TransitNodesPerDomain + rng.Intn(c.TransitNodesPerDomain))
+			next := (d + 1) % c.TransitDomains
+			v := NodeID(next*c.TransitNodesPerDomain + rng.Intn(c.TransitNodesPerDomain))
+			t.addEdge(u, v, ttDelay())
+		}
+		for i := 0; i < c.ExtraInterDomainEdges; i++ {
+			d1 := rng.Intn(c.TransitDomains)
+			d2 := rng.Intn(c.TransitDomains)
+			if d1 == d2 {
+				continue
+			}
+			u := NodeID(d1*c.TransitNodesPerDomain + rng.Intn(c.TransitNodesPerDomain))
+			v := NodeID(d2*c.TransitNodesPerDomain + rng.Intn(c.TransitNodesPerDomain))
+			t.addEdge(u, v, ttDelay())
+		}
+	}
+}
+
+func (t *Topology) wireStubDomains(rng *xrand.Source) {
+	c := t.cfg
+	next := NodeID(t.transitN)
+	nDomains := t.transitN * c.StubDomainsPerTransit
+	t.domains = make([]stubDomain, 0, nDomains)
+	for tr := 0; tr < t.transitN; tr++ {
+		for s := 0; s < c.StubDomainsPerTransit; s++ {
+			n := c.StubNodesPerDomain
+			dom := stubDomain{
+				first:        next,
+				size:         n,
+				transit:      NodeID(tr),
+				gatewayStub:  next + NodeID(rng.Intn(n)),
+				gatewayDelay: rng.UniformDuration(c.TransitStubDelay[0], c.TransitStubDelay[1]),
+			}
+			idx := int32(len(t.domains))
+			// Intra-domain ring + chords with stub-stub delays.
+			ssDelay := func() time.Duration {
+				return rng.UniformDuration(c.StubStubDelay[0], c.StubStubDelay[1])
+			}
+			if n > 1 {
+				for i := 0; i < n; i++ {
+					t.addEdge(next+NodeID(i), next+NodeID((i+1)%n), ssDelay())
+				}
+			}
+			for i := 0; i < n; i++ {
+				t.domain[next+NodeID(i)] = idx
+				for j := i + 2; j < n; j++ {
+					if i == 0 && j == n-1 {
+						continue
+					}
+					if rng.Float64() < c.StubChordProbability {
+						t.addEdge(next+NodeID(i), next+NodeID(j), ssDelay())
+					}
+				}
+			}
+			// Single gateway edge keeps the domain single-homed, which is
+			// what makes the hierarchical oracle exact.
+			t.addEdge(dom.gatewayStub, dom.transit, dom.gatewayDelay)
+			t.domains = append(t.domains, dom)
+			next += NodeID(n)
+		}
+	}
+}
+
+// inf is an unreachable-distance sentinel.
+const inf = time.Duration(1) << 60
+
+// buildTransitAPSP runs Dijkstra from every transit router over the transit
+// core only (stub domains cannot carry through traffic).
+func (t *Topology) buildTransitAPSP() {
+	n := t.transitN
+	t.transitDist = make([]time.Duration, n*n)
+	for src := 0; src < n; src++ {
+		row := t.transitDist[src*n : (src+1)*n]
+		t.dijkstraTransit(NodeID(src), row)
+	}
+}
+
+// dijkstraTransit fills dist (length transitN) with shortest delays from src
+// using only transit-transit edges.
+func (t *Topology) dijkstraTransit(src NodeID, dist []time.Duration) {
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	pq := newDelayHeap(t.transitN)
+	pq.push(src, 0)
+	for pq.len() > 0 {
+		u, du := pq.pop()
+		if du > dist[u] {
+			continue
+		}
+		for _, e := range t.adj[u] {
+			if int(e.to) >= t.transitN {
+				continue // skip stub edges
+			}
+			if nd := du + e.delay; nd < dist[e.to] {
+				dist[e.to] = nd
+				pq.push(e.to, nd)
+			}
+		}
+	}
+}
+
+// buildStubAPSP computes per-domain all-pairs tables with Floyd-Warshall
+// (domains are small, typically 16 routers).
+func (t *Topology) buildStubAPSP() {
+	for di := range t.domains {
+		dom := &t.domains[di]
+		n := dom.size
+		dist := make([]time.Duration, n*n)
+		for i := range dist {
+			dist[i] = inf
+		}
+		for i := 0; i < n; i++ {
+			dist[i*n+i] = 0
+			u := dom.first + NodeID(i)
+			for _, e := range t.adj[u] {
+				if t.domain[e.to] != int32(di) {
+					continue // the gateway edge leaves the domain
+				}
+				j := int(e.to - dom.first)
+				if e.delay < dist[i*n+j] {
+					dist[i*n+j] = e.delay
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				dik := dist[i*n+k]
+				if dik == inf {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if nd := dik + dist[k*n+j]; nd < dist[i*n+j] {
+						dist[i*n+j] = nd
+					}
+				}
+			}
+		}
+		dom.dist = dist
+	}
+}
+
+// Size returns the total number of routers.
+func (t *Topology) Size() int { return len(t.adj) }
+
+// TransitCount returns the number of transit routers.
+func (t *Topology) TransitCount() int { return t.transitN }
+
+// StubCount returns the number of stub routers.
+func (t *Topology) StubCount() int { return len(t.adj) - t.transitN }
+
+// KindOf returns the router kind of id.
+func (t *Topology) KindOf(id NodeID) Kind { return t.kinds[id] }
+
+// Stubs returns the IDs of all stub routers, in ascending order. The caller
+// owns the returned slice.
+func (t *Topology) Stubs() []NodeID {
+	out := make([]NodeID, 0, t.StubCount())
+	for i := t.transitN; i < len(t.adj); i++ {
+		out = append(out, NodeID(i))
+	}
+	return out
+}
+
+// RandomStub returns a uniformly random stub router drawn from rng.
+func (t *Topology) RandomStub(rng *xrand.Source) NodeID {
+	return NodeID(t.transitN + rng.Intn(t.StubCount()))
+}
+
+// Degree returns the number of links incident to id.
+func (t *Topology) Degree(id NodeID) int { return len(t.adj[id]) }
+
+// VisitLinks calls fn once per undirected link (a < b), in ascending order
+// of a. Used by exporters and structural tests.
+func (t *Topology) VisitLinks(fn func(a, b NodeID, delay time.Duration)) {
+	for u := range t.adj {
+		for _, e := range t.adj[u] {
+			if NodeID(u) < e.to {
+				fn(NodeID(u), e.to, e.delay)
+			}
+		}
+	}
+}
+
+// Delay returns the shortest-path delay between two routers using the
+// hierarchical oracle. It is exact for the generated single-homed topologies
+// (verified against full-graph Dijkstra in tests).
+func (t *Topology) Delay(u, v NodeID) time.Duration {
+	if u == v {
+		return 0
+	}
+	du, dv := t.domain[u], t.domain[v]
+	switch {
+	case du < 0 && dv < 0: // transit <-> transit
+		return t.transitDist[int(u)*t.transitN+int(v)]
+	case du < 0: // transit -> stub
+		return t.stubToTransit(v, u)
+	case dv < 0: // stub -> transit
+		return t.stubToTransit(u, v)
+	case du == dv: // same stub domain
+		return t.domains[du].intra(u, v)
+	default: // stub -> stub across domains
+		su, sv := &t.domains[du], &t.domains[dv]
+		return su.intra(u, su.gatewayStub) + su.gatewayDelay +
+			t.transitDist[int(su.transit)*t.transitN+int(sv.transit)] +
+			sv.gatewayDelay + sv.intra(sv.gatewayStub, v)
+	}
+}
+
+// stubToTransit returns the delay from stub router s to transit router tr.
+func (t *Topology) stubToTransit(s, tr NodeID) time.Duration {
+	dom := &t.domains[t.domain[s]]
+	return dom.intra(s, dom.gatewayStub) + dom.gatewayDelay +
+		t.transitDist[int(dom.transit)*t.transitN+int(tr)]
+}
+
+// DijkstraFrom computes exact shortest-path delays from src over the full
+// graph. It exists for validation and for the distance-oracle ablation bench;
+// hot paths use Delay.
+func (t *Topology) DijkstraFrom(src NodeID) []time.Duration {
+	dist := make([]time.Duration, len(t.adj))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	pq := newDelayHeap(len(t.adj))
+	pq.push(src, 0)
+	for pq.len() > 0 {
+		u, du := pq.pop()
+		if du > dist[u] {
+			continue
+		}
+		for _, e := range t.adj[u] {
+			if nd := du + e.delay; nd < dist[e.to] {
+				dist[e.to] = nd
+				pq.push(e.to, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether every router is reachable from router 0.
+func (t *Topology) Connected() bool {
+	dist := t.DijkstraFrom(0)
+	for _, d := range dist {
+		if d == inf {
+			return false
+		}
+	}
+	return true
+}
+
+// delayHeap is a minimal binary heap specialised to (NodeID, delay) pairs;
+// it avoids container/heap interface overhead in the hot APSP loops.
+type delayHeap struct {
+	ids    []NodeID
+	delays []time.Duration
+}
+
+func newDelayHeap(capacity int) *delayHeap {
+	return &delayHeap{
+		ids:    make([]NodeID, 0, capacity),
+		delays: make([]time.Duration, 0, capacity),
+	}
+}
+
+func (h *delayHeap) len() int { return len(h.ids) }
+
+func (h *delayHeap) push(id NodeID, d time.Duration) {
+	h.ids = append(h.ids, id)
+	h.delays = append(h.delays, d)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.delays[parent] <= h.delays[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *delayHeap) pop() (NodeID, time.Duration) {
+	id, d := h.ids[0], h.delays[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.delays = h.delays[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.delays[l] < h.delays[smallest] {
+			smallest = l
+		}
+		if r < last && h.delays[r] < h.delays[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return id, d
+}
+
+func (h *delayHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.delays[i], h.delays[j] = h.delays[j], h.delays[i]
+}

@@ -1,0 +1,59 @@
+package topology
+
+import (
+	"testing"
+
+	"omcast/internal/xrand"
+)
+
+// benchTopo builds the paper-scale topology once per benchmark binary.
+var benchTopo *Topology
+
+func getBenchTopo(b *testing.B) *Topology {
+	b.Helper()
+	if benchTopo == nil {
+		topo, err := New(DefaultConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTopo = topo
+	}
+	return benchTopo
+}
+
+// BenchmarkGenerate measures building the 15600-router topology (including
+// both APSP stages).
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(DefaultConfig(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDelayOracle measures the O(1) hierarchical distance query — the
+// hot path of every join tie-break and stretch sample.
+func BenchmarkDelayOracle(b *testing.B) {
+	topo := getBenchTopo(b)
+	rng := xrand.New(2)
+	pairs := make([][2]NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]NodeID{topo.RandomStub(rng), topo.RandomStub(rng)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		_ = topo.Delay(p[0], p[1])
+	}
+}
+
+// BenchmarkDijkstraFull is the alternative the oracle replaces: one
+// full-graph single-source shortest path over 15600 routers.
+func BenchmarkDijkstraFull(b *testing.B) {
+	topo := getBenchTopo(b)
+	rng := xrand.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = topo.DijkstraFrom(topo.RandomStub(rng))
+	}
+}

@@ -1,0 +1,333 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"omcast/internal/xrand"
+)
+
+// smallConfig returns a modest topology good for exhaustive checks.
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.TransitDomains = 3
+	cfg.TransitNodesPerDomain = 5
+	cfg.StubDomainsPerTransit = 2
+	cfg.StubNodesPerDomain = 6
+	return cfg
+}
+
+func mustNew(t *testing.T, cfg Config) *Topology {
+	t.Helper()
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return topo
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.TransitDomains = 0 },
+		func(c *Config) { c.TransitNodesPerDomain = -1 },
+		func(c *Config) { c.StubDomainsPerTransit = -2 },
+		func(c *Config) { c.StubNodesPerDomain = 0 },
+		func(c *Config) { c.TransitTransitDelay = [2]time.Duration{0, time.Millisecond} },
+		func(c *Config) { c.StubStubDelay = [2]time.Duration{4 * time.Millisecond, 2 * time.Millisecond} },
+		func(c *Config) { c.TransitChordProbability = 1.5 },
+		func(c *Config) { c.StubChordProbability = -0.1 },
+	}
+	for i, mutate := range bads {
+		cfg := DefaultConfig(1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation", i)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	cfg := smallConfig(7)
+	topo := mustNew(t, cfg)
+	wantTransit := 3 * 5
+	wantStub := wantTransit * 2 * 6
+	if topo.TransitCount() != wantTransit {
+		t.Fatalf("TransitCount = %d, want %d", topo.TransitCount(), wantTransit)
+	}
+	if topo.StubCount() != wantStub {
+		t.Fatalf("StubCount = %d, want %d", topo.StubCount(), wantStub)
+	}
+	if topo.Size() != wantTransit+wantStub {
+		t.Fatalf("Size = %d, want %d", topo.Size(), wantTransit+wantStub)
+	}
+	if len(topo.Stubs()) != wantStub {
+		t.Fatalf("Stubs() has %d entries, want %d", len(topo.Stubs()), wantStub)
+	}
+}
+
+func TestPaperScaleCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale topology in -short mode")
+	}
+	cfg := DefaultConfig(42)
+	topo := mustNew(t, cfg)
+	if topo.Size() != 15600 {
+		t.Fatalf("paper topology has %d routers, want 15600", topo.Size())
+	}
+	if topo.TransitCount() != 240 {
+		t.Fatalf("transit routers = %d, want 240", topo.TransitCount())
+	}
+	if topo.StubCount() != 15360 {
+		t.Fatalf("stub routers = %d, want 15360", topo.StubCount())
+	}
+}
+
+func TestKinds(t *testing.T) {
+	topo := mustNew(t, smallConfig(3))
+	for id := NodeID(0); id < NodeID(topo.Size()); id++ {
+		want := Stub
+		if int(id) < topo.TransitCount() {
+			want = Transit
+		}
+		if got := topo.KindOf(id); got != want {
+			t.Fatalf("KindOf(%d) = %v, want %v", id, got, want)
+		}
+	}
+	if Transit.String() != "transit" || Stub.String() != "stub" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		topo := mustNew(t, smallConfig(seed))
+		if !topo.Connected() {
+			t.Fatalf("topology with seed %d is disconnected", seed)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := mustNew(t, smallConfig(11))
+	b := mustNew(t, smallConfig(11))
+	rng := xrand.New(1)
+	for i := 0; i < 500; i++ {
+		u := NodeID(rng.Intn(a.Size()))
+		v := NodeID(rng.Intn(a.Size()))
+		if a.Delay(u, v) != b.Delay(u, v) {
+			t.Fatalf("same seed produced different delays for (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := mustNew(t, smallConfig(1))
+	b := mustNew(t, smallConfig(2))
+	diff := 0
+	for u := NodeID(0); u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			if a.Delay(u, v) != b.Delay(u, v) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical delay structure")
+	}
+}
+
+// TestOracleMatchesDijkstra is the key correctness property: the O(1)
+// hierarchical oracle must agree exactly with full-graph Dijkstra.
+func TestOracleMatchesDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		topo := mustNew(t, smallConfig(seed))
+		for src := NodeID(0); src < NodeID(topo.Size()); src += 7 {
+			dist := topo.DijkstraFrom(src)
+			for v := NodeID(0); v < NodeID(topo.Size()); v++ {
+				if got := topo.Delay(src, v); got != dist[v] {
+					t.Fatalf("seed %d: Delay(%d,%d) = %v, Dijkstra says %v",
+						seed, src, v, got, dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDelaySymmetricAndZeroOnSelf(t *testing.T) {
+	topo := mustNew(t, smallConfig(5))
+	rng := xrand.New(2)
+	for i := 0; i < 1000; i++ {
+		u := NodeID(rng.Intn(topo.Size()))
+		v := NodeID(rng.Intn(topo.Size()))
+		if topo.Delay(u, u) != 0 {
+			t.Fatalf("Delay(%d,%d) != 0", u, u)
+		}
+		if topo.Delay(u, v) != topo.Delay(v, u) {
+			t.Fatalf("Delay not symmetric for (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	topo := mustNew(t, smallConfig(6))
+	rng := xrand.New(3)
+	for i := 0; i < 2000; i++ {
+		u := NodeID(rng.Intn(topo.Size()))
+		v := NodeID(rng.Intn(topo.Size()))
+		w := NodeID(rng.Intn(topo.Size()))
+		if topo.Delay(u, w) > topo.Delay(u, v)+topo.Delay(v, w) {
+			t.Fatalf("triangle inequality violated for (%d,%d,%d)", u, v, w)
+		}
+	}
+}
+
+func TestDelayPositiveBetweenDistinct(t *testing.T) {
+	topo := mustNew(t, smallConfig(8))
+	rng := xrand.New(4)
+	for i := 0; i < 1000; i++ {
+		u := NodeID(rng.Intn(topo.Size()))
+		v := NodeID(rng.Intn(topo.Size()))
+		if u == v {
+			continue
+		}
+		if topo.Delay(u, v) <= 0 {
+			t.Fatalf("Delay(%d,%d) = %v, want > 0", u, v, topo.Delay(u, v))
+		}
+	}
+}
+
+// TestDelayRangesRespectConfig spot-checks that adjacent-router delays fall
+// inside the configured uniform ranges (link-level property).
+func TestDelayRangesRespectConfig(t *testing.T) {
+	cfg := smallConfig(9)
+	topo := mustNew(t, cfg)
+	for u := 0; u < topo.Size(); u++ {
+		for _, e := range topo.adj[u] {
+			ku, kv := topo.kinds[u], topo.kinds[e.to]
+			var lo, hi time.Duration
+			switch {
+			case ku == Transit && kv == Transit:
+				lo, hi = cfg.TransitTransitDelay[0], cfg.TransitTransitDelay[1]
+			case ku == Stub && kv == Stub:
+				lo, hi = cfg.StubStubDelay[0], cfg.StubStubDelay[1]
+			default:
+				lo, hi = cfg.TransitStubDelay[0], cfg.TransitStubDelay[1]
+			}
+			if e.delay < lo || e.delay >= hi {
+				t.Fatalf("link %d(%v)-%d(%v) delay %v outside [%v,%v)",
+					u, ku, e.to, kv, e.delay, lo, hi)
+			}
+		}
+	}
+}
+
+func TestStubDomainsSingleHomed(t *testing.T) {
+	topo := mustNew(t, smallConfig(10))
+	// Each stub domain must have exactly one edge leaving it.
+	exits := make(map[int32]int)
+	for u := 0; u < topo.Size(); u++ {
+		if topo.domain[u] < 0 {
+			continue
+		}
+		for _, e := range topo.adj[u] {
+			if topo.domain[e.to] != topo.domain[u] {
+				exits[topo.domain[u]]++
+			}
+		}
+	}
+	if len(exits) != len(topo.domains) {
+		t.Fatalf("%d domains have exits, want %d", len(exits), len(topo.domains))
+	}
+	for dom, n := range exits {
+		if n != 1 {
+			t.Fatalf("stub domain %d has %d exit edges, want 1", dom, n)
+		}
+	}
+}
+
+func TestRandomStubIsStub(t *testing.T) {
+	topo := mustNew(t, smallConfig(12))
+	rng := xrand.New(5)
+	for i := 0; i < 500; i++ {
+		if s := topo.RandomStub(rng); topo.KindOf(s) != Stub {
+			t.Fatalf("RandomStub returned non-stub %d", s)
+		}
+	}
+}
+
+func TestDegreePositive(t *testing.T) {
+	topo := mustNew(t, smallConfig(13))
+	for id := NodeID(0); id < NodeID(topo.Size()); id++ {
+		if topo.Degree(id) == 0 {
+			t.Fatalf("router %d has degree 0", id)
+		}
+	}
+}
+
+func TestSingleTransitDomain(t *testing.T) {
+	cfg := smallConfig(14)
+	cfg.TransitDomains = 1
+	topo := mustNew(t, cfg)
+	if !topo.Connected() {
+		t.Fatal("single-domain topology disconnected")
+	}
+	// Oracle still exact.
+	dist := topo.DijkstraFrom(0)
+	for v := NodeID(0); v < NodeID(topo.Size()); v++ {
+		if topo.Delay(0, v) != dist[v] {
+			t.Fatalf("oracle mismatch at %d", v)
+		}
+	}
+}
+
+func TestTinyStubDomains(t *testing.T) {
+	cfg := smallConfig(15)
+	cfg.StubNodesPerDomain = 1
+	topo := mustNew(t, cfg)
+	if !topo.Connected() {
+		t.Fatal("1-router stub domains disconnected")
+	}
+	dist := topo.DijkstraFrom(NodeID(topo.TransitCount())) // a stub router
+	for v := NodeID(0); v < NodeID(topo.Size()); v++ {
+		if topo.Delay(NodeID(topo.TransitCount()), v) != dist[v] {
+			t.Fatalf("oracle mismatch at %d with singleton stub domains", v)
+		}
+	}
+}
+
+func TestNoStubDomains(t *testing.T) {
+	cfg := smallConfig(16)
+	cfg.StubDomainsPerTransit = 0
+	topo := mustNew(t, cfg)
+	if topo.StubCount() != 0 {
+		t.Fatalf("StubCount = %d, want 0", topo.StubCount())
+	}
+	if !topo.Connected() {
+		t.Fatal("transit-only topology disconnected")
+	}
+}
+
+func TestVisitLinks(t *testing.T) {
+	topo := mustNew(t, smallConfig(17))
+	count := 0
+	degSum := 0
+	topo.VisitLinks(func(a, b NodeID, delay time.Duration) {
+		if a >= b {
+			t.Fatalf("link (%d,%d) not canonically ordered", a, b)
+		}
+		if delay <= 0 {
+			t.Fatalf("link (%d,%d) has delay %v", a, b, delay)
+		}
+		count++
+	})
+	for id := NodeID(0); int(id) < topo.Size(); id++ {
+		degSum += topo.Degree(id)
+	}
+	if count != degSum/2 {
+		t.Fatalf("VisitLinks saw %d links, degree sum says %d", count, degSum/2)
+	}
+}

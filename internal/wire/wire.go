@@ -1,0 +1,172 @@
+// Package wire defines the message vocabulary of the live protocol runtime
+// (internal/node): the joining handshake, parent/child heartbeats, stream
+// packets, Explicit Loss Notification, CER repair exchanges, membership
+// gossip and the ROST switching handshake. Messages travel as
+// length-delimited JSON envelopes — compact enough for a control protocol,
+// and trivially debuggable with standard tooling.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Type discriminates protocol messages.
+type Type int
+
+// Message types.
+const (
+	// TypeJoin asks a prospective parent for a slot.
+	TypeJoin Type = iota + 1
+	// TypeAccept grants a slot (the joiner is now a child).
+	TypeAccept
+	// TypeReject declines a join (no spare out-degree).
+	TypeReject
+	// TypeLeave announces a graceful departure to neighbours.
+	TypeLeave
+	// TypeHeartbeat is the parent/child liveness exchange.
+	TypeHeartbeat
+	// TypePacket carries one stream packet.
+	TypePacket
+	// TypeELN is the Explicit Loss Notification: "this gap is not my fault;
+	// recovery is happening upstream".
+	TypeELN
+	// TypeRepairRequest asks a recovery node for missing packets.
+	TypeRepairRequest
+	// TypeRepairData returns repaired packets.
+	TypeRepairData
+	// TypeMembershipRequest asks a peer for the members it knows.
+	TypeMembershipRequest
+	// TypeMembershipReply returns a sample of known members.
+	TypeMembershipReply
+	// TypeSwitchPropose opens the ROST switching handshake with the parent
+	// (carries the initiator's claimed BTP).
+	TypeSwitchPropose
+	// TypeSwitchAccept locks the parent and approves the exchange.
+	TypeSwitchAccept
+	// TypeSwitchReject declines (lock held, claim rejected, or condition
+	// stale).
+	TypeSwitchReject
+	// TypeSwitchCommit finalises the exchange; both sides re-point links.
+	TypeSwitchCommit
+)
+
+// String names the message type.
+func (t Type) String() string {
+	switch t {
+	case TypeJoin:
+		return "join"
+	case TypeAccept:
+		return "accept"
+	case TypeReject:
+		return "reject"
+	case TypeLeave:
+		return "leave"
+	case TypeHeartbeat:
+		return "heartbeat"
+	case TypePacket:
+		return "packet"
+	case TypeELN:
+		return "eln"
+	case TypeRepairRequest:
+		return "repair-request"
+	case TypeRepairData:
+		return "repair-data"
+	case TypeMembershipRequest:
+		return "membership-request"
+	case TypeMembershipReply:
+		return "membership-reply"
+	case TypeSwitchPropose:
+		return "switch-propose"
+	case TypeSwitchAccept:
+		return "switch-accept"
+	case TypeSwitchReject:
+		return "switch-reject"
+	case TypeSwitchCommit:
+		return "switch-commit"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Addr identifies a protocol endpoint (transport-specific string: a map key
+// for the in-memory transport, host:port for UDP).
+type Addr string
+
+// MemberInfo is the gossip record for one member: enough for min-depth
+// parent selection (depth, spare slots) and MLC group construction (the
+// ancestor path).
+type MemberInfo struct {
+	Addr Addr `json:"addr"`
+	// Depth is the member's layer in the tree.
+	Depth int `json:"depth"`
+	// Spare is its remaining out-degree.
+	Spare int `json:"spare"`
+	// Bandwidth is its advertised outbound bandwidth.
+	Bandwidth float64 `json:"bandwidth"`
+	// Ancestors is the member's root path, nearest first.
+	Ancestors []Addr `json:"ancestors,omitempty"`
+}
+
+// Envelope is the on-wire frame.
+type Envelope struct {
+	Type Type `json:"type"`
+	From Addr `json:"from"`
+
+	// Join / Accept / Reject.
+	Bandwidth float64 `json:"bandwidth,omitempty"` // joiner's advertised bandwidth
+	Depth     int     `json:"depth,omitempty"`     // acceptor's depth
+
+	// Heartbeat.
+	Seq uint64 `json:"seq,omitempty"`
+
+	// Packet / RepairData.
+	Packet  int64  `json:"packet,omitempty"`  // sequence number
+	Payload []byte `json:"payload,omitempty"` // opaque media bytes
+
+	// ELN / RepairRequest: the missing range [FirstMissing, LastMissing].
+	FirstMissing int64 `json:"first_missing,omitempty"`
+	LastMissing  int64 `json:"last_missing,omitempty"`
+	// Chain lists further recovery nodes for NACK forwarding.
+	Chain []Addr `json:"chain,omitempty"`
+	// Requester is the original repair requester when a request is
+	// forwarded along the chain (From is always the immediate sender).
+	Requester Addr `json:"requester,omitempty"`
+	// Epsilon is the responder's residual bandwidth share already consumed
+	// (striping offset) when a request is forwarded along the chain.
+	Epsilon float64 `json:"epsilon,omitempty"`
+
+	// Membership gossip.
+	Members []MemberInfo `json:"members,omitempty"`
+	// Limit bounds a membership reply.
+	Limit int `json:"limit,omitempty"`
+
+	// Switch handshake.
+	BTP float64 `json:"btp,omitempty"` // initiator's claimed bandwidth-time product
+	// NewParent tells a re-pointed child where to attach after a commit.
+	NewParent Addr `json:"new_parent,omitempty"`
+}
+
+// Encode serialises the envelope.
+func Encode(env Envelope) ([]byte, error) {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encoding %v: %w", env.Type, err)
+	}
+	return b, nil
+}
+
+// Decode parses an envelope and validates its type.
+func Decode(b []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decoding: %w", err)
+	}
+	if env.Type < TypeJoin || env.Type > TypeSwitchCommit {
+		return Envelope{}, fmt.Errorf("wire: unknown message type %d", int(env.Type))
+	}
+	if env.From == "" {
+		return Envelope{}, fmt.Errorf("wire: %v message without sender", env.Type)
+	}
+	return env, nil
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{Type: TypeJoin, From: "a", Bandwidth: 3.5},
+		{Type: TypeAccept, From: "b", Depth: 2},
+		{Type: TypeReject, From: "b"},
+		{Type: TypeLeave, From: "c"},
+		{Type: TypeHeartbeat, From: "a", Seq: 42},
+		{Type: TypePacket, From: "s", Packet: 1000, Payload: []byte{1, 2, 3}},
+		{Type: TypeELN, From: "a", FirstMissing: 10, LastMissing: 20},
+		{Type: TypeRepairRequest, From: "a", FirstMissing: 10, LastMissing: 160, Chain: []Addr{"r2", "r3"}, Epsilon: 0.4},
+		{Type: TypeRepairData, From: "r", Packet: 15, Payload: []byte("x")},
+		{Type: TypeMembershipRequest, From: "a", Limit: 100},
+		{Type: TypeMembershipReply, From: "b", Members: []MemberInfo{
+			{Addr: "m1", Depth: 3, Spare: 2, Bandwidth: 4, Ancestors: []Addr{"p", "root"}},
+		}},
+		{Type: TypeSwitchPropose, From: "a", BTP: 123.4},
+		{Type: TypeSwitchAccept, From: "p"},
+		{Type: TypeSwitchReject, From: "p"},
+		{Type: TypeSwitchCommit, From: "a", NewParent: "a"},
+	}
+	for _, env := range cases {
+		b, err := Encode(env)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", env.Type, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", env.Type, err)
+		}
+		if got.Type != env.Type || got.From != env.From {
+			t.Fatalf("round trip changed identity: %+v -> %+v", env, got)
+		}
+		if got.Packet != env.Packet || got.FirstMissing != env.FirstMissing ||
+			got.LastMissing != env.LastMissing || got.BTP != env.BTP ||
+			got.Seq != env.Seq || got.NewParent != env.NewParent {
+			t.Fatalf("round trip changed fields: %+v -> %+v", env, got)
+		}
+		if len(got.Chain) != len(env.Chain) || len(got.Members) != len(env.Members) {
+			t.Fatalf("round trip changed slices: %+v -> %+v", env, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode([]byte(`{"type":999,"from":"a"}`)); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := Decode([]byte(`{"type":1}`)); err == nil {
+		t.Fatal("missing sender accepted")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := TypeJoin; ty <= TypeSwitchCommit; ty++ {
+		if s := ty.String(); strings.HasPrefix(s, "Type(") {
+			t.Fatalf("type %d has no name", int(ty))
+		}
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Fatal("unknown type string wrong")
+	}
+}
+
+// TestRoundTripProperty: any envelope with a valid type and sender survives
+// the round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(tRaw uint8, from string, pkt int64, btp float64, seq uint64) bool {
+		if from == "" {
+			from = "x"
+		}
+		env := Envelope{
+			Type:   Type(int(tRaw)%int(TypeSwitchCommit) + 1),
+			From:   Addr(from),
+			Packet: pkt,
+			BTP:    btp,
+			Seq:    seq,
+		}
+		b, err := Encode(env)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return got.Type == env.Type && got.From == env.From &&
+			got.Packet == env.Packet && got.BTP == env.BTP && got.Seq == env.Seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

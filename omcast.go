@@ -1,0 +1,705 @@
+// Package omcast is a faithful, from-scratch reproduction of "Improving the
+// Fault Resilience of Overlay Multicast for Media Streaming" (Tan, Jarvis,
+// Spooner — DSN 2006) as a reusable Go library.
+//
+// The paper proposes two techniques for single-tree overlay live streaming:
+//
+//   - ROST, the Reliability-Oriented Switching Tree algorithm: members climb
+//     the tree as their bandwidth-time product (outbound bandwidth x age)
+//     grows, producing a tree partially ordered in both bandwidth and time
+//     that suffers far fewer streaming disruptions than depth-optimal or
+//     age-ordered trees, at almost no protocol overhead.
+//
+//   - CER, the Cooperative Error Recovery protocol: when an upstream member
+//     fails, the affected node repairs the missing stream from a
+//     minimum-loss-correlation group of recovery nodes, striping the missing
+//     sequence space across their residual bandwidths.
+//
+// This package is the public façade: it assembles the simulation substrate
+// (GT-ITM-style transit-stub underlay, discrete-event kernel, churn driver,
+// the five tree-construction algorithms, the CER/MLC recovery machinery and
+// the packet-level playback model — all implemented in internal/...) behind
+// three entry points:
+//
+//	Run          — tree-level experiment: disruptions, delay, stretch, overhead
+//	RunStreaming — packet-level experiment: starving-time ratios under CER
+//	RunTracked   — the "typical member" time series of Figures 6 and 9
+//
+// Every run is deterministic in Config.Seed.
+package omcast
+
+import (
+	"fmt"
+	"time"
+
+	"omcast/internal/cer"
+	"omcast/internal/churn"
+	"omcast/internal/construct"
+	"omcast/internal/eventsim"
+	"omcast/internal/multitree"
+	"omcast/internal/overlay"
+	"omcast/internal/rost"
+	"omcast/internal/stream"
+	"omcast/internal/topology"
+	"omcast/internal/xrand"
+)
+
+// Algorithm selects the overlay construction algorithm (Section 5 of the
+// paper implements and compares these five).
+type Algorithm int
+
+// The five algorithms of the paper's evaluation.
+const (
+	// MinimumDepth joins under the highest spare-capacity member known.
+	MinimumDepth Algorithm = iota + 1
+	// LongestFirst joins under the oldest spare-capacity member known.
+	LongestFirst
+	// RelaxedBandwidthOrdered is the centralized eviction-based variant of
+	// the high-bandwidth-first (BO) algorithm.
+	RelaxedBandwidthOrdered
+	// RelaxedTimeOrdered is the centralized eviction-based variant of the
+	// time-ordered (TO) algorithm.
+	RelaxedTimeOrdered
+	// ROST is the paper's Reliability-Oriented Switching Tree algorithm.
+	ROST
+)
+
+// Algorithms lists all five in the order the paper's figures present them.
+var Algorithms = []Algorithm{
+	MinimumDepth, RelaxedBandwidthOrdered, LongestFirst, RelaxedTimeOrdered, ROST,
+}
+
+// String returns the display name used in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case MinimumDepth:
+		return "Minimum-depth"
+	case LongestFirst:
+		return "Longest-first"
+	case RelaxedBandwidthOrdered:
+		return "Relaxed bandwidth-ordered"
+	case RelaxedTimeOrdered:
+		return "Relaxed time-ordered"
+	case ROST:
+		return "ROST"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// TopologyOptions scales the generated transit-stub underlay. The zero value
+// reproduces the paper's 15600-router topology (240 transit + 15360 stub).
+type TopologyOptions struct {
+	TransitDomains        int
+	TransitNodesPerDomain int
+	StubDomainsPerTransit int
+	StubNodesPerDomain    int
+}
+
+// SmallTopology is a reduced underlay (~800 routers) for quick runs, tests
+// and benchmarks; member placement and delay laws are unchanged.
+func SmallTopology() TopologyOptions {
+	return TopologyOptions{
+		TransitDomains:        3,
+		TransitNodesPerDomain: 8,
+		StubDomainsPerTransit: 4,
+		StubNodesPerDomain:    8,
+	}
+}
+
+// Config describes one simulated multicast session. Zero fields take the
+// paper's defaults (Section 5).
+type Config struct {
+	// Seed drives every random choice in the run.
+	Seed int64
+	// Algorithm is the tree-construction algorithm; default ROST.
+	Algorithm Algorithm
+	// TargetSize is the steady-state member count M (the paper sweeps
+	// 2000-14000). Required.
+	TargetSize int
+	// Topology scales the underlay; zero value = the paper's 15600 routers.
+	Topology TopologyOptions
+	// SwitchInterval is ROST's switching interval; default 360 s.
+	SwitchInterval time.Duration
+	// EnableReferees turns on the Section 3.4 cheat-prevention mechanism
+	// (BTP claims verified against referee witnesses before any switch).
+	EnableReferees bool
+	// ContributorPriority applies the Section 3.2 incentive rule to ROST
+	// joins: free-riders are parked at the deepest spare position.
+	ContributorPriority bool
+	// DisableBandwidthGuard removes ROST's "child bandwidth >= parent
+	// bandwidth" switching precondition (ablation).
+	DisableBandwidthGuard bool
+	// Warmup and Measure bound the run: the overlay is pre-populated at the
+	// stationary churn regime, churns for Warmup, then metrics accumulate
+	// for Measure. Defaults: Warmup 1800 s, Measure 3600 s.
+	Warmup  time.Duration
+	Measure time.Duration
+	// RootBandwidth is the source's outbound bandwidth; default 100.
+	RootBandwidth float64
+	// SessionAge is how long the seeded session has notionally been running
+	// at time zero (bounds member ages); default 4 hours.
+	SessionAge time.Duration
+	// DisableAncestorRejoin turns off the default orphan-repair rule
+	// (re-attach under the nearest surviving ancestor with spare capacity,
+	// which every member knows per Section 4.1) and forces orphans through
+	// the construction strategy's full join procedure instead.
+	DisableAncestorRejoin bool
+	// Lifetime and Bandwidth override the churn distributions (defaults:
+	// lognormal(5.5, 2.0) seconds and bounded Pareto(1.2, 0.5, 100)).
+	Lifetime  xrand.Lognormal
+	Bandwidth xrand.BoundedPareto
+	// FlashCrowd, when non-nil, injects a burst of simultaneous arrivals on
+	// top of the Poisson process (the scalability scenario the paper's
+	// Section 3.1 motivates distributed construction with).
+	FlashCrowd *FlashCrowd
+	// Cheaters injects this many members that persistently advertise
+	// CheatFactor times their true BTP (Section 3.4's threat model). Forces
+	// the referee mechanism on for claim propagation; pair with
+	// DisableClaimVerification for the unprotected control.
+	Cheaters int
+	// CheatFactor is the claim inflation; 0 means 50x.
+	CheatFactor float64
+	// DisableClaimVerification keeps cheaters' inflated claims unverified
+	// (the control scenario showing why referees are needed).
+	DisableClaimVerification bool
+}
+
+// FlashCrowd describes a burst of simultaneous arrivals.
+type FlashCrowd struct {
+	// At is the virtual time of the burst.
+	At time.Duration
+	// Size is how many members arrive at once.
+	Size int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Algorithm == 0 {
+		c.Algorithm = ROST
+	}
+	if c.SwitchInterval <= 0 {
+		c.SwitchInterval = rost.DefaultSwitchInterval
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 1800 * time.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 3600 * time.Second
+	}
+	if c.RootBandwidth <= 0 {
+		c.RootBandwidth = churn.DefaultRootBandwidth
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TargetSize <= 0 {
+		return fmt.Errorf("omcast: TargetSize = %d, want > 0", c.TargetSize)
+	}
+	switch c.Algorithm {
+	case 0, MinimumDepth, LongestFirst, RelaxedBandwidthOrdered, RelaxedTimeOrdered, ROST:
+	default:
+		return fmt.Errorf("omcast: unknown algorithm %d", int(c.Algorithm))
+	}
+	return nil
+}
+
+func (o TopologyOptions) toInternal(seed int64) topology.Config {
+	cfg := topology.DefaultConfig(seed)
+	if o.TransitDomains > 0 {
+		cfg.TransitDomains = o.TransitDomains
+	}
+	if o.TransitNodesPerDomain > 0 {
+		cfg.TransitNodesPerDomain = o.TransitNodesPerDomain
+	}
+	if o.StubDomainsPerTransit > 0 {
+		cfg.StubDomainsPerTransit = o.StubDomainsPerTransit
+	}
+	if o.StubNodesPerDomain > 0 {
+		cfg.StubNodesPerDomain = o.StubNodesPerDomain
+	}
+	return cfg
+}
+
+// session is one assembled simulation.
+type session struct {
+	cfg      Config
+	sim      *eventsim.Simulator
+	topo     *topology.Topology
+	tree     *overlay.Tree
+	env      *construct.Env
+	strategy construct.Strategy
+	protocol *rost.Protocol // nil unless Algorithm == ROST
+	referees *rost.Referees // nil unless enabled
+	driver   *churn.Driver
+	cheaters map[overlay.MemberID]bool // nil unless Cheaters > 0
+}
+
+// newSession builds the full substrate stack for cfg, with extra hooks
+// merged in (used by the streaming layer).
+func newSession(cfg Config, extra churn.Hooks) (*session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := topology.New(cfg.Topology.toInternal(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("omcast: building underlay: %w", err)
+	}
+	s := &session{cfg: cfg, sim: eventsim.New(), topo: topo}
+	rootAttach := topo.RandomStub(xrand.NewNamed(cfg.Seed, "source.attach"))
+	s.tree, err = overlay.NewTree(rootAttach, cfg.RootBandwidth, topo.Delay)
+	if err != nil {
+		return nil, fmt.Errorf("omcast: creating tree: %w", err)
+	}
+	s.env = &construct.Env{
+		Rng:            xrand.NewNamed(cfg.Seed, "strategy"),
+		Delay:          topo.Delay,
+		CandidateCount: construct.DefaultCandidateCount,
+	}
+	switch cfg.Algorithm {
+	case MinimumDepth:
+		s.strategy = &construct.MinDepth{Env: s.env}
+	case LongestFirst:
+		s.strategy = &construct.LongestFirst{Env: s.env}
+	case RelaxedBandwidthOrdered:
+		s.strategy = construct.NewRelaxedBandwidthOrdered(s.env)
+	case RelaxedTimeOrdered:
+		s.strategy = construct.NewRelaxedTimeOrdered(s.env)
+	case ROST:
+		rcfg := rost.Config{
+			SwitchInterval:        cfg.SwitchInterval,
+			ContributorPriority:   cfg.ContributorPriority,
+			DisableBandwidthGuard: cfg.DisableBandwidthGuard,
+			SkipVerification:      cfg.DisableClaimVerification,
+		}
+		if cfg.EnableReferees || cfg.Cheaters > 0 {
+			s.referees = rost.NewReferees(s.tree, xrand.NewNamed(cfg.Seed, "referees"), rost.RefereeConfig{})
+			rcfg.Referees = s.referees
+		}
+		s.protocol = rost.New(s.tree, s.env, rcfg)
+		s.strategy = s.protocol
+	}
+
+	hooks := churn.Hooks{
+		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
+			if s.protocol != nil {
+				s.protocol.Start(sim, m)
+			}
+			if extra.OnJoin != nil {
+				extra.OnJoin(sim, m)
+			}
+		},
+		OnFailure: extra.OnFailure,
+		OnDepart: func(sim *eventsim.Simulator, id overlay.MemberID) {
+			if s.referees != nil {
+				s.referees.Forget(id)
+			}
+			if extra.OnDepart != nil {
+				extra.OnDepart(sim, id)
+			}
+		},
+		OnRejoin: extra.OnRejoin,
+	}
+	s.driver, err = churn.NewDriver(s.sim, s.tree, topo, s.strategy, churn.Config{
+		Seed:           cfg.Seed,
+		TargetSize:     cfg.TargetSize,
+		Lifetime:       cfg.Lifetime,
+		Bandwidth:      cfg.Bandwidth,
+		RootBandwidth:  cfg.RootBandwidth,
+		Warmup:         cfg.Warmup,
+		Measure:        cfg.Measure,
+		PrePopulate:    true,
+		SessionAge:     cfg.SessionAge,
+		AncestorRejoin: !cfg.DisableAncestorRejoin,
+	}, hooks)
+	if err != nil {
+		return nil, fmt.Errorf("omcast: creating churn driver: %w", err)
+	}
+	if cfg.FlashCrowd != nil {
+		if cfg.FlashCrowd.Size <= 0 || cfg.FlashCrowd.At < 0 {
+			return nil, fmt.Errorf("omcast: invalid flash crowd %+v", *cfg.FlashCrowd)
+		}
+		s.driver.Burst(cfg.FlashCrowd.At, cfg.FlashCrowd.Size)
+	}
+	if cfg.Cheaters > 0 {
+		if cfg.Algorithm != ROST {
+			return nil, fmt.Errorf("omcast: cheater injection targets ROST's switching; algorithm is %v", cfg.Algorithm)
+		}
+		s.cheaters = make(map[overlay.MemberID]bool)
+		s.sim.Schedule(cfg.Warmup, func(sim *eventsim.Simulator) {
+			s.topUpCheaters(sim)
+		})
+	}
+	return s, nil
+}
+
+// topUpCheaters keeps cfg.Cheaters members marked as BTP inflaters,
+// replacing departed ones every ten minutes.
+func (s *session) topUpCheaters(sim *eventsim.Simulator) {
+	factor := s.cfg.CheatFactor
+	if factor <= 0 {
+		factor = 50
+	}
+	for id := range s.cheaters {
+		if s.tree.Member(id) == nil {
+			delete(s.cheaters, id)
+		}
+	}
+	rng := xrand.NewNamed(s.cfg.Seed^sim.Now().Nanoseconds(), "cheaters")
+	for _, m := range s.tree.Sample(rng, 4*s.cfg.Cheaters, nil) {
+		if len(s.cheaters) >= s.cfg.Cheaters {
+			break
+		}
+		if s.cheaters[m.ID] {
+			continue
+		}
+		s.cheaters[m.ID] = true
+		s.referees.MarkCheater(m.ID, factor)
+	}
+	sim.ScheduleAfter(10*time.Minute, func(next *eventsim.Simulator) {
+		s.topUpCheaters(next)
+	})
+}
+
+func (s *session) run() error {
+	s.driver.Start()
+	if err := s.sim.Run(s.driver.Horizon()); err != nil {
+		return fmt.Errorf("omcast: simulation failed: %w", err)
+	}
+	return nil
+}
+
+// TreeResult reports the tree-level metrics of one run (Figures 4-11).
+type TreeResult struct {
+	// Algorithm that produced the tree.
+	Algorithm Algorithm
+	// AvgDisruptions is the Figure 4 metric: streaming disruptions
+	// accumulated over the measurement window, averaged over the members
+	// present in the steady-state tree at its end.
+	AvgDisruptions float64
+	// DisruptionCounts holds per-member disruption counts (Figure 5's CDF).
+	DisruptionCounts []float64
+	// AvgReconnections is the optimizer-induced protocol overhead per
+	// member (Figure 10), measured like AvgDisruptions.
+	AvgReconnections float64
+	// PerLifetimeDisruptions / PerLifetimeReconnections are the alternative
+	// estimator: event rates over departed members scaled to the mean
+	// lifetime.
+	PerLifetimeDisruptions   float64
+	PerLifetimeReconnections float64
+	// AvgServiceDelayMS is the mean end-to-end overlay delay (Figure 7).
+	AvgServiceDelayMS float64
+	// AvgStretch is the mean overlay/unicast delay ratio (Figure 8).
+	AvgStretch float64
+	// AvgSize is the observed steady-state size (the x-axis of the paper's
+	// sweeps).
+	AvgSize float64
+	// Departures counts members measured.
+	Departures int
+	// Switches, SwitchAborts, LockBackoffs, RejectedClaims report ROST
+	// protocol activity (zero for other algorithms).
+	Switches       int
+	SwitchAborts   int
+	LockBackoffs   int
+	RejectedClaims int
+	// CheaterCount, CheaterMeanDepth and HonestMeanDepth summarise injected
+	// cheaters at the end of the run (zero unless Config.Cheaters > 0).
+	// With referee verification working, cheaters gain nothing and sit at
+	// depths comparable to honest members; without it their inflated claims
+	// let them climb toward the source (much smaller mean depth).
+	CheaterCount     int
+	CheaterMeanDepth float64
+	HonestMeanDepth  float64
+}
+
+// Run executes one tree-level experiment.
+func Run(cfg Config) (TreeResult, error) {
+	s, err := newSession(cfg, churn.Hooks{})
+	if err != nil {
+		return TreeResult{}, err
+	}
+	if err := s.run(); err != nil {
+		return TreeResult{}, err
+	}
+	return s.treeResult(), nil
+}
+
+func (s *session) treeResult() TreeResult {
+	r := s.driver.Result()
+	out := TreeResult{
+		Algorithm:                s.cfg.withDefaults().Algorithm,
+		AvgDisruptions:           r.AvgDisruptions,
+		DisruptionCounts:         r.DisruptionCounts,
+		AvgReconnections:         r.AvgReconnections,
+		PerLifetimeDisruptions:   r.PerLifetimeDisruptions,
+		PerLifetimeReconnections: r.PerLifetimeReconnections,
+		AvgServiceDelayMS:        r.AvgServiceDelayMS,
+		AvgStretch:               r.AvgStretch,
+		AvgSize:                  r.AvgSize,
+		Departures:               r.Departures,
+	}
+	if s.protocol != nil {
+		out.Switches = s.protocol.Switches
+		out.SwitchAborts = s.protocol.Aborted
+		out.LockBackoffs = s.protocol.LockFailures
+		out.RejectedClaims = s.protocol.Rejected
+	}
+	if len(s.cheaters) > 0 {
+		var cheatDepth, cheatN, honestDepth, honestN float64
+		s.tree.VisitSubtree(s.tree.Root(), func(m *overlay.Member) {
+			if m == s.tree.Root() {
+				return
+			}
+			if s.cheaters[m.ID] {
+				cheatDepth += float64(m.Depth())
+				cheatN++
+			} else {
+				honestDepth += float64(m.Depth())
+				honestN++
+			}
+		})
+		out.CheaterCount = int(cheatN)
+		if cheatN > 0 {
+			out.CheaterMeanDepth = cheatDepth / cheatN
+		}
+		if honestN > 0 {
+			out.HonestMeanDepth = honestDepth / honestN
+		}
+	}
+	return out
+}
+
+// Recovery selects how packet losses are repaired (Figures 12-14).
+type Recovery int
+
+// Recovery schemes.
+const (
+	// CER is the paper's scheme: minimum-loss-correlation group selection
+	// with striped multi-source repair.
+	CER Recovery = iota + 1
+	// SingleSource is the baseline: a random recovery list used one node at
+	// a time with no bandwidth aggregation.
+	SingleSource
+	// CERRandomGroup is an ablation: striped multi-source repair over a
+	// randomly selected (non-MLC) group.
+	CERRandomGroup
+)
+
+// String names the recovery scheme.
+func (r Recovery) String() string {
+	switch r {
+	case CER:
+		return "CER"
+	case SingleSource:
+		return "Single-source"
+	case CERRandomGroup:
+		return "CER (random group)"
+	default:
+		return fmt.Sprintf("Recovery(%d)", int(r))
+	}
+}
+
+// StreamConfig parameterises the packet-level layer.
+type StreamConfig struct {
+	// Recovery scheme; default CER.
+	Recovery Recovery
+	// GroupSize is the recovery group size K; default 1.
+	GroupSize int
+	// Buffer is the playback buffer; default 5 s.
+	Buffer time.Duration
+	// Rate is the stream rate in packets per second; default 10.
+	Rate float64
+	// ResidualMax bounds members' uniform residual recovery bandwidth in
+	// packets per second; default 9.
+	ResidualMax float64
+}
+
+// StreamResult reports packet-level playback quality.
+type StreamResult struct {
+	TreeResult
+	// AvgStarvingRatio is the mean starving-time ratio (fraction, not
+	// percent).
+	AvgStarvingRatio float64
+	// StarvingRatios holds the per-member ratios.
+	StarvingRatios []float64
+	// StreamMembers is the number of members contributing ratios.
+	StreamMembers int
+	// Episodes, RepairRequests, ELNMessages, PacketsRepaired, PacketsLost
+	// report recovery activity.
+	Episodes        int
+	RepairRequests  int
+	ELNMessages     int
+	PacketsRepaired int
+	PacketsLost     int
+}
+
+// RunStreaming executes one packet-level experiment on top of a tree-level
+// session.
+func RunStreaming(cfg Config, scfg StreamConfig) (StreamResult, error) {
+	if scfg.Recovery == 0 {
+		scfg.Recovery = CER
+	}
+	cfg = cfg.withDefaults()
+	var model *stream.Model
+	hooks := churn.Hooks{
+		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
+			model.Register(m, sim.Now())
+		},
+		OnFailure: func(sim *eventsim.Simulator, failed *overlay.Member) {
+			model.OnFailure(failed, sim.Now())
+		},
+		OnDepart: func(sim *eventsim.Simulator, id overlay.MemberID) {
+			model.Depart(id, sim.Now())
+		},
+	}
+	s, err := newSession(cfg, hooks)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	selRng := xrand.NewNamed(cfg.Seed, "cer.select")
+	var selector cer.Selector
+	switch scfg.Recovery {
+	case CER:
+		selector = &cer.MLCSelector{Tree: s.tree, Rng: selRng, Delay: s.topo.Delay}
+	case SingleSource, CERRandomGroup:
+		selector = &cer.RandomSelector{Tree: s.tree, Rng: selRng, Delay: s.topo.Delay}
+	default:
+		return StreamResult{}, fmt.Errorf("omcast: unknown recovery scheme %d", int(scfg.Recovery))
+	}
+	model = stream.NewModel(s.tree, s.topo.Delay, selector, xrand.NewNamed(cfg.Seed, "stream.residual"), stream.Config{
+		Rate:        scfg.Rate,
+		Buffer:      scfg.Buffer,
+		GroupSize:   scfg.GroupSize,
+		Striped:     scfg.Recovery != SingleSource,
+		ResidualMax: scfg.ResidualMax,
+		MeasureFrom: cfg.Warmup,
+	})
+	if err := s.run(); err != nil {
+		return StreamResult{}, err
+	}
+	model.Finish(s.sim.Now())
+	sr := model.Result()
+	return StreamResult{
+		TreeResult:       s.treeResult(),
+		AvgStarvingRatio: sr.AvgStarvingRatio,
+		StarvingRatios:   sr.Ratios,
+		StreamMembers:    sr.Members,
+		Episodes:         model.Episodes,
+		RepairRequests:   model.RepairRequests,
+		ELNMessages:      model.ELNMessages,
+		PacketsRepaired:  model.PacketsRepaired,
+		PacketsLost:      model.PacketsLost,
+	}, nil
+}
+
+// TrackedSeries is the Figure 6/9 time series of one long-lived "typical
+// member" that joins once the overlay is in steady state.
+type TrackedSeries struct {
+	// Minutes since the member joined, with the cumulative number of
+	// disruptions and the current service delay at each sample.
+	Minutes        []float64
+	Disruptions    []int
+	ServiceDelayMS []float64
+}
+
+// RunTracked executes a tree-level run with a tracked typical member
+// (moderate bandwidth, joining at the end of warm-up, observed until the
+// end of the run). observe extends the run beyond the configured measure
+// window if longer.
+func RunTracked(cfg Config, bandwidth float64, observe time.Duration) (TrackedSeries, TreeResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Measure < observe {
+		cfg.Measure = observe
+	}
+	s, err := newSession(cfg, churn.Hooks{})
+	if err != nil {
+		return TrackedSeries{}, TreeResult{}, err
+	}
+	tracked := s.driver.Track(cfg.Warmup, bandwidth)
+	if err := s.run(); err != nil {
+		return TrackedSeries{}, TreeResult{}, err
+	}
+	series := TrackedSeries{}
+	for i, at := range tracked.Times {
+		series.Minutes = append(series.Minutes, (at - cfg.Warmup).Minutes())
+		series.Disruptions = append(series.Disruptions, tracked.Disruptions[i])
+		series.ServiceDelayMS = append(series.ServiceDelayMS, tracked.DelayMS[i])
+	}
+	return series, s.treeResult(), nil
+}
+
+// MultiTreeConfig parameterises the multiple-tree extension (the future
+// direction the paper's introduction sketches): the stream is split into
+// Stripes MDC descriptions, each delivered over its own tree.
+type MultiTreeConfig struct {
+	// Stripes is the number of stripe trees (>= 1).
+	Stripes int
+	// Quorum is how many stripes must arrive on time for watchable quality;
+	// 0 means all of them.
+	Quorum int
+	// Disjoint makes each member interior in exactly one tree
+	// (SplitStream-style); otherwise its bandwidth is split evenly.
+	Disjoint bool
+	// UseROST maintains every stripe tree with BTP switching.
+	UseROST bool
+}
+
+// MultiTreeResult reports the extension's quality metrics.
+type MultiTreeResult struct {
+	// FullQualityRatio is the mean fraction of stripe packets delivered on
+	// schedule.
+	FullQualityRatio float64
+	// OutageRatio is the mean fraction of view time below the MDC quorum —
+	// the multi-tree analogue of the starving-time ratio.
+	OutageRatio float64
+	// Members contributed quality samples; Episodes recovery episodes ran.
+	Members  int
+	Episodes int
+	// MaxDepths lists each stripe tree's final height.
+	MaxDepths []int
+}
+
+// RunMultiTree executes a multiple-tree session. The base Config supplies
+// seed, audience size, windows and distributions; Topology is chosen by the
+// extension itself (it scales with the audience).
+func RunMultiTree(cfg Config, mt MultiTreeConfig) (MultiTreeResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return MultiTreeResult{}, err
+	}
+	contribution := multitree.SplitContribution
+	if mt.Disjoint {
+		contribution = multitree.DisjointContribution
+	}
+	session, err := multitree.NewSession(multitree.Config{
+		Stripes:        mt.Stripes,
+		Contribution:   contribution,
+		QuorumStripes:  mt.Quorum,
+		UseROST:        mt.UseROST,
+		SwitchInterval: cfg.SwitchInterval,
+		Seed:           cfg.Seed,
+		TargetSize:     cfg.TargetSize,
+		RootBandwidth:  cfg.RootBandwidth,
+		Lifetime:       cfg.Lifetime,
+		Bandwidth:      cfg.Bandwidth,
+		SessionAge:     cfg.SessionAge,
+		Warmup:         cfg.Warmup,
+		Measure:        cfg.Measure,
+	})
+	if err != nil {
+		return MultiTreeResult{}, err
+	}
+	res, err := session.Run()
+	if err != nil {
+		return MultiTreeResult{}, err
+	}
+	return MultiTreeResult{
+		FullQualityRatio: res.FullQualityRatio,
+		OutageRatio:      res.OutageRatio,
+		Members:          res.Members,
+		Episodes:         res.Episodes,
+		MaxDepths:        res.MaxDepths,
+	}, nil
+}

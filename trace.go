@@ -1,0 +1,122 @@
+package omcast
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"omcast/internal/churn"
+	"omcast/internal/eventsim"
+	"omcast/internal/overlay"
+)
+
+// TraceEvent is one line of the JSONL event stream a run can emit (see
+// Config-independent RunWithTrace). Events describe overlay dynamics at the
+// granularity a downstream analysis or visualisation needs: membership
+// changes, failures, and ROST switches.
+type TraceEvent struct {
+	// T is the virtual time in seconds.
+	T float64 `json:"t"`
+	// Event is one of "join", "rejoin", "depart", "failure", "switch".
+	Event string `json:"event"`
+	// Member is the subject member ID.
+	Member int64 `json:"member"`
+	// Parent is the member's parent after a join/rejoin (0 for the source).
+	Parent int64 `json:"parent,omitempty"`
+	// Depth is the member's layer after a join/rejoin.
+	Depth int `json:"depth,omitempty"`
+	// Bandwidth is the member's outbound bandwidth on join.
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Disrupted is the descendant count a failure disrupted.
+	Disrupted int `json:"disrupted,omitempty"`
+	// Demoted is the former parent in a switch event.
+	Demoted int64 `json:"demoted,omitempty"`
+}
+
+// tracer serialises events to a writer; encoding errors surface once.
+type tracer struct {
+	enc *json.Encoder
+	err error
+}
+
+func newTracer(w io.Writer) *tracer {
+	return &tracer{enc: json.NewEncoder(w)}
+}
+
+func (tr *tracer) emit(ev TraceEvent) {
+	if tr.err != nil {
+		return
+	}
+	tr.err = tr.enc.Encode(ev)
+}
+
+// RunWithTrace executes a tree-level run like Run while streaming overlay
+// events to w as JSON lines. The stream is deterministic in cfg.Seed, making
+// it suitable for golden-file comparisons and offline visualisation.
+func RunWithTrace(cfg Config, w io.Writer) (TreeResult, error) {
+	if w == nil {
+		return Run(cfg)
+	}
+	tr := newTracer(w)
+	var s *session
+	hooks := churn.Hooks{
+		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
+			tr.emit(joinEvent("join", sim.Now(), m))
+		},
+		OnRejoin: func(sim *eventsim.Simulator, m *overlay.Member) {
+			tr.emit(joinEvent("rejoin", sim.Now(), m))
+		},
+		OnFailure: func(sim *eventsim.Simulator, failed *overlay.Member) {
+			disrupted := 0
+			if failed.Attached() {
+				disrupted = s.tree.SubtreeSize(failed) - 1
+			}
+			tr.emit(TraceEvent{
+				T:         sim.Now().Seconds(),
+				Event:     "failure",
+				Member:    int64(failed.ID),
+				Disrupted: disrupted,
+			})
+		},
+		OnDepart: func(sim *eventsim.Simulator, id overlay.MemberID) {
+			tr.emit(TraceEvent{T: sim.Now().Seconds(), Event: "depart", Member: int64(id)})
+		},
+	}
+	var err error
+	s, err = newSession(cfg, hooks)
+	if err != nil {
+		return TreeResult{}, err
+	}
+	if s.protocol != nil {
+		s.protocol.SetOnSwitch(func(now time.Duration, promoted, demoted overlay.MemberID) {
+			tr.emit(TraceEvent{
+				T:       now.Seconds(),
+				Event:   "switch",
+				Member:  int64(promoted),
+				Demoted: int64(demoted),
+			})
+		})
+	}
+	if err := s.run(); err != nil {
+		return TreeResult{}, err
+	}
+	if tr.err != nil {
+		return TreeResult{}, fmt.Errorf("omcast: writing trace: %w", tr.err)
+	}
+	return s.treeResult(), nil
+}
+
+func joinEvent(kind string, now time.Duration, m *overlay.Member) TraceEvent {
+	ev := TraceEvent{
+		T:         now.Seconds(),
+		Event:     kind,
+		Member:    int64(m.ID),
+		Depth:     m.Depth(),
+		Bandwidth: m.Bandwidth,
+	}
+	if p := m.Parent(); p != nil {
+		ev.Parent = int64(p.ID)
+	}
+	return ev
+}

@@ -1,0 +1,98 @@
+package omcast_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"omcast"
+)
+
+func TestRunWithTrace(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := omcast.RunWithTrace(quickConfig(40, omcast.ROST), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departures == 0 {
+		t.Fatal("traced run measured nothing")
+	}
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	prevT := -1.0
+	for sc.Scan() {
+		var ev omcast.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if ev.T < prevT {
+			t.Fatalf("trace went backwards in time: %f after %f", ev.T, prevT)
+		}
+		prevT = ev.T
+		if ev.Member == 0 {
+			t.Fatalf("trace event without member: %+v", ev)
+		}
+		kinds[ev.Event]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"join", "depart", "failure", "switch", "rejoin"} {
+		if kinds[want] == 0 {
+			t.Fatalf("trace has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+	// Joins and departs roughly balance over a steady-state run (the
+	// population present at the end never departs).
+	if kinds["depart"] > kinds["join"] {
+		t.Fatalf("more departs (%d) than joins (%d)", kinds["depart"], kinds["join"])
+	}
+}
+
+func TestRunWithTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := omcast.RunWithTrace(quickConfig(41, omcast.ROST), &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := omcast.RunWithTrace(quickConfig(41, omcast.ROST), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestRunWithTraceNilWriter(t *testing.T) {
+	res, err := omcast.RunWithTrace(quickConfig(42, omcast.MinimumDepth), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departures == 0 {
+		t.Fatal("nil-writer run measured nothing")
+	}
+}
+
+// failingWriter errors after some bytes to exercise error propagation.
+type failingWriter struct{ left int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.left -= len(p); w.left <= 0 {
+		return 0, errWriter
+	}
+	return len(p), nil
+}
+
+var errWriter = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func TestRunWithTraceWriteError(t *testing.T) {
+	_, err := omcast.RunWithTrace(quickConfig(43, omcast.MinimumDepth), &failingWriter{left: 1024})
+	if err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Fatalf("write failure not surfaced: %v", err)
+	}
+}
