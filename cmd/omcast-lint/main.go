@@ -1,0 +1,163 @@
+// Command omcast-lint enforces the repository's determinism and
+// simulation-safety invariants (see internal/lint). It loads and type-checks
+// every package in the module using only the standard library, runs the rule
+// set, and prints file:line: rule: message diagnostics.
+//
+// Usage:
+//
+//	go run ./cmd/omcast-lint ./...            # lint the whole module
+//	go run ./cmd/omcast-lint ./internal/...   # lint a subtree
+//	go run ./cmd/omcast-lint -list            # describe the rules
+//	go run ./cmd/omcast-lint -disable map-order ./...
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on load or
+// usage errors. Findings are suppressed in source with
+// //lint:ignore <rule> <reason> on the offending line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"omcast/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("omcast-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the rules and exit")
+	disable := fs.String("disable", "", "comma-separated rule names to skip")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-20s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	cfg := lint.DefaultConfig()
+	if *disable != "" {
+		known := make(map[string]bool)
+		for _, r := range lint.Rules() {
+			known[r.Name] = true
+		}
+		for _, name := range strings.Split(*disable, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				if !known[name] {
+					fmt.Fprintf(os.Stderr, "omcast-lint: unknown rule %q in -disable (see -list)\n", name)
+					return 2
+				}
+				cfg.Disabled = append(cfg.Disabled, name)
+			}
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected, err := selectPackages(pkgs, patterns, root, cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+		return 2
+	}
+
+	diags := lint.Run(selected, cfg)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d: %s: %s\n", file, d.Pos.Line, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "omcast-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters loaded packages by go-tool-style patterns: "./..."
+// (everything below the pattern's directory), a relative directory, or a full
+// import path.
+func selectPackages(pkgs []*lint.Package, patterns []string, root, cwd string) ([]*lint.Package, error) {
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		matched := false
+		for _, pkg := range pkgs {
+			ok, err := matchPattern(pkg, pat, root, cwd)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			if !seen[pkg.Path] {
+				seen[pkg.Path] = true
+				out = append(out, pkg)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func matchPattern(pkg *lint.Package, pat, root, cwd string) (bool, error) {
+	recursive := false
+	if strings.HasSuffix(pat, "/...") {
+		recursive = true
+		pat = strings.TrimSuffix(pat, "/...")
+		if pat == "." || pat == "" {
+			pat = "."
+		}
+	}
+	// Filesystem-relative patterns resolve against the working directory;
+	// anything else is treated as an import path (or import-path prefix).
+	var base string
+	if pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") || filepath.IsAbs(pat) {
+		abs, err := filepath.Abs(filepath.Join(cwd, pat))
+		if filepath.IsAbs(pat) {
+			abs, err = pat, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		base = abs
+		if recursive {
+			return pkg.Dir == base || strings.HasPrefix(pkg.Dir, base+string(filepath.Separator)), nil
+		}
+		return pkg.Dir == base, nil
+	}
+	if recursive {
+		return pkg.Path == pat || strings.HasPrefix(pkg.Path, pat+"/"), nil
+	}
+	return pkg.Path == pat, nil
+}

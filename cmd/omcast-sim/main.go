@@ -71,6 +71,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
 	start := time.Now()
 	table, err := experiments.NewRunner(opts).Run(*fig)
 	if err != nil {
@@ -81,6 +82,7 @@ func run() int {
 		fmt.Print(table.CSV())
 	} else {
 		fmt.Print(table.Format())
+		//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
 		fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
 	}
 	return 0

@@ -183,6 +183,7 @@ func NewRunner(opts Options) *Runner {
 
 // Run executes one experiment by ID.
 func (r *Runner) Run(id string) (Table, error) {
+	//lint:ignore no-wallclock Table.Elapsed is harness wall-clock cost, not simulation output
 	start := time.Now()
 	var (
 		t   Table
@@ -228,6 +229,7 @@ func (r *Runner) Run(id string) (Table, error) {
 		return Table{}, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	t.ID = id
+	//lint:ignore no-wallclock Table.Elapsed is harness wall-clock cost, not simulation output
 	t.Elapsed = time.Since(start)
 	return t, nil
 }

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A suppression directive has the form
+//
+//	//lint:ignore <rule> <reason>
+//
+// and silences findings of <rule> on the directive's own line (trailing
+// comment) or on the line immediately below it (leading comment). The reason
+// is mandatory: a suppression without a recorded justification is reported as
+// a bad-directive finding instead.
+type directive struct {
+	file string
+	line int
+	rule string
+}
+
+type suppressions struct {
+	directives []directive
+	malformed  []Diagnostic
+}
+
+const directivePrefix = "lint:ignore"
+
+// collectDirectives scans every comment in the package for //lint:ignore
+// directives.
+func collectDirectives(pkg *Package) *suppressions {
+	s := &suppressions{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				s.add(pkg.Fset, c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) add(fset *token.FileSet, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+	if !ok {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		s.malformed = append(s.malformed, Diagnostic{
+			Pos:  pos,
+			Rule: "bad-directive",
+			Message: "malformed suppression: want //lint:ignore <rule> <reason>, " +
+				"the reason is mandatory",
+		})
+		return
+	}
+	s.directives = append(s.directives, directive{
+		file: pos.Filename,
+		line: pos.Line,
+		rule: fields[0],
+	})
+}
+
+// suppresses reports whether a directive covers the diagnostic.
+func (s *suppressions) suppresses(d Diagnostic) bool {
+	for _, dir := range s.directives {
+		if dir.file != d.Pos.Filename || dir.rule != d.Rule {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+// Package lint is a from-scratch static analyzer enforcing the repo's
+// determinism and simulation-safety invariants. The paper's evaluation rests
+// on exactly reproducible event-driven runs: identical seeds must yield
+// identical ROST switching decisions and CER recovery outcomes. Unordered map
+// iteration, wall-clock reads, stray global-RNG calls and hidden concurrency
+// all silently destroy that property, so this package checks for them at the
+// source level using only the standard library's go/ast, go/parser, go/token
+// and go/types.
+//
+// The analyzer loads every package in the module (see Load), runs a
+// configurable rule set over the type-checked syntax trees, honors
+// //lint:ignore <rule> <reason> suppression directives, and reports findings
+// as file:line: rule: message diagnostics. cmd/omcast-lint is the CLI front
+// end; CI runs it over ./... and fails on any finding.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Pos locates the finding (filename, line, column).
+	Pos token.Position
+	// Rule names the rule that fired (or "bad-directive" for malformed
+	// suppression comments).
+	Rule string
+	// Message explains the finding and how to fix or suppress it.
+	Message string
+}
+
+// String renders the canonical file:line: rule: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Config scopes the rules to package sets and toggles rules off. Package
+// patterns match an import path exactly, by final-elements suffix ("rost"
+// matches "omcast/internal/rost"), or by prefix when they end in "/..."
+// ("omcast/cmd/..." matches every command).
+type Config struct {
+	// SimPackages form the deterministic simulation kernel: all time must be
+	// virtual, map iteration order must not leak into results, and no
+	// concurrency primitives are allowed (the kernel is single-threaded).
+	SimPackages []string
+	// WallclockExtra extends the no-wallclock rule beyond SimPackages —
+	// typically the CLI drivers, where progress timers are expected to carry
+	// an explicit suppression directive.
+	WallclockExtra []string
+	// FloatPackages hold metric/statistics code checked by float-accum.
+	FloatPackages []string
+	// Disabled lists rule names to skip entirely.
+	Disabled []string
+}
+
+// DefaultConfig returns the repository's invariant scopes.
+func DefaultConfig() *Config {
+	return &Config{
+		SimPackages: []string{
+			"omcast", // the root façade assembles and runs the simulation
+			"eventsim", "overlay", "construct", "rost", "cer", "churn",
+			"stream", "experiments", "xrand", "topology", "stats", "multitree",
+		},
+		WallclockExtra: []string{"omcast/cmd/...", "omcast/examples/..."},
+		FloatPackages:  []string{"stats", "experiments", "stream", "multitree"},
+	}
+}
+
+func (c *Config) disabled(rule string) bool {
+	for _, d := range c.Disabled {
+		if d == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPackage reports whether the import path matches any pattern.
+func matchPackage(path string, patterns []string) bool {
+	for _, p := range patterns {
+		switch {
+		case p == path:
+			return true
+		case strings.HasSuffix(p, "/..."):
+			prefix := strings.TrimSuffix(p, "/...")
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return true
+			}
+		case strings.HasSuffix(path, "/"+p):
+			return true
+		}
+	}
+	return false
+}
+
+// Rule is one invariant check.
+type Rule struct {
+	// Name is the identifier used in diagnostics and directives.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// applies gates the rule per package import path.
+	applies func(cfg *Config, path string) bool
+	// check inspects one package and reports findings.
+	check func(pkg *Package, rep *reporter)
+}
+
+// Rules returns the full rule set in stable order.
+func Rules() []*Rule {
+	return []*Rule{
+		ruleNoWallclock(),
+		ruleNoGlobalRand(),
+		ruleMapOrder(),
+		ruleNoGoroutineInSim(),
+		ruleFloatAccum(),
+	}
+}
+
+// reporter accumulates diagnostics for one (package, rule) pair.
+type reporter struct {
+	fset  *token.FileSet
+	rule  string
+	diags []Diagnostic
+}
+
+func (r *reporter) reportf(pos token.Pos, format string, args ...any) {
+	r.diags = append(r.diags, Diagnostic{
+		Pos:     r.fset.Position(pos),
+		Rule:    r.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every enabled rule over the given packages and returns the
+// surviving (non-suppressed) diagnostics sorted by position. Malformed
+// //lint:ignore directives are themselves reported and cannot be suppressed.
+func Run(pkgs []*Package, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	var out []Diagnostic
+	rules := Rules()
+	for _, pkg := range pkgs {
+		sup := collectDirectives(pkg)
+		out = append(out, sup.malformed...)
+		for _, rule := range rules {
+			if cfg.disabled(rule.Name) || !rule.applies(cfg, pkg.Path) {
+				continue
+			}
+			rep := &reporter{fset: pkg.Fset, rule: rule.Name}
+			rule.check(pkg, rep)
+			for _, d := range rep.diags {
+				if !sup.suppresses(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

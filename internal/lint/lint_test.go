@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRx extracts the backtick-quoted expectation patterns of a
+// // want `...` comment.
+var wantRx = regexp.MustCompile("`([^`]+)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses the // want `regex` expectation comments of a fixture
+// package.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRx.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures checks that the analyzer reports exactly the expected
+// diagnostics over every fixture package: each // want must be matched, and
+// no unexpected diagnostic may appear.
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no fixture packages found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			pkg, err := LoadDir(filepath.Join("testdata", "src", e.Name()))
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := Run([]*Package{pkg}, DefaultConfig())
+			wants := collectWants(t, pkg)
+		nextDiag:
+			for _, d := range diags {
+				text := d.Rule + ": " + d.Message
+				for _, w := range wants {
+					if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(text) {
+						w.matched = true
+						continue nextDiag
+					}
+				}
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+				}
+			}
+		})
+	}
+}
+
+// writeFixture materializes a one-file package in a temp dir and loads it.
+func writeFixture(t *testing.T, name, src string) *Package {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", name, err)
+	}
+	return pkg
+}
+
+// TestMalformedDirective checks that a //lint:ignore without a reason is
+// itself reported and does not suppress anything.
+func TestMalformedDirective(t *testing.T) {
+	pkg := writeFixture(t, "eventsim", `package eventsim
+
+import "time"
+
+func bad() time.Time {
+	//lint:ignore no-wallclock
+	return time.Now()
+}
+`)
+	diags := Run([]*Package{pkg}, DefaultConfig())
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (bad-directive + unsuppressed finding): %v", len(diags), diags)
+	}
+	if diags[0].Rule != "bad-directive" {
+		t.Errorf("first diagnostic rule = %q, want bad-directive", diags[0].Rule)
+	}
+	if diags[1].Rule != "no-wallclock" {
+		t.Errorf("second diagnostic rule = %q, want no-wallclock (malformed directives must not suppress)", diags[1].Rule)
+	}
+}
+
+// TestDisabledRule checks per-rule configuration.
+func TestDisabledRule(t *testing.T) {
+	pkg := writeFixture(t, "eventsim", `package eventsim
+
+import "time"
+
+func bad() time.Time { return time.Now() }
+`)
+	cfg := DefaultConfig()
+	cfg.Disabled = []string{"no-wallclock"}
+	if diags := Run([]*Package{pkg}, cfg); len(diags) != 0 {
+		t.Fatalf("disabled rule still fired: %v", diags)
+	}
+	if diags := Run([]*Package{pkg}, DefaultConfig()); len(diags) != 1 {
+		t.Fatalf("enabled rule did not fire exactly once: %v", diags)
+	}
+}
+
+// TestScopedRule checks that kernel-scoped rules ignore packages outside the
+// configured scope.
+func TestScopedRule(t *testing.T) {
+	pkg := writeFixture(t, "liveutil", `package liveutil
+
+import "time"
+
+func fine() time.Time { return time.Now() }
+`)
+	if diags := Run([]*Package{pkg}, DefaultConfig()); len(diags) != 0 {
+		t.Fatalf("no-wallclock fired outside its scope: %v", diags)
+	}
+}
+
+func TestMatchPackage(t *testing.T) {
+	cases := []struct {
+		path    string
+		pattern string
+		want    bool
+	}{
+		{"omcast/internal/rost", "rost", true},
+		{"omcast/internal/rost", "omcast/internal/rost", true},
+		{"omcast/internal/frost", "rost", false},
+		{"omcast", "omcast", true},
+		{"omcast/cmd/omcast-sim", "omcast/cmd/...", true},
+		{"omcast/cmdx", "omcast/cmd/...", false},
+		{"omcast/internal/lint", "rost", false},
+	}
+	for _, c := range cases {
+		if got := matchPackage(c.path, []string{c.pattern}); got != c.want {
+			t.Errorf("matchPackage(%q, %q) = %v, want %v", c.path, c.pattern, got, c.want)
+		}
+	}
+}
+
+// TestModuleIsClean loads the real module and asserts the tree lints clean —
+// the same gate CI applies via cmd/omcast-lint.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module load in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; the loader is missing module packages", len(pkgs))
+	}
+	var sb strings.Builder
+	diags := Run(pkgs, DefaultConfig())
+	for _, d := range diags {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("module has %d lint finding(s):\n%s", len(diags), sb.String())
+	}
+}

@@ -17,6 +17,18 @@ var fast = Config{
 	RecoveryGroup:     3,
 }
 
+func init() {
+	if raceEnabled {
+		// Race instrumentation slows message handling severalfold; with the
+		// 20 ms heartbeat the 3x liveness timeout then flags healthy peers as
+		// dead and the overlay flaps. Stretch the timers (and cut the packet
+		// load to match) so timeouts measure the protocol, not the detector.
+		fast.HeartbeatInterval *= 4
+		fast.GossipInterval *= 4
+		fast.StreamRate = 25
+	}
+}
+
 // cluster boots a source plus n members on an in-memory network.
 type cluster struct {
 	t      *testing.T
@@ -73,6 +85,9 @@ func newClusterSrc(t *testing.T, n int, srcBandwidth float64, mutate func(i int,
 // eventually polls cond until it holds or the deadline expires.
 func eventually(t *testing.T, within time.Duration, what string, cond func() bool) {
 	t.Helper()
+	if raceEnabled {
+		within *= 4
+	}
 	deadline := time.Now().Add(within)
 	for time.Now().Before(deadline) {
 		if cond() {

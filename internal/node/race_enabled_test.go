@@ -1,0 +1,8 @@
+//go:build race
+
+package node
+
+// raceEnabled reports whether the race detector is compiled in; eventually()
+// scales its deadlines by it, since instrumentation slows this workload
+// severalfold.
+const raceEnabled = true

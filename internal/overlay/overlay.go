@@ -12,6 +12,7 @@ package overlay
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"omcast/internal/topology"
@@ -503,9 +504,15 @@ func (t *Tree) CheckInvariants() error {
 	if err := walk(t.root); err != nil {
 		return err
 	}
-	// Every attached member must be reachable from the root.
-	for id, m := range t.members {
-		if m.attached && !seen[id] {
+	// Every attached member must be reachable from the root. Check in ID
+	// order so the violation reported first is the same on every run.
+	ids := make([]MemberID, 0, len(t.members))
+	for id := range t.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if m := t.members[id]; m.attached && !seen[id] {
 			return fmt.Errorf("overlay: attached member %d unreachable from source", id)
 		}
 	}

@@ -13,6 +13,7 @@
 package stream
 
 import (
+	"sort"
 	"time"
 
 	"omcast/internal/cer"
@@ -176,10 +177,17 @@ func (m *Model) Depart(id overlay.MemberID, now time.Duration) {
 	m.finalize(st, now)
 }
 
-// Finish finalises every still-present member at the end of a run.
+// Finish finalises every still-present member at the end of a run, in ID
+// order: the ratios it appends feed the reported mean and CDF, so map
+// iteration order must not leak into results.
 func (m *Model) Finish(now time.Duration) {
-	for id, st := range m.states {
-		m.finalize(st, now)
+	ids := make([]overlay.MemberID, 0, len(m.states))
+	for id := range m.states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m.finalize(m.states[id], now)
 		delete(m.states, id)
 	}
 }

@@ -30,6 +30,7 @@ package omcast
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"omcast/internal/cer"
@@ -342,7 +343,14 @@ func (s *session) topUpCheaters(sim *eventsim.Simulator) {
 	if factor <= 0 {
 		factor = 50
 	}
+	// Sweep departed cheaters in ID order; pruning during a map range would
+	// be order-nondeterministic.
+	ids := make([]overlay.MemberID, 0, len(s.cheaters))
 	for id := range s.cheaters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
 		if s.tree.Member(id) == nil {
 			delete(s.cheaters, id)
 		}
