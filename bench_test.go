@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"omcast"
+	"omcast/internal/eventsim"
 	"omcast/internal/experiments"
+	"omcast/internal/metrics"
 )
 
 // benchTable runs one experiment per iteration and reports a headline metric
@@ -273,4 +275,56 @@ func BenchmarkExtensionMultiTree(b *testing.B) {
 			b.ReportMetric(single.OutageRatio/striped.OutageRatio, "outage_improvement_x")
 		}
 	}
+}
+
+// BenchmarkMetricsOverhead quantifies the cost of instrumentation, the
+// acceptance gate for the metrics layer: the instrumented variants must stay
+// within ~10% of the bare ones. kernel/* isolates the event loop's metric
+// increments (a scripted chain of no-op events); session/* measures the
+// realistic end-to-end cost of a fully instrumented tree-level run. Compare
+// with `go test -bench MetricsOverhead -count 10 | benchstat` or eyeball the
+// ns/op ratio.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	kernel := func(b *testing.B, instrument bool) {
+		const events = 200_000
+		for i := 0; i < b.N; i++ {
+			sim := eventsim.New()
+			if instrument {
+				sim.Instrument(metrics.NewRegistry())
+			}
+			remaining := events
+			var tick eventsim.Handler
+			tick = func(s *eventsim.Simulator) {
+				if remaining--; remaining > 0 {
+					s.ScheduleAfter(time.Millisecond, tick)
+				}
+			}
+			sim.Schedule(0, tick)
+			if err := sim.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	session := func(b *testing.B, instrument bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := omcast.Config{
+				Seed:       int64(i + 1),
+				Algorithm:  omcast.ROST,
+				TargetSize: 500,
+				Topology:   omcast.SmallTopology(),
+				Warmup:     30 * time.Minute,
+				Measure:    30 * time.Minute,
+			}
+			if instrument {
+				cfg.Metrics = metrics.NewRegistry()
+			}
+			if _, err := omcast.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("kernel/bare", func(b *testing.B) { kernel(b, false) })
+	b.Run("kernel/instrumented", func(b *testing.B) { kernel(b, true) })
+	b.Run("session/bare", func(b *testing.B) { session(b, false) })
+	b.Run("session/instrumented", func(b *testing.B) { session(b, true) })
 }

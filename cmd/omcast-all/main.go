@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"omcast/internal/experiments"
+	"omcast/internal/metrics"
+	"omcast/internal/profiling"
 )
 
 func main() {
@@ -29,6 +31,9 @@ func run() int {
 		quick   = flag.Bool("quick", false, "reduced scale for a fast smoke pass")
 		out     = flag.String("o", "", "also write the report to this file")
 		verbose = flag.Bool("v", false, "print per-run progress")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metOut  = flag.String("metrics-out", "", "write accumulated metrics (Prometheus text format) to this file")
 	)
 	flag.Parse()
 
@@ -38,13 +43,31 @@ func run() int {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	if *metOut != "" {
+		opts.Metrics = metrics.NewRegistry()
+	}
 	runner := experiments.NewRunner(opts)
+
+	prof, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-all: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if perr := prof.Stop(); perr != nil {
+			fmt.Fprintf(os.Stderr, "omcast-all: %v\n", perr)
+		}
+	}()
 
 	var report strings.Builder
 	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
 	start := time.Now()
 	for _, id := range experiments.IDs() {
-		table, err := runner.Run(id)
+		var table experiments.Table
+		var err error
+		profiling.Do(id, func() {
+			table, err = runner.Run(id)
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "omcast-all: %v\n", err)
 			return 1
@@ -55,6 +78,24 @@ func run() int {
 	}
 	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
 	fmt.Printf("all experiments completed in %.1fs\n", time.Since(start).Seconds())
+
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-all: %v\n", err)
+			return 1
+		}
+		if err := metrics.WriteProm(f, opts.Metrics.Snapshot(0)); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "omcast-all: writing metrics: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-all: %v\n", err)
+			return 1
+		}
+		fmt.Printf("metrics written to %s\n", *metOut)
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {

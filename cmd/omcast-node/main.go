@@ -13,20 +13,46 @@
 //
 // Each node prints a status line every few seconds; SIGINT leaves
 // gracefully (children re-attach immediately).
+//
+// With -http the node also serves its observability surface:
+//
+//	omcast-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -http 127.0.0.1:9090
+//	curl -s http://127.0.0.1:9090/metrics   # Prometheus text format
+//	curl -s http://127.0.0.1:9090/healthz   # 200 once attached, 503 before
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"omcast/internal/metrics/live"
 	"omcast/internal/node"
 	"omcast/internal/wire"
 )
+
+// newMux builds the node's HTTP surface: /metrics in the Prometheus text
+// exposition format and /healthz reporting tree attachment.
+func newMux(n *node.Node, reg *live.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", live.Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		s := n.Stats()
+		if s.Attached {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintf(w, "ok depth=%d children=%d\n", s.Depth, s.Children)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "joining")
+	})
+	return mux
+}
 
 func main() {
 	os.Exit(run())
@@ -43,6 +69,7 @@ func run() int {
 		switchIv  = flag.Duration("switch", 0, "ROST switching interval (0 = disabled)")
 		status    = flag.Duration("status", 5*time.Second, "status print interval")
 		group     = flag.Int("recovery-group", 3, "CER recovery group size")
+		httpAddr  = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -61,6 +88,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "omcast-node: %v\n", err)
 		return 1
 	}
+	reg := live.NewRegistry()
 	n := node.New(node.Config{
 		Source:            *source,
 		Bandwidth:         *bandwidth,
@@ -69,6 +97,7 @@ func run() int {
 		HeartbeatInterval: *heartbeat,
 		SwitchInterval:    *switchIv,
 		RecoveryGroup:     *group,
+		Metrics:           reg,
 	}, transport)
 	n.Start()
 	role := "member"
@@ -76,6 +105,16 @@ func run() int {
 		role = "source"
 	}
 	fmt.Printf("omcast-node: %s listening on %s\n", role, n.Addr())
+	if *httpAddr != "" {
+		srv := &http.Server{Addr: *httpAddr, Handler: newMux(n, reg)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "omcast-node: http: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("omcast-node: metrics on http://%s/metrics\n", *httpAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

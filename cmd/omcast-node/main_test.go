@@ -1,0 +1,124 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"omcast/internal/metrics/live"
+	"omcast/internal/node"
+	"omcast/internal/wire"
+)
+
+// bootPair starts a source and one member on an in-memory network and
+// returns them with their live registries.
+func bootPair(t *testing.T) (src, member *node.Node, srcReg, memReg *live.Registry) {
+	t.Helper()
+	network := node.NewMemNetwork(nil)
+	t.Cleanup(network.Close)
+
+	srcReg = live.NewRegistry()
+	sep, err := network.Endpoint("source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = node.New(node.Config{
+		Source:            true,
+		Bandwidth:         8,
+		StreamRate:        50,
+		HeartbeatInterval: 20 * time.Millisecond,
+		Metrics:           srcReg,
+	}, sep)
+	src.Start()
+	t.Cleanup(src.Kill)
+
+	memReg = live.NewRegistry()
+	mep, err := network.Endpoint("member")
+	if err != nil {
+		t.Fatal(err)
+	}
+	member = node.New(node.Config{
+		Bandwidth:         3,
+		Bootstrap:         []wire.Addr{"source"},
+		HeartbeatInterval: 20 * time.Millisecond,
+		Metrics:           memReg,
+	}, mep)
+	member.Start()
+	t.Cleanup(member.Kill)
+	return src, member, srcReg, memReg
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	src, _, srcReg, _ := bootPair(t)
+	srv := httptest.NewServer(newMux(src, srcReg))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE omcast_node_heartbeats_sent_total counter",
+		"omcast_node_attached 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthzLifecycle(t *testing.T) {
+	src, member, srcReg, memReg := bootPair(t)
+
+	// The source is attached by definition: healthy immediately.
+	srcSrv := httptest.NewServer(newMux(src, srcReg))
+	defer srcSrv.Close()
+	code, body, _ := get(t, srcSrv, "/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok ") {
+		t.Fatalf("source /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// The member reports 503 until it attaches, then 200.
+	memSrv := httptest.NewServer(newMux(member, memReg))
+	defer memSrv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	sawJoining := false
+	for {
+		code, body, _ := get(t, memSrv, "/healthz")
+		if code == http.StatusOK {
+			if !strings.HasPrefix(body, "ok ") {
+				t.Fatalf("healthy body = %q", body)
+			}
+			break
+		}
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("/healthz status = %d, want 200 or 503", code)
+		}
+		sawJoining = true
+		if time.Now().After(deadline) {
+			t.Fatal("member never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = sawJoining // racing the join is fine; 503-then-200 is asserted when observed
+}

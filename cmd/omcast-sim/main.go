@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"omcast/internal/experiments"
+	"omcast/internal/metrics"
+	"omcast/internal/profiling"
 )
 
 func main() {
@@ -36,6 +38,9 @@ func run() int {
 		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		asCSV    = flag.Bool("csv", false, "emit the table as CSV instead of aligned text")
 		verbose  = flag.Bool("v", false, "print per-run progress")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metOut   = flag.String("metrics-out", "", "write accumulated metrics (Prometheus text format) to this file")
 	)
 	flag.Parse()
 
@@ -71,12 +76,32 @@ func run() int {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
-	start := time.Now()
-	table, err := experiments.NewRunner(opts).Run(*fig)
+	if *metOut != "" {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	prof, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", err)
 		return 1
+	}
+	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
+	start := time.Now()
+	var table experiments.Table
+	profiling.Do(*fig, func() {
+		table, err = experiments.NewRunner(opts).Run(*fig)
+	})
+	if perr := prof.Stop(); perr != nil {
+		fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", perr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", err)
+		return 1
+	}
+	if *metOut != "" {
+		if werr := writeMetrics(*metOut, opts.Metrics); werr != nil {
+			fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", werr)
+			return 1
+		}
 	}
 	if *asCSV {
 		fmt.Print(table.CSV())
@@ -86,6 +111,21 @@ func run() int {
 		fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
 	}
 	return 0
+}
+
+// writeMetrics dumps the suite's accumulated registry in the Prometheus
+// text exposition format (timestamp-free, so same-seed runs are
+// byte-identical).
+func writeMetrics(path string, reg *metrics.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteProm(f, reg.Snapshot(0)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -1,11 +1,15 @@
 // Command omcast-trace runs one simulated session and streams its overlay
-// events (joins, rejoins, departures, failures, ROST switches) as JSON lines
-// — a machine-readable feed for offline analysis or visualisation.
+// events (joins, rejoins, departures, failures, ROST switches — plus CER
+// repair outcomes with -stream and periodic metric snapshots with -sample)
+// as JSON lines — a machine-readable feed for offline analysis or
+// visualisation. The stream is deterministic in -seed.
 //
 // Usage:
 //
 //	omcast-trace -alg rost -size 2000 > session.jsonl
 //	omcast-trace -alg min-depth -size 500 -measure 30m | jq .event | sort | uniq -c
+//	omcast-trace -size 500 -small -sample 5m | jq 'select(.event=="sample")'
+//	omcast-trace -size 500 -small -stream -group 3 | jq 'select(.event=="repair")'
 package main
 
 import (
@@ -30,6 +34,9 @@ func run() int {
 		warmup  = flag.Duration("warmup", 30*time.Minute, "warm-up horizon")
 		measure = flag.Duration("measure", time.Hour, "measurement window")
 		small   = flag.Bool("small", false, "use the reduced underlay")
+		sample  = flag.Duration("sample", 0, "emit a metrics snapshot every interval of virtual time (0 = off)")
+		stream  = flag.Bool("stream", false, "run the packet-level CER layer too (adds repair events)")
+		group   = flag.Int("group", 3, "CER recovery group size (with -stream)")
 	)
 	flag.Parse()
 
@@ -55,7 +62,16 @@ func run() int {
 		cfg.Topology = omcast.SmallTopology()
 	}
 	out := bufio.NewWriter(os.Stdout)
-	res, err := omcast.RunWithTrace(cfg, out)
+	topts := omcast.TraceOptions{SampleEvery: *sample}
+	var res omcast.TreeResult
+	var err error
+	if *stream {
+		var sres omcast.StreamResult
+		sres, err = omcast.RunStreamingWithTrace(cfg, omcast.StreamConfig{GroupSize: *group}, out, topts)
+		res = sres.TreeResult
+	} else {
+		res, err = omcast.RunWithTraceOptions(cfg, out, topts)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
 		return 1

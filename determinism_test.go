@@ -91,3 +91,69 @@ func TestRunStreamingByteIdentical(t *testing.T) {
 		t.Fatalf("same seed produced different streaming metrics:\n--- run 1 ---\n%s--- run 2 ---\n%s", first, second)
 	}
 }
+
+// TestSampledTraceByteIdentical is the acceptance gate for the metrics
+// layer's determinism: a traced run with periodic registry snapshots must
+// produce a byte-identical JSONL stream — events AND interleaved sample
+// lines — when repeated with the same seed. Any wall-clock read, map-order
+// leak or float-accumulation reorder inside the sim-side metrics path shows
+// up here as a diff.
+func TestSampledTraceByteIdentical(t *testing.T) {
+	cfg := omcast.Config{
+		Seed:       7,
+		Algorithm:  omcast.ROST,
+		TargetSize: 200,
+		Topology:   omcast.SmallTopology(),
+		Warmup:     600 * time.Second,
+		Measure:    900 * time.Second,
+	}
+	opts := omcast.TraceOptions{SampleEvery: 2 * time.Minute}
+	run := func() string {
+		var buf strings.Builder
+		if _, err := omcast.RunWithTraceOptions(cfg, &buf, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := run()
+	second := run()
+	if !strings.Contains(first, `"event":"sample"`) {
+		t.Fatal("sampled run emitted no sample lines")
+	}
+	if first != second {
+		t.Fatal("same seed produced different sampled trace streams")
+	}
+}
+
+// TestSampledStreamingTraceByteIdentical extends the gate to the packet
+// level: CER episode counters and repair events must be as reproducible as
+// the overlay events.
+func TestSampledStreamingTraceByteIdentical(t *testing.T) {
+	cfg := omcast.Config{
+		Seed:       9,
+		Algorithm:  omcast.ROST,
+		TargetSize: 150,
+		Topology:   omcast.SmallTopology(),
+		Warmup:     600 * time.Second,
+		Measure:    900 * time.Second,
+	}
+	scfg := omcast.StreamConfig{Recovery: omcast.CER, GroupSize: 3}
+	opts := omcast.TraceOptions{SampleEvery: 3 * time.Minute}
+	run := func() string {
+		var buf strings.Builder
+		if _, err := omcast.RunStreamingWithTrace(cfg, scfg, &buf, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := run()
+	second := run()
+	for _, want := range []string{`"event":"sample"`, `"event":"repair"`} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("sampled streaming run emitted no %s lines", want)
+		}
+	}
+	if first != second {
+		t.Fatal("same seed produced different sampled streaming trace streams")
+	}
+}

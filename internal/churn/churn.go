@@ -15,6 +15,7 @@ import (
 
 	"omcast/internal/construct"
 	"omcast/internal/eventsim"
+	"omcast/internal/metrics"
 	"omcast/internal/overlay"
 	"omcast/internal/stats"
 	"omcast/internal/topology"
@@ -189,6 +190,12 @@ type Driver struct {
 
 	tracked []*Tracked
 
+	met driverMetrics
+	// pendingRejoin maps an orphan to the virtual time its parent failed,
+	// so the rejoin-latency histogram can observe failure-to-reattach time.
+	// Only populated while instrumented; accessed by key, never iterated.
+	pendingRejoin map[overlay.MemberID]time.Duration
+
 	// JoinFailures counts arrivals that found a saturated overlay and had
 	// to retry.
 	JoinFailures int
@@ -196,6 +203,51 @@ type Driver struct {
 	// measurement window.
 	Departures         int
 	MeasuredDepartures int
+}
+
+// driverMetrics holds the driver's optional instruments; all nil until
+// Instrument is called (the metric types are nil-safe no-ops).
+type driverMetrics struct {
+	joins        *metrics.Counter
+	rejoins      *metrics.Counter
+	departures   *metrics.Counter
+	disruptions  *metrics.Counter
+	joinFailures *metrics.Counter
+	members      *metrics.Gauge
+	rejoinLat    *metrics.Histogram
+}
+
+// Instrument registers the churn driver's instruments on reg: join, rejoin,
+// departure, disruption and join-failure counters, a current-membership
+// gauge, and a histogram of rejoin latency (parent failure to re-attachment,
+// in virtual seconds). Everything is keyed in virtual time, so snapshots are
+// deterministic for a fixed seed.
+func (d *Driver) Instrument(reg *metrics.Registry) {
+	d.met = driverMetrics{
+		joins:        reg.Counter("omcast_churn_joins_total", "Members that attached for the first time."),
+		rejoins:      reg.Counter("omcast_churn_rejoins_total", "Orphans that re-attached after a parent failure."),
+		departures:   reg.Counter("omcast_churn_departures_total", "Members that departed abruptly."),
+		disruptions:  reg.Counter("omcast_churn_disruptions_total", "Descendants whose stream was cut by an ancestor failure."),
+		joinFailures: reg.Counter("omcast_churn_join_failures_total", "Join or rejoin attempts that found a saturated overlay."),
+		members:      reg.Gauge("omcast_churn_members", "Members currently in the overlay (attached or rejoining)."),
+		rejoinLat: reg.Histogram("omcast_churn_rejoin_latency_seconds",
+			"Virtual seconds from parent failure to orphan re-attachment.",
+			metrics.LatencyBuckets()),
+	}
+	d.pendingRejoin = make(map[overlay.MemberID]time.Duration)
+}
+
+// noteRejoined records a successful rejoin: counter plus the latency since
+// the parent failure, if this orphan's failure time was captured.
+func (d *Driver) noteRejoined(sim *eventsim.Simulator, id overlay.MemberID) {
+	d.met.rejoins.Inc()
+	if d.pendingRejoin == nil {
+		return
+	}
+	if failedAt, ok := d.pendingRejoin[id]; ok {
+		d.met.rejoinLat.Observe((sim.Now() - failedAt).Seconds())
+		delete(d.pendingRejoin, id)
+	}
 }
 
 // Tracked is a "typical member" time series (Figures 6 and 9): cumulative
@@ -342,11 +394,14 @@ func (d *Driver) tryFirstJoin(sim *eventsim.Simulator, id overlay.MemberID) {
 	err := d.strategy.Join(d.tree, m, sim.Now())
 	switch {
 	case err == nil:
+		d.met.joins.Inc()
+		d.met.members.Set(float64(d.tree.Size()))
 		if d.hooks.OnJoin != nil {
 			d.hooks.OnJoin(sim, m)
 		}
 	case errors.Is(err, construct.ErrNoParent):
 		d.JoinFailures++
+		d.met.joinFailures.Inc()
 		sim.ScheduleAfter(d.cfg.RejoinRetry, func(s *eventsim.Simulator) {
 			d.tryFirstJoin(s, id)
 		})
@@ -367,7 +422,8 @@ func (d *Driver) depart(sim *eventsim.Simulator, id overlay.MemberID) {
 	}
 	// Abrupt departure: every descendant is disrupted (Section 6's
 	// "most uncooperative and dynamic environment").
-	d.tree.RecordFailure(m)
+	disrupted := d.tree.RecordFailure(m)
+	d.met.disruptions.Add(float64(disrupted))
 	now := sim.Now()
 	if now >= d.measureFrom && now <= d.measureTo {
 		d.departedDisruptions = append(d.departedDisruptions, float64(m.Disruptions))
@@ -385,11 +441,20 @@ func (d *Driver) depart(sim *eventsim.Simulator, id overlay.MemberID) {
 		d.MeasuredDepartures++
 	}
 	d.Departures++
+	d.met.departures.Inc()
 	ancestors := d.tree.Ancestors(m) // the orphans' surviving ancestor path
 	orphans, err := d.tree.Remove(m)
 	if err != nil {
 		panic(fmt.Sprintf("churn: removing departed member: %v", err))
 	}
+	if d.pendingRejoin != nil {
+		// A member departing mid-rejoin never re-attaches; drop its entry.
+		delete(d.pendingRejoin, id)
+		for _, o := range orphans {
+			d.pendingRejoin[o.ID] = now
+		}
+	}
+	d.met.members.Set(float64(d.tree.Size()))
 	if d.hooks.OnDepart != nil {
 		d.hooks.OnDepart(sim, id)
 	}
@@ -416,6 +481,7 @@ func (d *Driver) ancestorRejoin(sim *eventsim.Simulator, o *overlay.Member, ance
 		if err := d.tree.Attach(o, a); err != nil {
 			continue
 		}
+		d.noteRejoined(sim, o.ID)
 		if d.hooks.OnRejoin != nil {
 			d.hooks.OnRejoin(sim, o)
 		}
@@ -433,11 +499,13 @@ func (d *Driver) rejoin(sim *eventsim.Simulator, id overlay.MemberID) {
 	err := d.strategy.Join(d.tree, m, sim.Now())
 	switch {
 	case err == nil:
+		d.noteRejoined(sim, id)
 		if d.hooks.OnRejoin != nil {
 			d.hooks.OnRejoin(sim, m)
 		}
 	case errors.Is(err, construct.ErrNoParent):
 		d.JoinFailures++
+		d.met.joinFailures.Inc()
 		sim.ScheduleAfter(d.cfg.RejoinRetry, func(s *eventsim.Simulator) {
 			d.rejoin(s, id)
 		})

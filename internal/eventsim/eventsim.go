@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"omcast/internal/metrics"
 )
 
 // Handler is the callback invoked when an event fires. The current simulator
@@ -26,7 +28,8 @@ var ErrStopped = errors.New("eventsim: simulation stopped")
 // event is a single queued callback.
 type event struct {
 	at      time.Duration
-	seq     uint64 // tie-break: FIFO among equal timestamps
+	schedAt time.Duration // when Schedule was called (queue-residence metric)
+	seq     uint64        // tie-break: FIFO among equal timestamps
 	handler Handler
 	// canceled events stay in the heap but are skipped when popped; this is
 	// cheaper than O(n) removal and keeps Cancel O(1).
@@ -82,6 +85,16 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
+// kernelMetrics holds the kernel's optional instruments. All pointers are
+// nil until Instrument is called; the metric types' nil-safe methods make
+// every update a single predictable branch on the uninstrumented path.
+type kernelMetrics struct {
+	scheduled *metrics.Counter
+	fired     *metrics.Counter
+	canceled  *metrics.Counter
+	residence *metrics.Histogram
+}
+
 // Simulator is a single-threaded discrete-event scheduler. The zero value is
 // not usable; construct with New.
 type Simulator struct {
@@ -91,11 +104,41 @@ type Simulator struct {
 	stopped bool
 	// processed counts events that actually fired (canceled events excluded).
 	processed uint64
+	// depthHigh tracks the largest queue depth ever observed; it is plain
+	// kernel state (one int compare per Schedule) so the instrumented
+	// hot path stays free of gauge writes.
+	depthHigh int
+	met       kernelMetrics
 }
 
 // New returns an empty simulator with the clock at zero.
 func New() *Simulator {
 	return &Simulator{}
+}
+
+// Instrument registers the kernel's instruments on reg and starts feeding
+// them: events scheduled/fired/canceled, current and high-water queue depth,
+// and a histogram of virtual queue-residence time (fire time minus schedule
+// time — how far ahead the simulation plans). All instruments are keyed in
+// virtual time, so a fixed seed yields byte-identical snapshots; wall-clock
+// kernel cost is profiled with -cpuprofile instead (see DESIGN.md §9).
+func (s *Simulator) Instrument(reg *metrics.Registry) {
+	s.met = kernelMetrics{
+		scheduled: reg.Counter("omcast_sim_events_scheduled_total", "Events registered with the kernel."),
+		fired:     reg.Counter("omcast_sim_events_fired_total", "Events whose handler ran (canceled events excluded)."),
+		canceled:  reg.Counter("omcast_sim_events_canceled_total", "Events canceled before firing."),
+		residence: reg.Histogram("omcast_sim_event_residence_seconds",
+			"Virtual seconds an event spent queued between Schedule and firing.",
+			metrics.LatencyBuckets()),
+	}
+	// The queue-depth gauges are func-backed: they read kernel state at
+	// snapshot time instead of writing a gauge on every Schedule and fire.
+	reg.GaugeFunc("omcast_sim_queue_depth",
+		"Events currently queued, including canceled tombstones.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("omcast_sim_queue_depth_high_water",
+		"Largest queue depth observed.",
+		func() float64 { return float64(s.depthHigh) })
 }
 
 // Now returns the current virtual time.
@@ -118,9 +161,13 @@ func (s *Simulator) Schedule(at time.Duration, handler Handler) EventID {
 	if at < s.now {
 		at = s.now
 	}
-	ev := &event{at: at, seq: s.seq, handler: handler}
+	ev := &event{at: at, schedAt: s.now, seq: s.seq, handler: handler}
 	s.seq++
 	heap.Push(&s.queue, ev)
+	if len(s.queue) > s.depthHigh {
+		s.depthHigh = len(s.queue)
+	}
+	s.met.scheduled.Inc()
 	return EventID{ev: ev}
 }
 
@@ -141,6 +188,7 @@ func (s *Simulator) Cancel(id EventID) bool {
 		return false
 	}
 	id.ev.canceled = true
+	s.met.canceled.Inc()
 	return true
 }
 
@@ -170,6 +218,10 @@ func (s *Simulator) Run(horizon time.Duration) error {
 		s.now = popped.at
 		popped.handler(s)
 		s.processed++
+		s.met.fired.Inc()
+		// float64(d)*1e-9 instead of Seconds(): one multiply, not a divmod
+		// decomposition — this runs once per fired event.
+		s.met.residence.Observe(float64(popped.at-popped.schedAt) * 1e-9)
 		if s.stopped {
 			return ErrStopped
 		}

@@ -1,0 +1,85 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+
+	"omcast/internal/metrics"
+)
+
+// findMetric returns the snapshot entry with the given name, or nil.
+func findMetric(snap metrics.Snapshot, name string) *metrics.Metric {
+	for i := range snap.Metrics {
+		if snap.Metrics[i].Name == name {
+			return &snap.Metrics[i]
+		}
+	}
+	return nil
+}
+
+func TestInstrumentCounts(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sim := New()
+	sim.Instrument(reg)
+
+	fired := 0
+	handler := func(s *Simulator) { fired++ }
+	sim.Schedule(1*time.Second, handler)
+	sim.Schedule(2*time.Second, handler)
+	victim := sim.Schedule(3*time.Second, handler)
+	if !sim.Cancel(victim) {
+		t.Fatal("cancel failed")
+	}
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+
+	snap := reg.Snapshot(sim.Now().Seconds())
+	want := map[string]float64{
+		"omcast_sim_events_scheduled_total": 3,
+		"omcast_sim_events_fired_total":     2,
+		"omcast_sim_events_canceled_total":  1,
+		"omcast_sim_queue_depth":            0,
+		"omcast_sim_queue_depth_high_water": 3,
+	}
+	for name, w := range want {
+		m := findMetric(snap, name)
+		if m == nil {
+			t.Fatalf("metric %s not in snapshot", name)
+		}
+		if m.Value != w {
+			t.Errorf("%s = %v, want %v", name, m.Value, w)
+		}
+	}
+	res := findMetric(snap, "omcast_sim_event_residence_seconds")
+	if res == nil || res.Hist == nil {
+		t.Fatal("residence histogram missing")
+	}
+	if res.Hist.Count != 2 {
+		t.Fatalf("residence count = %d, want 2 (one per fired event)", res.Hist.Count)
+	}
+	// Residence is virtual (fire − schedule): 1s + 2s.
+	if res.Hist.Sum != 3 {
+		t.Fatalf("residence sum = %v, want 3", res.Hist.Sum)
+	}
+}
+
+// TestUninstrumentedKernelUnchanged guards the nil-sink contract: a kernel
+// without Instrument must behave identically and never panic on the metric
+// paths.
+func TestUninstrumentedKernelUnchanged(t *testing.T) {
+	sim := New()
+	fired := 0
+	id := sim.Schedule(time.Second, func(s *Simulator) { fired++ })
+	sim.Cancel(id)
+	sim.Schedule(2*time.Second, func(s *Simulator) { fired++ })
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}

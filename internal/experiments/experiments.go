@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"omcast"
+	"omcast/internal/metrics"
 	"omcast/internal/stats"
 )
 
@@ -43,6 +44,10 @@ type Options struct {
 	Quick bool
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(format string, args ...any)
+	// Metrics, when non-nil, is threaded into every run's Config so the
+	// whole suite accumulates into one registry (re-registration returns
+	// the existing instruments), e.g. for omcast-sim's -metrics-out flag.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +94,7 @@ func (o Options) baseConfig(seed int64, alg omcast.Algorithm, size int) omcast.C
 		TargetSize: size,
 		Warmup:     o.Warmup,
 		Measure:    o.Measure,
+		Metrics:    o.Metrics,
 	}
 	if o.Quick {
 		cfg.Topology = omcast.SmallTopology()

@@ -63,9 +63,13 @@ func DefaultConfig() *Config {
 			"omcast", // the root façade assembles and runs the simulation
 			"eventsim", "overlay", "construct", "rost", "cer", "churn",
 			"stream", "experiments", "xrand", "topology", "stats", "multitree",
+			// The deterministic metrics backend is sim-safe by contract; its
+			// concurrent sibling internal/metrics/live (suffix "live") is
+			// deliberately outside this scope.
+			"metrics",
 		},
 		WallclockExtra: []string{"omcast/cmd/...", "omcast/examples/..."},
-		FloatPackages:  []string{"stats", "experiments", "stream", "multitree"},
+		FloatPackages:  []string{"stats", "experiments", "stream", "multitree", "metrics"},
 	}
 }
 

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): one `# HELP` / `# TYPE` pair per metric family followed by
+// its samples, histograms expanded into cumulative `_bucket{le=...}` series
+// plus `_sum` and `_count`. Families appear in snapshot (registration) order
+// and label pairs in sorted-key order, so the output is deterministic.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	seen := make(map[string]bool, len(snap.Metrics))
+	for i := range snap.Metrics {
+		m := &snap.Metrics[i]
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				m.Name, escapeHelp(m.Help), m.Name, m.Kind); err != nil {
+				return err
+			}
+		}
+		if err := writeSamples(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSamples(w io.Writer, m *Metric) error {
+	switch m.Kind {
+	case KindCounter, KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, labelBlock(m.Labels, "", 0), formatValue(m.Value))
+		return err
+	case KindHistogram:
+		if m.Hist == nil {
+			return fmt.Errorf("metrics: histogram %s has no value", m.Name)
+		}
+		cum := uint64(0)
+		for i, bound := range m.Hist.Bounds {
+			cum += m.Hist.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				m.Name, labelBlock(m.Labels, "le", bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.Name, labelBlock(m.Labels, "le", math.Inf(1)), m.Hist.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			m.Name, labelBlock(m.Labels, "", 0), formatValue(m.Hist.Sum),
+			m.Name, labelBlock(m.Labels, "", 0), m.Hist.Count); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("metrics: unknown kind %q for %s", m.Kind, m.Name)
+	}
+}
+
+// labelBlock renders `{k="v",...}` (or "" with no labels). le, when
+// non-empty, appends the histogram bucket bound label last, matching the
+// sorted-key order requirement only loosely — Prometheus accepts any stable
+// order, and keeping `le` last is the conventional layout.
+func labelBlock(labels []Label, le string, bound float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(le)
+		b.WriteString(`="`)
+		b.WriteString(formatValue(bound))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value: shortest round-trip representation,
+// with the +Inf/-Inf/NaN spellings the text format requires.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline (the two characters the format
+// reserves in HELP text).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double quote and newline in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

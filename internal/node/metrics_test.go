@@ -1,0 +1,121 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"omcast/internal/metrics/live"
+)
+
+// metricValue returns the current value of the named series (summing across
+// label sets), or -1 if the family is absent.
+func metricValue(reg *live.Registry, name string) float64 {
+	snap := reg.Snapshot()
+	sum, found := 0.0, false
+	for _, m := range snap.Metrics {
+		if m.Name == name {
+			found = true
+			sum += m.Value
+		}
+	}
+	if !found {
+		return -1
+	}
+	return sum
+}
+
+// TestNodeMetrics boots an instrumented overlay, streams for a while, and
+// checks the live registry reflects the traffic. Snapshots are taken while
+// the node goroutines are still running, so -race also validates the
+// concurrent read path.
+func TestNodeMetrics(t *testing.T) {
+	regs := make(map[int]*live.Registry)
+	c := newCluster(t, 6, func(i int, cfg *Config) {
+		regs[i] = live.NewRegistry()
+		cfg.Metrics = regs[i]
+	})
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+	eventually(t, 5*time.Second, "stream flowing", func() bool {
+		for _, nd := range c.nodes {
+			if nd.Stats().PacketsReceived < 20 {
+				return false
+			}
+		}
+		return true
+	})
+
+	for i, nd := range c.nodes {
+		reg := regs[i]
+		if got := metricValue(reg, "omcast_node_attached"); got != 1 {
+			t.Errorf("node %d: omcast_node_attached = %v, want 1", i, got)
+		}
+		if got := metricValue(reg, "omcast_node_packets_received_total"); got < 20 {
+			t.Errorf("node %d: packets_received = %v, want >= 20", i, got)
+		}
+		if got := metricValue(reg, "omcast_node_heartbeats_sent_total"); got <= 0 {
+			t.Errorf("node %d: heartbeats_sent = %v, want > 0", i, got)
+		}
+		if got := metricValue(reg, "omcast_node_transport_tx_bytes_total"); got <= 0 {
+			t.Errorf("node %d: tx_bytes = %v, want > 0", i, got)
+		}
+		if got := metricValue(reg, "omcast_node_transport_rx_datagrams_total"); got <= 0 {
+			t.Errorf("node %d: rx_datagrams = %v, want > 0", i, got)
+		}
+		stats := nd.Stats()
+		if got := metricValue(reg, "omcast_node_depth"); got != float64(stats.Depth) {
+			t.Errorf("node %d: depth gauge = %v, stats depth = %d", i, got, stats.Depth)
+		}
+	}
+}
+
+// TestNodeMetricsRejoin checks the failure-path counters: killing a parent
+// must surface as a parent timeout and a rejoin on its child's registry.
+func TestNodeMetricsRejoin(t *testing.T) {
+	regs := make(map[int]*live.Registry)
+	c := newCluster(t, 8, func(i int, cfg *Config) {
+		regs[i] = live.NewRegistry()
+		cfg.Metrics = regs[i]
+	})
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+
+	// Find an interior node (one that is some other node's parent) and kill it.
+	victim := -1
+	for i, nd := range c.nodes {
+		addr := nd.Addr()
+		for j, other := range c.nodes {
+			if j != i && other.Stats().Parent == addr {
+				victim = i
+				break
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no interior node formed; tree is a star")
+	}
+	c.nodes[victim].Kill()
+
+	eventually(t, 10*time.Second, "orphans recover and count a rejoin", func() bool {
+		total := 0.0
+		for i, nd := range c.nodes {
+			if i == victim {
+				continue
+			}
+			if !nd.Stats().Attached {
+				return false
+			}
+			total += max(0, metricValue(regs[i], "omcast_node_rejoins_total"))
+		}
+		return total > 0
+	})
+}
+
+// TestNodeUninstrumented confirms Config.Metrics == nil keeps every metric
+// path on the nil-sink branch (compile-time nil-safety contract of
+// internal/metrics applies to the live backend too).
+func TestNodeUninstrumented(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+}

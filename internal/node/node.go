@@ -24,6 +24,8 @@ import (
 	"sync"
 	"time"
 
+	"omcast/internal/metrics"
+	"omcast/internal/metrics/live"
 	"omcast/internal/wire"
 )
 
@@ -58,6 +60,9 @@ type Config struct {
 	// (n-first)/rate; packets absent at their deadline count as starved
 	// playback slots (the live analogue of the paper's starving-time ratio).
 	PlaybackBuffer time.Duration
+	// Metrics, if non-nil, receives the node's instruments (the concurrent
+	// wall-clock backend; serve it over HTTP with live.Handler).
+	Metrics *live.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +123,62 @@ func (s Stats) StarvingRatio() float64 {
 	return float64(s.StarvedSlots) / float64(total)
 }
 
+// nodeMetrics holds the node's optional instruments, registered on the
+// concurrent live backend. All pointers are nil when Config.Metrics is nil;
+// the live types' nil-safe methods make every update a single branch.
+type nodeMetrics struct {
+	heartbeatsSent   *live.Counter
+	parentTimeouts   *live.Counter
+	childTimeouts    *live.Counter
+	packetsReceived  *live.Counter
+	packetsForwarded *live.Counter
+	packetsDuplicate *live.Counter
+	packetsRepaired  *live.Counter
+	repairsServed    *live.Counter
+	elnSent          *live.Counter
+	gossipSent       *live.Counter
+	rejoins          *live.Counter
+	switches         *live.Counter
+	playedSlots      *live.Counter
+	starvedSlots     *live.Counter
+	txDatagrams      *live.Counter
+	rxDatagrams      *live.Counter
+	txBytes          *live.Counter
+	rxBytes          *live.Counter
+	attached         *live.Gauge
+	depth            *live.Gauge
+	children         *live.Gauge
+	knownMembers     *live.Gauge
+}
+
+func newNodeMetrics(reg *live.Registry) nodeMetrics {
+	peerLabel := func(v string) metrics.Label { return metrics.Label{Key: "peer", Value: v} }
+	return nodeMetrics{
+		heartbeatsSent:   reg.Counter("omcast_node_heartbeats_sent_total", "Heartbeat envelopes sent to the parent and children."),
+		parentTimeouts:   reg.Counter("omcast_node_neighbor_timeouts_total", "Neighbours declared dead after missed heartbeats.", peerLabel("parent")),
+		childTimeouts:    reg.Counter("omcast_node_neighbor_timeouts_total", "Neighbours declared dead after missed heartbeats.", peerLabel("child")),
+		packetsReceived:  reg.Counter("omcast_node_packets_received_total", "Stream packets accepted into the buffer."),
+		packetsForwarded: reg.Counter("omcast_node_packets_forwarded_total", "Stream packet copies forwarded to children."),
+		packetsDuplicate: reg.Counter("omcast_node_packets_duplicate_total", "Stream packets dropped as already buffered."),
+		packetsRepaired:  reg.Counter("omcast_node_packets_repaired_total", "Packets recovered through CER repair."),
+		repairsServed:    reg.Counter("omcast_node_repairs_served_total", "Repair packets served to other members."),
+		elnSent:          reg.Counter("omcast_node_eln_sent_total", "Explicit-loss-notification envelopes sent downstream."),
+		gossipSent:       reg.Counter("omcast_node_gossip_sent_total", "Membership gossip requests initiated."),
+		rejoins:          reg.Counter("omcast_node_rejoins_total", "Times the node lost its parent and re-entered joining."),
+		switches:         reg.Counter("omcast_node_switches_total", "ROST switch commits executed as initiator."),
+		playedSlots:      reg.Counter("omcast_node_played_slots_total", "Playout slots whose packet arrived by its deadline."),
+		starvedSlots:     reg.Counter("omcast_node_starved_slots_total", "Playout slots whose packet missed its deadline."),
+		txDatagrams:      reg.Counter("omcast_node_transport_tx_datagrams_total", "Datagrams handed to the transport."),
+		rxDatagrams:      reg.Counter("omcast_node_transport_rx_datagrams_total", "Datagrams delivered by the transport."),
+		txBytes:          reg.Counter("omcast_node_transport_tx_bytes_total", "Bytes handed to the transport."),
+		rxBytes:          reg.Counter("omcast_node_transport_rx_bytes_total", "Bytes delivered by the transport."),
+		attached:         reg.Gauge("omcast_node_attached", "1 while the node holds a tree position (sources always 1)."),
+		depth:            reg.Gauge("omcast_node_depth", "Current tree depth (0 at the source)."),
+		children:         reg.Gauge("omcast_node_children", "Children currently served."),
+		knownMembers:     reg.Gauge("omcast_node_known_members", "Entries in the partial membership view."),
+	}
+}
+
 // peer tracks a neighbour's liveness.
 type peer struct {
 	lastSeen time.Time
@@ -165,6 +226,7 @@ type Node struct {
 	upstreamRepair int64 // highest sequence covered by a received ELN
 
 	stats Stats
+	met   nodeMetrics
 
 	seq  uint64
 	done chan struct{}
@@ -183,6 +245,9 @@ func New(cfg Config, tr Transport) *Node {
 		highest:    -1,
 		playFirst:  -1,
 		done:       make(chan struct{}),
+	}
+	if n.cfg.Metrics != nil {
+		n.met = newNodeMetrics(n.cfg.Metrics)
 	}
 	tr.SetHandler(n.onDatagram)
 	return n
@@ -269,6 +334,8 @@ func (n *Node) send(to wire.Addr, env wire.Envelope) {
 	if err != nil {
 		return // unencodable envelopes are a programming error; drop
 	}
+	n.met.txDatagrams.Inc()
+	n.met.txBytes.Add(int64(len(data)))
 	_ = n.transport.Send(to, data) // datagram semantics: errors are drops
 }
 
@@ -399,6 +466,8 @@ func (n *Node) handleAccept(env wire.Envelope) {
 	n.parent = env.From
 	n.parentSeen = time.Now()
 	n.depth = env.Depth + 1
+	n.met.attached.Set(1)
+	n.met.depth.Set(float64(n.depth))
 	n.lastJoinTarget = ""
 	if n.joinedAt.IsZero() {
 		n.joinedAt = time.Now()
@@ -445,22 +514,38 @@ func (n *Node) beat() {
 	btp := n.btpLocked()
 	bw := n.cfg.Bandwidth
 	n.advancePlaybackLocked(now)
+	n.met.childTimeouts.Add(int64(len(deadChildren)))
+	n.met.attached.Set(boolGauge(n.attached))
+	n.met.children.Set(float64(len(n.children)))
+	n.met.knownMembers.Set(float64(len(n.membership)))
 	n.mu.Unlock()
 
 	if parentDead {
+		n.met.parentTimeouts.Inc()
 		n.onParentFailure()
 		parent = ""
 	}
 	n.mu.Lock()
 	depth := n.depth
+	n.met.depth.Set(float64(depth))
 	n.mu.Unlock()
 	hb := wire.Envelope{Type: wire.TypeHeartbeat, Seq: seq, BTP: btp, Bandwidth: bw, Depth: depth}
 	if parent != "" {
+		n.met.heartbeatsSent.Inc()
 		n.send(parent, hb)
 	}
 	for _, c := range children {
+		n.met.heartbeatsSent.Inc()
 		n.send(c, hb)
 	}
+}
+
+// boolGauge maps a bool to the 0/1 convention Prometheus gauges use.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // advancePlaybackLocked scores every playout slot whose deadline has passed:
@@ -473,8 +558,10 @@ func (n *Node) advancePlaybackLocked(now time.Time) {
 	for seq := n.playChecked + 1; seq <= due; seq++ {
 		if _, ok := n.buffer[seq]; ok {
 			n.stats.PlayedSlots++
+			n.met.playedSlots.Inc()
 		} else {
 			n.stats.StarvedSlots++
+			n.met.starvedSlots.Inc()
 		}
 		n.playChecked = seq
 	}
@@ -504,6 +591,8 @@ func (n *Node) onParentFailure() {
 	n.attached = false
 	n.parent = ""
 	n.stats.Rejoins++
+	n.met.rejoins.Inc()
+	n.met.attached.Set(0)
 	first := n.highest + 1
 	n.mu.Unlock()
 	// Ask the recovery group for everything from the gap start; the range
@@ -521,6 +610,8 @@ func (n *Node) handleLeave(env wire.Envelope) {
 		n.attached = false
 		n.parent = ""
 		n.stats.Rejoins++
+		n.met.rejoins.Inc()
+		n.met.attached.Set(0)
 	}
 	n.mu.Unlock()
 	// A graceful leave needs no loss recovery: the stream stops cleanly and
@@ -577,12 +668,15 @@ func (n *Node) acceptPacket(env wire.Envelope, repaired bool) {
 	n.mu.Lock()
 	if _, dup := n.buffer[env.Packet]; dup {
 		n.mu.Unlock()
+		n.met.packetsDuplicate.Inc()
 		return
 	}
 	n.buffer[env.Packet] = env.Payload
 	n.stats.PacketsReceived++
+	n.met.packetsReceived.Inc()
 	if repaired {
 		n.stats.PacketsRepaired++
+		n.met.packetsRepaired.Inc()
 	}
 	if n.playFirst < 0 {
 		// Playback starts one buffering interval after the first packet.
@@ -605,6 +699,7 @@ func (n *Node) acceptPacket(env wire.Envelope, repaired bool) {
 	children := n.childrenLocked()
 	n.mu.Unlock()
 
+	n.met.packetsForwarded.Add(int64(len(children)))
 	for _, c := range children {
 		n.send(c, wire.Envelope{Type: wire.TypePacket, Packet: env.Packet, Payload: env.Payload})
 	}
@@ -622,6 +717,7 @@ func (n *Node) notifyELN(first, last int64) {
 	n.mu.Lock()
 	children := n.childrenLocked()
 	n.stats.ELNsSent += int64(len(children))
+	n.met.elnSent.Add(int64(len(children)))
 	n.mu.Unlock()
 	for _, c := range children {
 		n.send(c, wire.Envelope{Type: wire.TypeELN, FirstMissing: first, LastMissing: last})
@@ -733,6 +829,7 @@ func (n *Node) handleRepairRequest(env wire.Envelope) {
 		}
 	}
 	n.stats.RepairsServed += int64(len(serve))
+	n.met.repairsServed.Add(int64(len(serve)))
 	n.mu.Unlock()
 	for _, seq := range serve {
 		n.send(requester, wire.Envelope{Type: wire.TypeRepairData, Packet: seq})
@@ -763,6 +860,7 @@ func (n *Node) gossipLoop() {
 		}
 		target := n.gossipTarget()
 		if target != "" {
+			n.met.gossipSent.Inc()
 			n.send(target, wire.Envelope{
 				Type:    wire.TypeMembershipRequest,
 				Limit:   n.cfg.MembershipLimit,
@@ -977,6 +1075,7 @@ func (n *Node) handleSwitchAccept(env wire.Envelope) {
 	}
 	n.switching = false
 	n.stats.Switches++
+	n.met.switches.Inc()
 	n.mu.Unlock()
 
 	// Tell the grandparent to swap its child pointer, the old parent to
@@ -1030,6 +1129,8 @@ func (n *Node) handleSwitchCommit(env wire.Envelope) {
 // ---- dispatch ----
 
 func (n *Node) onDatagram(data []byte) {
+	n.met.rxDatagrams.Inc()
+	n.met.rxBytes.Add(int64(len(data)))
 	env, err := wire.Decode(data)
 	if err != nil {
 		return // malformed datagrams are dropped

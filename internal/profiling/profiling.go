@@ -1,0 +1,73 @@
+// Package profiling backs the CLIs' -cpuprofile and -memprofile flags and
+// tags simulation runs with pprof labels, so wall-clock kernel cost — which
+// the deterministic metrics backend deliberately never measures — is
+// observable through the standard Go profiling toolchain instead.
+package profiling
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session owns the profile files opened by Start. The zero value (no
+// profiling requested) is valid and Stop on it is a no-op.
+type Session struct {
+	cpu     *os.File
+	memPath string
+}
+
+// Start begins CPU profiling into cpuPath (if non-empty) and remembers
+// memPath for a heap profile at Stop. Empty paths disable each profile.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: starting cpu profile: %w", err)
+		}
+		s.cpu = f
+	}
+	return s, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if requested.
+func (s *Session) Stop() error {
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpu.Close(); err != nil {
+			return fmt.Errorf("profiling: closing cpu profile: %w", err)
+		}
+		s.cpu = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: creating mem profile: %w", err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("profiling: writing mem profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("profiling: closing mem profile: %w", err)
+		}
+		s.memPath = ""
+	}
+	return nil
+}
+
+// Do runs fn with an "experiment" pprof label, so CPU samples taken inside
+// kernel dispatch attribute to the experiment that scheduled them.
+func Do(name string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("experiment", name), func(context.Context) {
+		fn()
+	})
+}

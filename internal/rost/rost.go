@@ -27,6 +27,7 @@ import (
 
 	"omcast/internal/construct"
 	"omcast/internal/eventsim"
+	"omcast/internal/metrics"
 	"omcast/internal/overlay"
 )
 
@@ -103,6 +104,32 @@ type Protocol struct {
 	// Rejected counts switches refused because referee verification caught
 	// an inflated BTP claim.
 	Rejected int
+
+	met protocolMetrics
+}
+
+// protocolMetrics mirrors the protocol counters into a metrics registry so
+// traced runs can watch switching dynamics evolve instead of reading only
+// end-of-run totals. All pointers stay nil until Instrument is called.
+type protocolMetrics struct {
+	switches  *metrics.Counter
+	aborts    *metrics.Counter
+	backoffs  *metrics.Counter
+	rejected  *metrics.Counter
+	promDepth *metrics.Histogram
+}
+
+// Instrument registers the protocol's instruments on reg.
+func (p *Protocol) Instrument(reg *metrics.Registry) {
+	p.met = protocolMetrics{
+		switches: reg.Counter("omcast_rost_switches_total", "Completed ROST position exchanges."),
+		aborts:   reg.Counter("omcast_rost_switch_aborts_total", "Switches abandoned because the locked neighbourhood changed."),
+		backoffs: reg.Counter("omcast_rost_lock_backoffs_total", "Switch attempts that backed off on a locked neighbourhood."),
+		rejected: reg.Counter("omcast_rost_rejected_claims_total", "Switches refused after referee BTP verification."),
+		promDepth: reg.Histogram("omcast_rost_promotion_depth",
+			"Tree depth at which completed switches promoted a member.",
+			metrics.LogBuckets(1, 64, 7)),
+	}
 }
 
 // New creates a ROST protocol instance over tree.
@@ -169,6 +196,7 @@ func (p *Protocol) check(sim *eventsim.Simulator, id overlay.MemberID) {
 		// Locked neighbourhood: back off and re-check the condition, per
 		// Section 3.3.
 		p.LockFailures++
+		p.met.backoffs.Inc()
 		p.scheduleCheck(sim, m, p.cfg.LockBackoff)
 	case switchNotNeeded:
 		p.scheduleCheck(sim, m, p.cfg.SwitchInterval)
@@ -229,6 +257,7 @@ func (p *Protocol) tryInitiateSwitch(sim *eventsim.Simulator, m *overlay.Member)
 	if r := p.cfg.Referees; r != nil && !p.cfg.SkipVerification {
 		if !r.VerifyBTP(m, p.claimedBTP(m, now), now) {
 			p.Rejected++
+			p.met.rejected.Inc()
 			return switchNotNeeded
 		}
 	}
@@ -277,6 +306,7 @@ func (p *Protocol) completeSwitch(sim *eventsim.Simulator, op int64, mID, parent
 	}
 	if !valid {
 		p.Aborted++
+		p.met.aborts.Inc()
 		if m != nil {
 			p.scheduleCheck(sim, m, p.cfg.SwitchInterval)
 		}
@@ -288,6 +318,8 @@ func (p *Protocol) completeSwitch(sim *eventsim.Simulator, op int64, mID, parent
 		panic(fmt.Sprintf("rost: exchange invariant broken: %v", err))
 	}
 	p.Switches++
+	p.met.switches.Inc()
+	p.met.promDepth.Observe(float64(m.Depth()))
 	if p.cfg.OnSwitch != nil {
 		p.cfg.OnSwitch(sim.Now(), m.ID, parent.ID)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"omcast/internal/cer"
+	"omcast/internal/metrics"
 	"omcast/internal/overlay"
 	"omcast/internal/stats"
 	"omcast/internal/topology"
@@ -60,6 +61,9 @@ type Config struct {
 	MeasureFrom time.Duration
 	// MinViewTime: 0 means DefaultMinViewTime.
 	MinViewTime time.Duration
+	// OnEpisode, if non-nil, fires after each outage episode with the
+	// orphan that planned recovery and its per-packet outcome (tracing).
+	OnEpisode func(orphan *overlay.Member, failedAt time.Duration, repaired, lost int)
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +130,31 @@ type Model struct {
 	// PacketsRepaired and PacketsLost tally the orphans' missing packets.
 	PacketsRepaired int
 	PacketsLost     int
+
+	met modelMetrics
+}
+
+// modelMetrics holds the model's optional instruments; all nil until
+// Instrument is called (the metric types are nil-safe no-ops).
+type modelMetrics struct {
+	episodes *metrics.Counter
+	eln      *metrics.Counter
+	requests *metrics.Counter
+	repaired *metrics.Counter
+	lost     *metrics.Counter
+}
+
+// Instrument registers the CER streaming model's instruments on reg:
+// episode, ELN-message and repair-request counters plus the per-packet
+// repair outcome tallies. All counters advance in virtual time only.
+func (m *Model) Instrument(reg *metrics.Registry) {
+	m.met = modelMetrics{
+		episodes: reg.Counter("omcast_cer_episodes_total", "Outage episodes processed (one per orphan per failure)."),
+		eln:      reg.Counter("omcast_cer_eln_messages_total", "Explicit-loss-notification messages sent down disrupted subtrees."),
+		requests: reg.Counter("omcast_cer_repair_requests_total", "Recovery-group repair requests issued by orphans."),
+		repaired: reg.Counter("omcast_cer_packets_repaired_total", "Orphan packets recovered in time by the recovery group."),
+		lost:     reg.Counter("omcast_cer_packets_lost_total", "Orphan packets missing their playback deadline despite recovery."),
+	}
 }
 
 // NewModel builds a streaming model over tree. selector chooses recovery
@@ -235,6 +264,8 @@ func (m *Model) OnFailure(failed *overlay.Member, now time.Duration) {
 // runEpisode handles one orphan's outage.
 func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration) {
 	m.Episodes++
+	m.met.episodes.Inc()
+	repairedBefore, lostBefore := m.PacketsRepaired, m.PacketsLost
 	first := m.packetAfter(failedAt)
 	last := m.packetAfter(outageEnd) - 1
 	if last < first {
@@ -247,6 +278,7 @@ func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration)
 	m.tree.VisitSubtree(c, func(d *overlay.Member) {
 		if d != c {
 			m.ELNMessages++
+			m.met.eln.Inc()
 		}
 		st, ok := m.states[d.ID]
 		if !ok || st.viewStart > failedAt {
@@ -278,12 +310,20 @@ func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration)
 			st.watermark = last
 		}
 	})
+	repaired := m.PacketsRepaired - repairedBefore
+	lost := m.PacketsLost - lostBefore
+	m.met.repaired.Add(float64(repaired))
+	m.met.lost.Add(float64(lost))
+	if m.cfg.OnEpisode != nil {
+		m.cfg.OnEpisode(c, failedAt, repaired, lost)
+	}
 }
 
 // planFor selects the recovery group for orphan c and plans the repairs.
 func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeAt time.Duration) cer.Plan {
 	group := m.selector.Select(c, m.cfg.GroupSize)
 	m.RepairRequests++
+	m.met.requests.Inc()
 	servers := make([]cer.Server, 0, len(group))
 	chain := time.Duration(0)
 	prev := c

@@ -33,14 +33,13 @@ import (
 	"sort"
 	"time"
 
-	"omcast/internal/cer"
 	"omcast/internal/churn"
 	"omcast/internal/construct"
 	"omcast/internal/eventsim"
+	"omcast/internal/metrics"
 	"omcast/internal/multitree"
 	"omcast/internal/overlay"
 	"omcast/internal/rost"
-	"omcast/internal/stream"
 	"omcast/internal/topology"
 	"omcast/internal/xrand"
 )
@@ -164,6 +163,12 @@ type Config struct {
 	// DisableClaimVerification keeps cheaters' inflated claims unverified
 	// (the control scenario showing why referees are needed).
 	DisableClaimVerification bool
+	// Metrics, if non-nil, receives the run's instruments (kernel, churn,
+	// ROST and — under RunStreaming — CER counters). The registry uses the
+	// deterministic virtual-time backend, so snapshots are byte-identical
+	// across same-seed runs; a registry may be shared across sequential runs
+	// to accumulate totals.
+	Metrics *metrics.Registry
 }
 
 // FlashCrowd describes a burst of simultaneous arrivals.
@@ -282,6 +287,12 @@ func newSession(cfg Config, extra churn.Hooks) (*session, error) {
 		s.protocol = rost.New(s.tree, s.env, rcfg)
 		s.strategy = s.protocol
 	}
+	if cfg.Metrics != nil {
+		s.sim.Instrument(cfg.Metrics)
+		if s.protocol != nil {
+			s.protocol.Instrument(cfg.Metrics)
+		}
+	}
 
 	hooks := churn.Hooks{
 		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
@@ -317,6 +328,9 @@ func newSession(cfg Config, extra churn.Hooks) (*session, error) {
 	}, hooks)
 	if err != nil {
 		return nil, fmt.Errorf("omcast: creating churn driver: %w", err)
+	}
+	if cfg.Metrics != nil {
+		s.driver.Instrument(cfg.Metrics)
 	}
 	if cfg.FlashCrowd != nil {
 		if cfg.FlashCrowd.Size <= 0 || cfg.FlashCrowd.At < 0 {
@@ -546,60 +560,7 @@ type StreamResult struct {
 // RunStreaming executes one packet-level experiment on top of a tree-level
 // session.
 func RunStreaming(cfg Config, scfg StreamConfig) (StreamResult, error) {
-	if scfg.Recovery == 0 {
-		scfg.Recovery = CER
-	}
-	cfg = cfg.withDefaults()
-	var model *stream.Model
-	hooks := churn.Hooks{
-		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
-			model.Register(m, sim.Now())
-		},
-		OnFailure: func(sim *eventsim.Simulator, failed *overlay.Member) {
-			model.OnFailure(failed, sim.Now())
-		},
-		OnDepart: func(sim *eventsim.Simulator, id overlay.MemberID) {
-			model.Depart(id, sim.Now())
-		},
-	}
-	s, err := newSession(cfg, hooks)
-	if err != nil {
-		return StreamResult{}, err
-	}
-	selRng := xrand.NewNamed(cfg.Seed, "cer.select")
-	var selector cer.Selector
-	switch scfg.Recovery {
-	case CER:
-		selector = &cer.MLCSelector{Tree: s.tree, Rng: selRng, Delay: s.topo.Delay}
-	case SingleSource, CERRandomGroup:
-		selector = &cer.RandomSelector{Tree: s.tree, Rng: selRng, Delay: s.topo.Delay}
-	default:
-		return StreamResult{}, fmt.Errorf("omcast: unknown recovery scheme %d", int(scfg.Recovery))
-	}
-	model = stream.NewModel(s.tree, s.topo.Delay, selector, xrand.NewNamed(cfg.Seed, "stream.residual"), stream.Config{
-		Rate:        scfg.Rate,
-		Buffer:      scfg.Buffer,
-		GroupSize:   scfg.GroupSize,
-		Striped:     scfg.Recovery != SingleSource,
-		ResidualMax: scfg.ResidualMax,
-		MeasureFrom: cfg.Warmup,
-	})
-	if err := s.run(); err != nil {
-		return StreamResult{}, err
-	}
-	model.Finish(s.sim.Now())
-	sr := model.Result()
-	return StreamResult{
-		TreeResult:       s.treeResult(),
-		AvgStarvingRatio: sr.AvgStarvingRatio,
-		StarvingRatios:   sr.Ratios,
-		StreamMembers:    sr.Members,
-		Episodes:         model.Episodes,
-		RepairRequests:   model.RepairRequests,
-		ELNMessages:      model.ELNMessages,
-		PacketsRepaired:  model.PacketsRepaired,
-		PacketsLost:      model.PacketsLost,
-	}, nil
+	return runStreaming(cfg, scfg, nil, TraceOptions{})
 }
 
 // TrackedSeries is the Figure 6/9 time series of one long-lived "typical

@@ -6,33 +6,73 @@ import (
 	"io"
 	"time"
 
+	"omcast/internal/cer"
 	"omcast/internal/churn"
 	"omcast/internal/eventsim"
+	"omcast/internal/metrics"
 	"omcast/internal/overlay"
+	"omcast/internal/stream"
+	"omcast/internal/xrand"
 )
 
 // TraceEvent is one line of the JSONL event stream a run can emit (see
-// Config-independent RunWithTrace). Events describe overlay dynamics at the
-// granularity a downstream analysis or visualisation needs: membership
-// changes, failures, and ROST switches.
+// RunWithTrace and RunStreamingWithTrace). Events describe overlay dynamics
+// at the granularity a downstream analysis or visualisation needs:
+// membership changes, failures, ROST switches, CER repair outcomes, and
+// periodic metric snapshots.
+//
+// JSONL schema. Every line is one JSON object; "t" (virtual seconds) and
+// "event" are always present. The remaining fields depend on the event:
+//
+//	join, rejoin — member, parent, depth, bandwidth (join only)
+//	depart       — member
+//	failure      — member, disrupted
+//	switch       — member (promoted), demoted
+//	repair       — member (the orphan), repaired, lost
+//	sample       — metrics (a full registry snapshot; no member)
+//
+// Presence is exact: fields that carry a meaningful zero (parent 0 is the
+// source, depth 0 is the source's layer, disrupted 0 is a leaf failure,
+// repaired/lost 0 are real outcomes) are pointers serialised whenever the
+// event defines them and omitted otherwise, so consumers can distinguish
+// "zero" from "not applicable" without knowing the event vocabulary.
 type TraceEvent struct {
 	// T is the virtual time in seconds.
 	T float64 `json:"t"`
-	// Event is one of "join", "rejoin", "depart", "failure", "switch".
+	// Event is one of "join", "rejoin", "depart", "failure", "switch",
+	// "repair", "sample".
 	Event string `json:"event"`
-	// Member is the subject member ID.
-	Member int64 `json:"member"`
-	// Parent is the member's parent after a join/rejoin (0 for the source).
-	Parent int64 `json:"parent,omitempty"`
+	// Member is the subject member ID (absent on sample events).
+	Member int64 `json:"member,omitempty"`
+	// Parent is the member's parent after a join/rejoin (0 is the source).
+	Parent *int64 `json:"parent,omitempty"`
 	// Depth is the member's layer after a join/rejoin.
-	Depth int `json:"depth,omitempty"`
+	Depth *int `json:"depth,omitempty"`
 	// Bandwidth is the member's outbound bandwidth on join.
 	Bandwidth float64 `json:"bandwidth,omitempty"`
-	// Disrupted is the descendant count a failure disrupted.
-	Disrupted int `json:"disrupted,omitempty"`
+	// Disrupted is the descendant count a failure disrupted (0 for leaves).
+	Disrupted *int `json:"disrupted,omitempty"`
 	// Demoted is the former parent in a switch event.
 	Demoted int64 `json:"demoted,omitempty"`
+	// Repaired and Lost are the orphan's per-packet repair outcome.
+	Repaired *int `json:"repaired,omitempty"`
+	Lost     *int `json:"lost,omitempty"`
+	// Metrics is the registry snapshot carried by sample events.
+	Metrics []metrics.Metric `json:"metrics,omitempty"`
 }
+
+// TraceOptions tunes the trace stream beyond the default event vocabulary.
+type TraceOptions struct {
+	// SampleEvery interleaves "sample" events — full snapshots of the run's
+	// metrics registry — into the trace at this virtual-time interval. Zero
+	// disables sampling. When sampling is on and Config.Metrics is nil, a
+	// registry is created internally.
+	SampleEvery time.Duration
+}
+
+// intPtr and int64Ptr build the presence-carrying pointer fields.
+func intPtr(v int) *int       { return &v }
+func int64Ptr(v int64) *int64 { return &v }
 
 // tracer serialises events to a writer; encoding errors surface once.
 type tracer struct {
@@ -55,48 +95,28 @@ func (tr *tracer) emit(ev TraceEvent) {
 // events to w as JSON lines. The stream is deterministic in cfg.Seed, making
 // it suitable for golden-file comparisons and offline visualisation.
 func RunWithTrace(cfg Config, w io.Writer) (TreeResult, error) {
+	return RunWithTraceOptions(cfg, w, TraceOptions{})
+}
+
+// RunWithTraceOptions is RunWithTrace with trace tuning: opts.SampleEvery
+// interleaves periodic metric snapshots with the event stream.
+func RunWithTraceOptions(cfg Config, w io.Writer, opts TraceOptions) (TreeResult, error) {
 	if w == nil {
 		return Run(cfg)
 	}
 	tr := newTracer(w)
-	var s *session
-	hooks := churn.Hooks{
-		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
-			tr.emit(joinEvent("join", sim.Now(), m))
-		},
-		OnRejoin: func(sim *eventsim.Simulator, m *overlay.Member) {
-			tr.emit(joinEvent("rejoin", sim.Now(), m))
-		},
-		OnFailure: func(sim *eventsim.Simulator, failed *overlay.Member) {
-			disrupted := 0
-			if failed.Attached() {
-				disrupted = s.tree.SubtreeSize(failed) - 1
-			}
-			tr.emit(TraceEvent{
-				T:         sim.Now().Seconds(),
-				Event:     "failure",
-				Member:    int64(failed.ID),
-				Disrupted: disrupted,
-			})
-		},
-		OnDepart: func(sim *eventsim.Simulator, id overlay.MemberID) {
-			tr.emit(TraceEvent{T: sim.Now().Seconds(), Event: "depart", Member: int64(id)})
-		},
+	if opts.SampleEvery > 0 && cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
 	}
+	var s *session
 	var err error
-	s, err = newSession(cfg, hooks)
+	s, err = newSession(cfg, tracedHooks(tr, &s))
 	if err != nil {
 		return TreeResult{}, err
 	}
-	if s.protocol != nil {
-		s.protocol.SetOnSwitch(func(now time.Duration, promoted, demoted overlay.MemberID) {
-			tr.emit(TraceEvent{
-				T:       now.Seconds(),
-				Event:   "switch",
-				Member:  int64(promoted),
-				Demoted: int64(demoted),
-			})
-		})
+	attachSwitchTrace(s, tr)
+	if opts.SampleEvery > 0 {
+		scheduleSampling(s, tr, cfg.Metrics, opts.SampleEvery)
 	}
 	if err := s.run(); err != nil {
 		return TreeResult{}, err
@@ -107,16 +127,193 @@ func RunWithTrace(cfg Config, w io.Writer) (TreeResult, error) {
 	return s.treeResult(), nil
 }
 
+// RunStreamingWithTrace executes a packet-level run like RunStreaming while
+// streaming overlay events to w, including "repair" events carrying each
+// recovery episode's per-packet outcome.
+func RunStreamingWithTrace(cfg Config, scfg StreamConfig, w io.Writer, opts TraceOptions) (StreamResult, error) {
+	if w == nil {
+		return runStreaming(cfg, scfg, nil, opts)
+	}
+	return runStreaming(cfg, scfg, newTracer(w), opts)
+}
+
+// tracedHooks builds churn hooks that emit join/rejoin/failure/depart
+// events. sp dereferences to the session once newSession returns (the
+// failure hook needs the tree for the disrupted-descendant count).
+func tracedHooks(tr *tracer, sp **session) churn.Hooks {
+	return churn.Hooks{
+		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
+			tr.emit(joinEvent("join", sim.Now(), m))
+		},
+		OnRejoin: func(sim *eventsim.Simulator, m *overlay.Member) {
+			tr.emit(joinEvent("rejoin", sim.Now(), m))
+		},
+		OnFailure: func(sim *eventsim.Simulator, failed *overlay.Member) {
+			tr.emit(failureEvent(sim.Now(), *sp, failed))
+		},
+		OnDepart: func(sim *eventsim.Simulator, id overlay.MemberID) {
+			tr.emit(TraceEvent{T: sim.Now().Seconds(), Event: "depart", Member: int64(id)})
+		},
+	}
+}
+
+// attachSwitchTrace emits "switch" events from the ROST protocol, when the
+// session runs one.
+func attachSwitchTrace(s *session, tr *tracer) {
+	if s.protocol == nil {
+		return
+	}
+	s.protocol.SetOnSwitch(func(now time.Duration, promoted, demoted overlay.MemberID) {
+		tr.emit(TraceEvent{
+			T:       now.Seconds(),
+			Event:   "switch",
+			Member:  int64(promoted),
+			Demoted: int64(demoted),
+		})
+	})
+}
+
+// scheduleSampling interleaves "sample" events into the trace: a full
+// registry snapshot at t=0 and then every interval of virtual time. The
+// sampler is an ordinary simulation event, so samples sit deterministically
+// ordered among the protocol events they describe.
+func scheduleSampling(s *session, tr *tracer, reg *metrics.Registry, interval time.Duration) {
+	var sample eventsim.Handler
+	sample = func(sim *eventsim.Simulator) {
+		snap := reg.Snapshot(sim.Now().Seconds())
+		tr.emit(TraceEvent{T: snap.T, Event: "sample", Metrics: snap.Metrics})
+		sim.ScheduleAfter(interval, sample)
+	}
+	s.sim.Schedule(0, sample)
+}
+
 func joinEvent(kind string, now time.Duration, m *overlay.Member) TraceEvent {
 	ev := TraceEvent{
 		T:         now.Seconds(),
 		Event:     kind,
 		Member:    int64(m.ID),
-		Depth:     m.Depth(),
+		Depth:     intPtr(m.Depth()),
 		Bandwidth: m.Bandwidth,
 	}
 	if p := m.Parent(); p != nil {
-		ev.Parent = int64(p.ID)
+		ev.Parent = int64Ptr(int64(p.ID))
 	}
 	return ev
+}
+
+func failureEvent(now time.Duration, s *session, failed *overlay.Member) TraceEvent {
+	disrupted := 0
+	if failed.Attached() {
+		disrupted = s.tree.SubtreeSize(failed) - 1
+	}
+	return TraceEvent{
+		T:         now.Seconds(),
+		Event:     "failure",
+		Member:    int64(failed.ID),
+		Disrupted: intPtr(disrupted),
+	}
+}
+
+// runStreaming is the shared body of RunStreaming and RunStreamingWithTrace;
+// tr is nil for untraced runs.
+func runStreaming(cfg Config, scfg StreamConfig, tr *tracer, opts TraceOptions) (StreamResult, error) {
+	if scfg.Recovery == 0 {
+		scfg.Recovery = CER
+	}
+	cfg = cfg.withDefaults()
+	if tr != nil && opts.SampleEvery > 0 && cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	var model *stream.Model
+	var s *session
+	hooks := churn.Hooks{
+		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
+			model.Register(m, sim.Now())
+			if tr != nil {
+				tr.emit(joinEvent("join", sim.Now(), m))
+			}
+		},
+		OnRejoin: func(sim *eventsim.Simulator, m *overlay.Member) {
+			if tr != nil {
+				tr.emit(joinEvent("rejoin", sim.Now(), m))
+			}
+		},
+		OnFailure: func(sim *eventsim.Simulator, failed *overlay.Member) {
+			// Emit before the model folds the episode so the failure line
+			// precedes its repair line in the stream.
+			if tr != nil {
+				tr.emit(failureEvent(sim.Now(), s, failed))
+			}
+			model.OnFailure(failed, sim.Now())
+		},
+		OnDepart: func(sim *eventsim.Simulator, id overlay.MemberID) {
+			model.Depart(id, sim.Now())
+			if tr != nil {
+				tr.emit(TraceEvent{T: sim.Now().Seconds(), Event: "depart", Member: int64(id)})
+			}
+		},
+	}
+	var err error
+	s, err = newSession(cfg, hooks)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	selRng := xrand.NewNamed(cfg.Seed, "cer.select")
+	var selector cer.Selector
+	switch scfg.Recovery {
+	case CER:
+		selector = &cer.MLCSelector{Tree: s.tree, Rng: selRng, Delay: s.topo.Delay}
+	case SingleSource, CERRandomGroup:
+		selector = &cer.RandomSelector{Tree: s.tree, Rng: selRng, Delay: s.topo.Delay}
+	default:
+		return StreamResult{}, fmt.Errorf("omcast: unknown recovery scheme %d", int(scfg.Recovery))
+	}
+	streamCfg := stream.Config{
+		Rate:        scfg.Rate,
+		Buffer:      scfg.Buffer,
+		GroupSize:   scfg.GroupSize,
+		Striped:     scfg.Recovery != SingleSource,
+		ResidualMax: scfg.ResidualMax,
+		MeasureFrom: cfg.Warmup,
+	}
+	if tr != nil {
+		streamCfg.OnEpisode = func(orphan *overlay.Member, failedAt time.Duration, repaired, lost int) {
+			tr.emit(TraceEvent{
+				T:        failedAt.Seconds(),
+				Event:    "repair",
+				Member:   int64(orphan.ID),
+				Repaired: intPtr(repaired),
+				Lost:     intPtr(lost),
+			})
+		}
+	}
+	model = stream.NewModel(s.tree, s.topo.Delay, selector, xrand.NewNamed(cfg.Seed, "stream.residual"), streamCfg)
+	if cfg.Metrics != nil {
+		model.Instrument(cfg.Metrics)
+	}
+	if tr != nil {
+		attachSwitchTrace(s, tr)
+		if opts.SampleEvery > 0 {
+			scheduleSampling(s, tr, cfg.Metrics, opts.SampleEvery)
+		}
+	}
+	if err := s.run(); err != nil {
+		return StreamResult{}, err
+	}
+	model.Finish(s.sim.Now())
+	if tr != nil && tr.err != nil {
+		return StreamResult{}, fmt.Errorf("omcast: writing trace: %w", tr.err)
+	}
+	sr := model.Result()
+	return StreamResult{
+		TreeResult:       s.treeResult(),
+		AvgStarvingRatio: sr.AvgStarvingRatio,
+		StarvingRatios:   sr.Ratios,
+		StreamMembers:    sr.Members,
+		Episodes:         model.Episodes,
+		RepairRequests:   model.RepairRequests,
+		ELNMessages:      model.ELNMessages,
+		PacketsRepaired:  model.PacketsRepaired,
+		PacketsLost:      model.PacketsLost,
+	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"omcast"
 )
@@ -31,7 +32,7 @@ func TestRunWithTrace(t *testing.T) {
 			t.Fatalf("trace went backwards in time: %f after %f", ev.T, prevT)
 		}
 		prevT = ev.T
-		if ev.Member == 0 {
+		if ev.Member == 0 && ev.Event != "sample" {
 			t.Fatalf("trace event without member: %+v", ev)
 		}
 		kinds[ev.Event]++
@@ -94,5 +95,98 @@ func TestRunWithTraceWriteError(t *testing.T) {
 	_, err := omcast.RunWithTrace(quickConfig(43, omcast.MinimumDepth), &failingWriter{left: 1024})
 	if err == nil || !strings.Contains(err.Error(), "trace") {
 		t.Fatalf("write failure not surfaced: %v", err)
+	}
+}
+
+func TestRunWithTraceSampled(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickConfig(44, omcast.ROST)
+	_, err := omcast.RunWithTraceOptions(cfg, &buf, omcast.TraceOptions{SampleEvery: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	prevT := -1.0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev omcast.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if ev.Event != "sample" {
+			continue
+		}
+		samples++
+		if ev.Member != 0 {
+			t.Fatalf("sample event carries a member: %+v", ev)
+		}
+		if len(ev.Metrics) == 0 {
+			t.Fatalf("sample at t=%f has no metrics", ev.T)
+		}
+		if ev.T <= prevT {
+			t.Fatalf("samples not strictly ordered: %f after %f", ev.T, prevT)
+		}
+		prevT = ev.T
+		found := false
+		for _, m := range ev.Metrics {
+			if m.Name == "omcast_sim_events_fired_total" {
+				found = true
+				if samples > 1 && m.Value == 0 {
+					t.Fatal("kernel counters stayed zero mid-run")
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("sample lacks kernel metrics (got %d series)", len(ev.Metrics))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// quickConfig runs 900s warmup + 1200s measure = 2100s = 7 five-minute
+	// intervals, plus the t=0 snapshot.
+	if samples < 7 {
+		t.Fatalf("got %d sample events, want >= 7", samples)
+	}
+}
+
+func TestRunStreamingWithTraceRepairs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickConfig(45, omcast.ROST)
+	res, err := omcast.RunStreamingWithTrace(cfg, omcast.StreamConfig{GroupSize: 3}, &buf, omcast.TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes == 0 {
+		t.Fatal("streaming run had no recovery episodes")
+	}
+	repairs := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev omcast.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if ev.Event != "repair" {
+			continue
+		}
+		repairs++
+		if ev.Member == 0 {
+			t.Fatalf("repair without orphan: %+v", ev)
+		}
+		if ev.Repaired == nil || ev.Lost == nil {
+			t.Fatalf("repair outcome fields absent (pointer presence broken): %s", sc.Text())
+		}
+		if *ev.Repaired < 0 || *ev.Lost < 0 {
+			t.Fatalf("negative repair outcome: %+v", ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if repairs == 0 {
+		t.Fatal("trace has no repair events despite episodes > 0")
 	}
 }
