@@ -1,0 +1,124 @@
+// Command omcast-chaos runs the chaos resilience suite: live overlays on an
+// in-memory network behind the deterministic fault injector, each scenario
+// byte-reproducible from its seed.
+//
+//	omcast-chaos -list                      # what scenarios exist
+//	omcast-chaos -scenario parent-crash     # run one
+//	omcast-chaos -scenario all              # run the whole suite
+//	omcast-chaos -scenario lossy-10 -plan   # print the fault plan, no run
+//	omcast-chaos -scenario lossy-10 -log    # include the canonical fault log
+//	omcast-chaos -scenario lossy-10 -seed 7 # same faults, different dice
+//
+// Custom fault schedules (the JSON format of internal/faultnet) run against a
+// default overlay:
+//
+//	omcast-chaos -schedule faults.json -nodes 10 -duration 5s
+//
+// Exit status: 0 all bounds held, 1 a scenario failed its bounds, 2 usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"omcast/internal/faultnet"
+	"omcast/internal/faultnet/live"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list     = flag.Bool("list", false, "list scenarios and exit")
+		scenario = flag.String("scenario", "", "scenario name, or \"all\" for the whole suite")
+		seed     = flag.Int64("seed", 0, "override the scenario seed (0 = scenario default)")
+		plan     = flag.Bool("plan", false, "print the expanded fault plan instead of running")
+		showLog  = flag.Bool("log", false, "print the canonical fault log after each run")
+		schedule = flag.String("schedule", "", "run a custom JSON fault schedule instead of a named scenario")
+		nodes    = flag.Int("nodes", 8, "member count for -schedule runs")
+		duration = flag.Duration("duration", 3*time.Second, "fault run length for -schedule runs")
+		warmup   = flag.Duration("warmup", 5*time.Second, "attach deadline before faults arm for -schedule runs (0 = faults from birth)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range live.Scenarios {
+			fmt.Printf("%-22s %s\n", s.Name, s.About)
+		}
+		return 0
+	}
+
+	var run []live.Scenario
+	switch {
+	case *schedule != "":
+		data, err := os.ReadFile(*schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-chaos: %v\n", err)
+			return 2
+		}
+		sch, err := faultnet.Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-chaos: %s: %v\n", *schedule, err)
+			return 2
+		}
+		run = []live.Scenario{{
+			Name:     "custom",
+			About:    *schedule,
+			Nodes:    *nodes,
+			Seed:     sch.Seed,
+			Warmup:   *warmup,
+			Duration: *duration,
+			Schedule: *sch,
+		}}
+	case *scenario == "all":
+		run = live.Scenarios
+	case *scenario != "":
+		s := live.ScenarioByName(*scenario)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "omcast-chaos: unknown scenario %q (try -list)\n", *scenario)
+			return 2
+		}
+		run = []live.Scenario{*s}
+	default:
+		fmt.Fprintln(os.Stderr, "omcast-chaos: need -list, -scenario or -schedule")
+		flag.Usage()
+		return 2
+	}
+
+	failed := false
+	for _, scn := range run {
+		if *seed != 0 {
+			scn.Seed = *seed
+		}
+		if *plan {
+			fmt.Printf("# %s seed=%d\n%s", scn.Name, scn.Seed, scn.Plan())
+			continue
+		}
+		rep, err := live.Run(scn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-chaos: %s: %v\n", scn.Name, err)
+			return 1
+		}
+		fmt.Println(rep.Summary())
+		for _, nr := range rep.Nodes {
+			s := nr.Stats
+			fmt.Printf("  %-8s attached=%-5v pkts=%-5d repaired=%-4d rejoins=%-3d stalls=%-3d starving=%5.1f%% repairs=%d suppressed=%d\n",
+				nr.Addr, s.Attached, s.PacketsReceived, s.PacketsRepaired, s.Rejoins,
+				s.Stalls, s.StarvingRatio()*100, s.RepairRequests, s.RepairsSuppressed)
+		}
+		if *showLog {
+			fmt.Printf("--- fault log\n%s--- link stats\n%s", rep.FaultLog, rep.FaultStats)
+		}
+		if !rep.OK() {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

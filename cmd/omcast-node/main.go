@@ -19,6 +19,12 @@
 //	omcast-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -http 127.0.0.1:9090
 //	curl -s http://127.0.0.1:9090/metrics   # Prometheus text format
 //	curl -s http://127.0.0.1:9090/healthz   # 200 once attached, 503 before
+//
+// For resilience drills, -faults injects a JSON fault schedule (the
+// internal/faultnet format: loss, latency, partitions, timed events) on this
+// node's own traffic, seed-deterministically:
+//
+//	omcast-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -faults drill.json
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"syscall"
 	"time"
 
+	"omcast/internal/faultnet"
+	fnlive "omcast/internal/faultnet/live"
 	"omcast/internal/metrics/live"
 	"omcast/internal/node"
 	"omcast/internal/wire"
@@ -70,6 +78,8 @@ func run() int {
 		status    = flag.Duration("status", 5*time.Second, "status print interval")
 		group     = flag.Int("recovery-group", 3, "CER recovery group size")
 		httpAddr  = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
+		faults    = flag.String("faults", "", "JSON fault schedule to inject on this node's traffic (see internal/faultnet)")
+		faultSeed = flag.Int64("fault-seed", 0, "override the fault schedule's seed")
 	)
 	flag.Parse()
 
@@ -89,6 +99,24 @@ func run() int {
 		return 1
 	}
 	reg := live.NewRegistry()
+	var tr node.Transport = transport
+	if *faults != "" {
+		data, err := os.ReadFile(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-node: %v\n", err)
+			return 2
+		}
+		sch, err := faultnet.Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-node: %s: %v\n", *faults, err)
+			return 2
+		}
+		fnet := fnlive.NewNetwork(fnlive.Options{Seed: *faultSeed, Schedule: sch, Metrics: reg})
+		defer fnet.Close()
+		tr = fnet.Wrap(transport)
+		fnet.Start()
+		fmt.Printf("omcast-node: injecting faults from %s (seed %d)\n", *faults, sch.Seed)
+	}
 	n := node.New(node.Config{
 		Source:            *source,
 		Bandwidth:         *bandwidth,
@@ -98,7 +126,7 @@ func run() int {
 		SwitchInterval:    *switchIv,
 		RecoveryGroup:     *group,
 		Metrics:           reg,
-	}, transport)
+	}, tr)
 	n.Start()
 	role := "member"
 	if *source {

@@ -1,0 +1,97 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"omcast/internal/faultnet"
+)
+
+// TestChaosScenarios runs the whole resilience suite. Each subtest is one
+// table entry from Scenarios; a failure prints the fault log and per-node
+// stats so the seed reproduces the exact run.
+func TestChaosScenarios(t *testing.T) {
+	for _, scn := range Scenarios {
+		scn := scn
+		t.Run(scn.Name, func(t *testing.T) {
+			rep, err := Run(scn)
+			if err != nil {
+				t.Fatalf("harness: %v", err)
+			}
+			if !rep.OK() {
+				t.Errorf("%s\n--- plan\n%s--- fault log\n%s--- link stats\n%s",
+					rep.Summary(), rep.Plan, rep.FaultLog, rep.FaultStats)
+				for _, nr := range rep.Nodes {
+					s := nr.Stats
+					t.Logf("%s attached=%t pkts=%d starving=%.3f repairs=%d suppressed=%d stalls=%d",
+						nr.Addr, s.Attached, s.PacketsReceived, s.StarvingRatio(),
+						s.RepairRequests, s.RepairsSuppressed, s.Stalls)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosPlanDeterminism: the expanded fault plan and the decision streams
+// are pure functions of the scenario — no live run required to prove it.
+func TestChaosPlanDeterminism(t *testing.T) {
+	for _, scn := range Scenarios {
+		p1 := scn.scaledSchedule().FormatPlan()
+		p2 := scn.scaledSchedule().FormatPlan()
+		if p1 != p2 {
+			t.Errorf("%s: plan not reproducible:\n%s\nvs\n%s", scn.Name, p1, p2)
+		}
+		links := []string{"source>n00", "n00>n01", "n01>source"}
+		rule := faultnet.Rule{Drop: 0.2, Duplicate: 0.1, Reorder: 0.1}
+		t1 := faultnet.DecisionPreview(scn.Seed, links, 64, rule)
+		t2 := faultnet.DecisionPreview(scn.Seed, links, 64, rule)
+		if t1 != t2 {
+			t.Errorf("%s: decision preview not reproducible", scn.Name)
+		}
+	}
+}
+
+// TestChaosRunReproducible runs a schedule-only scenario (crash + restart —
+// no probabilistic per-datagram decisions) twice with the same seed and
+// demands byte-identical fault logs and plans. This is the live half of the
+// reproducibility contract; TestCannedTrafficDeterminism covers the
+// probabilistic half where the traffic sequence is pinned.
+func TestChaosRunReproducible(t *testing.T) {
+	scn := Scenario{
+		Name:     "repro-crash",
+		Nodes:    4,
+		Seed:     777,
+		Warmup:   3 * time.Second,
+		Duration: 1300 * time.Millisecond,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(300 * time.Millisecond), Until: d(800 * time.Millisecond),
+					Action: faultnet.ActionCrash, Node: "n01"},
+			},
+		},
+		Bounds: Bounds{RequireAllAttached: true, RecoverWithin: 2 * time.Second},
+	}
+	r1, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Report{r1, r2} {
+		if !r.OK() {
+			t.Fatalf("%s\n--- fault log\n%s", r.Summary(), r.FaultLog)
+		}
+	}
+	if r1.Plan != r2.Plan {
+		t.Errorf("plans diverged:\n%s\nvs\n%s", r1.Plan, r2.Plan)
+	}
+	if r1.FaultLog != r2.FaultLog {
+		t.Errorf("fault logs diverged between same-seed runs:\n--- run1\n%s--- run2\n%s",
+			r1.FaultLog, r2.FaultLog)
+	}
+	if r1.FaultLog == "" {
+		t.Error("empty fault log from a crash scenario")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package live
+
+// raceEnabled mirrors the node package's convention; see race_on.go.
+const raceEnabled = false

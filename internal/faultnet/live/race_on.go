@@ -1,0 +1,8 @@
+//go:build race
+
+package live
+
+// raceEnabled mirrors the node package's convention: the race detector slows
+// message handling severalfold, so scenario timings stretch to keep liveness
+// timeouts measuring the protocol rather than the instrumentation.
+const raceEnabled = true

@@ -1,0 +1,470 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"omcast/internal/faultnet"
+	"omcast/internal/node"
+	"omcast/internal/wire"
+)
+
+// sc scales a scenario duration for the race detector (matching the node
+// package's test profile factor).
+func sc(d time.Duration) time.Duration {
+	if raceEnabled {
+		return d * 4
+	}
+	return d
+}
+
+// Bounds are the recovery-time and delivery-continuity assertions a scenario
+// makes about the overlay after running under faults. Zero values disable a
+// bound.
+type Bounds struct {
+	// RequireAllAttached demands every (live) member holds a tree position
+	// at scenario end.
+	RequireAllAttached bool
+	// AttachWithin demands all members attach within this much of scenario
+	// start — the join-under-loss bound (faults are active from birth).
+	AttachWithin time.Duration
+	// MaxStarvingRatio caps each member's starved-slot fraction.
+	MaxStarvingRatio float64
+	// MinPacketsFrac demands each member received at least this fraction of
+	// the packets the source emitted during the run.
+	MinPacketsFrac float64
+	// MaxRepairRequestsPerNode caps any single member's issued repair
+	// requests — the storm bound.
+	MaxRepairRequestsPerNode int64
+	// MinRepairsSuppressedTotal demands the backoff gate actually absorbed
+	// load (evidence the storm bound did work, not that no storm happened).
+	MinRepairsSuppressedTotal int64
+	// RecoverWithin, measured after the schedule's last change, demands all
+	// members re-attach within the window (heartbeat-timeout + rejoin
+	// bound for crash scenarios).
+	RecoverWithin time.Duration
+	// MinRejoinsTotal demands the fault actually disturbed the tree: at
+	// least this many rejoins summed across members (proof a crash orphaned
+	// someone rather than clipping a leaf).
+	MinRejoinsTotal int64
+}
+
+// Scenario is one table-driven chaos run: an overlay size, a fault schedule
+// and the bounds the overlay must hold under it. Durations are pre-scaling;
+// the runner stretches them under -race.
+type Scenario struct {
+	Name  string
+	About string
+	// Nodes is the member count (the source is extra). SourceBW/NodeBW
+	// shape the tree (defaults 3 and 3: forces interior nodes at 8+ members).
+	Nodes    int
+	SourceBW float64
+	NodeBW   float64
+	Seed     int64
+	// Warmup is the attach deadline before faults arm; zero arms the
+	// schedule at birth (join-under-fault scenarios).
+	Warmup time.Duration
+	// BootDelay staggers member boots (n00 first) so early members join
+	// first and sit high in the tree — lets a scenario crash a node that is
+	// reliably interior rather than racing for tree position.
+	BootDelay time.Duration
+	// Duration is how long the armed schedule runs before final collection.
+	Duration time.Duration
+	// Schedule holds the scenario's faults; its offsets are scaled like the
+	// durations. Seed is stamped from the scenario at run time.
+	Schedule faultnet.Schedule
+	Bounds   Bounds
+}
+
+// scaledSchedule returns the schedule with seed stamped and every duration
+// field (offsets, latencies) scaled for the race detector.
+func (s Scenario) scaledSchedule() *faultnet.Schedule {
+	sch := s.Schedule // shallow copy; slices re-built below
+	sch.Seed = s.Seed
+	sch.Links = append([]faultnet.LinkRule(nil), s.Schedule.Links...)
+	sch.Events = make([]faultnet.Event, len(s.Schedule.Events))
+	for i, ev := range s.Schedule.Events {
+		ev.At = faultnet.Duration(sc(ev.At.D()))
+		ev.Until = faultnet.Duration(sc(ev.Until.D()))
+		sch.Events[i] = ev
+	}
+	return &sch
+}
+
+// Plan renders the scenario's expanded fault plan, scaled exactly as a run
+// would scale it — a pure function of the scenario, no overlay required.
+func (s Scenario) Plan() string { return s.scaledSchedule().FormatPlan() }
+
+// NodeReport pairs an address with its final protocol stats.
+type NodeReport struct {
+	Addr  wire.Addr
+	Stats node.Stats
+}
+
+// Report is a scenario run's outcome.
+type Report struct {
+	Scenario string
+	Seed     int64
+	// Plan is the expanded fault plan (pure function of the scenario).
+	Plan string
+	// FaultLog and FaultStats are the injection-layer records in canonical
+	// order.
+	FaultLog   string
+	FaultStats string
+	// AttachTime is how long all members took to attach (when measured).
+	AttachTime time.Duration
+	// RecoveryTime is how long re-attachment took after the last schedule
+	// change (when measured).
+	RecoveryTime time.Duration
+	// Nodes holds final member stats sorted by address (source first).
+	Nodes []NodeReport
+	// Failures lists violated bounds; empty means the scenario passed.
+	Failures []string
+}
+
+// OK reports whether every bound held.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+// Summary renders a one-line verdict.
+func (r *Report) Summary() string {
+	if r.OK() {
+		return fmt.Sprintf("%s seed=%d ok (%d nodes)", r.Scenario, r.Seed, len(r.Nodes)-1)
+	}
+	return fmt.Sprintf("%s seed=%d FAIL: %v", r.Scenario, r.Seed, r.Failures)
+}
+
+// Harness boots an overlay on an in-memory network behind a fault network
+// and keeps crash/restarted nodes consistent with the schedule.
+type Harness struct {
+	sc    Scenario
+	Net   *Network
+	mem   *node.MemNetwork
+	rate  float64
+	hbInt time.Duration
+
+	mu     sync.Mutex
+	source *node.Node
+	nodes  map[wire.Addr]*node.Node
+	cfgs   map[wire.Addr]node.Config
+	closed bool
+}
+
+// NewHarness builds the overlay (source + members, all attached to the fault
+// network) without arming the schedule.
+func NewHarness(scn Scenario) (*Harness, error) {
+	if scn.Nodes <= 0 {
+		scn.Nodes = 8
+	}
+	if scn.SourceBW <= 0 {
+		scn.SourceBW = 3
+	}
+	if scn.NodeBW <= 0 {
+		scn.NodeBW = 3
+	}
+	h := &Harness{
+		sc:    scn,
+		mem:   node.NewMemNetwork(nil),
+		nodes: make(map[wire.Addr]*node.Node),
+		cfgs:  make(map[wire.Addr]node.Config),
+		hbInt: sc(20 * time.Millisecond),
+		rate:  100,
+	}
+	if raceEnabled {
+		h.rate = 25 // heartbeats stretched 4x; cut packet load to match
+	}
+	h.Net = NewNetwork(Options{
+		Seed:     scn.Seed,
+		Schedule: scn.scaledSchedule(),
+		NodeHook: h.nodeHook,
+	})
+
+	base := node.Config{
+		HeartbeatInterval: h.hbInt,
+		GossipInterval:    h.hbInt * 5 / 4,
+		StreamRate:        h.rate,
+		BufferPackets:     512,
+		RecoveryGroup:     3,
+		PlaybackBuffer:    sc(500 * time.Millisecond),
+		Seed:              scn.Seed,
+	}
+
+	srcCfg := base
+	srcCfg.Source = true
+	srcCfg.Bandwidth = scn.SourceBW
+	if err := h.boot("source", srcCfg); err != nil {
+		h.Close()
+		return nil, err
+	}
+	for i := 0; i < scn.Nodes; i++ {
+		cfg := base
+		cfg.Bandwidth = scn.NodeBW
+		cfg.Bootstrap = []wire.Addr{"source"}
+		if err := h.boot(wire.Addr(fmt.Sprintf("n%02d", i)), cfg); err != nil {
+			h.Close()
+			return nil, err
+		}
+		if scn.BootDelay > 0 && i < scn.Nodes-1 {
+			time.Sleep(sc(scn.BootDelay))
+		}
+	}
+	return h, nil
+}
+
+// boot creates (or recreates) one node behind the fault network.
+func (h *Harness) boot(addr wire.Addr, cfg node.Config) error {
+	ep, err := h.mem.Endpoint(addr)
+	if err != nil {
+		return fmt.Errorf("faultnet: endpoint %s: %w", addr, err)
+	}
+	nd := node.New(cfg, h.Net.Wrap(ep))
+	h.mu.Lock()
+	if cfg.Source {
+		h.source = nd
+	} else {
+		h.nodes[addr] = nd
+	}
+	h.cfgs[addr] = cfg
+	h.mu.Unlock()
+	nd.Start()
+	return nil
+}
+
+// nodeHook implements crash/restart: down kills the node process (its
+// endpoint frees the address), up boots a fresh node with the same config.
+func (h *Harness) nodeHook(addr string, up bool) {
+	a := wire.Addr(addr)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	nd := h.nodes[a]
+	cfg, known := h.cfgs[a]
+	if !up {
+		delete(h.nodes, a)
+	}
+	h.mu.Unlock()
+	if !up {
+		if nd != nil {
+			nd.Kill()
+		}
+		return
+	}
+	if known {
+		_ = h.boot(a, cfg) // rebirth failures surface as a missing node
+	}
+}
+
+// Members snapshots the current live member set sorted by address.
+func (h *Harness) Members() []NodeReport {
+	h.mu.Lock()
+	nodes := make(map[wire.Addr]*node.Node, len(h.nodes))
+	for a, nd := range h.nodes {
+		nodes[a] = nd
+	}
+	src := h.source
+	h.mu.Unlock()
+	out := make([]NodeReport, 0, len(nodes)+1)
+	if src != nil {
+		out = append(out, NodeReport{Addr: "source", Stats: src.Stats()})
+	}
+	addrs := make([]wire.Addr, 0, len(nodes))
+	for a := range nodes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		out = append(out, NodeReport{Addr: a, Stats: nodes[a].Stats()})
+	}
+	return out
+}
+
+// AllAttached reports whether the full member set is alive and every member
+// holds a tree position (false while any node is crashed).
+func (h *Harness) AllAttached() bool {
+	h.mu.Lock()
+	nodes := make([]*node.Node, 0, len(h.nodes))
+	for _, nd := range h.nodes {
+		nodes = append(nodes, nd)
+	}
+	full := len(h.nodes) == h.sc.Nodes
+	h.mu.Unlock()
+	if !full {
+		return false
+	}
+	for _, nd := range nodes {
+		if !nd.Stats().Attached {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitAttached polls until the full membership is attached or the
+// (already-scaled) deadline passes, returning the elapsed time and success.
+func (h *Harness) WaitAttached(within time.Duration) (time.Duration, bool) {
+	start := time.Now()
+	deadline := start.Add(within)
+	for time.Now().Before(deadline) {
+		if h.AllAttached() {
+			return time.Since(start), true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return time.Since(start), h.AllAttached()
+}
+
+// StartFaults arms the scenario schedule.
+func (h *Harness) StartFaults() { h.Net.Start() }
+
+// Close tears the overlay and fault network down.
+func (h *Harness) Close() {
+	h.mu.Lock()
+	h.closed = true
+	nodes := make([]*node.Node, 0, len(h.nodes)+1)
+	if h.source != nil {
+		nodes = append(nodes, h.source)
+	}
+	for _, nd := range h.nodes {
+		nodes = append(nodes, nd)
+	}
+	h.mu.Unlock()
+	h.Net.Close()
+	for _, nd := range nodes {
+		nd.Kill()
+	}
+	h.mem.Close()
+}
+
+// lastChangeAt returns the scaled offset of the schedule's final change.
+func lastChangeAt(sch *faultnet.Schedule) time.Duration {
+	var last time.Duration
+	for _, c := range sch.Expand() {
+		if c.T > last {
+			last = c.T
+		}
+	}
+	return last
+}
+
+// Run executes one scenario end to end and evaluates its bounds.
+func Run(scn Scenario) (*Report, error) {
+	h, err := NewHarness(scn)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	sch := h.Net.opts.Schedule
+	rep := &Report{
+		Scenario: scn.Name,
+		Seed:     scn.Seed,
+		Plan:     sch.FormatPlan(),
+	}
+
+	if scn.Warmup > 0 {
+		if _, ok := h.WaitAttached(sc(scn.Warmup)); !ok {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("overlay did not form within warmup %s", sc(scn.Warmup)))
+		}
+	}
+
+	start := time.Now()
+	h.StartFaults()
+
+	if scn.Bounds.AttachWithin > 0 {
+		elapsed, ok := h.WaitAttached(sc(scn.Bounds.AttachWithin))
+		rep.AttachTime = elapsed
+		if !ok {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("members not all attached within %s of start (waited %s)",
+					sc(scn.Bounds.AttachWithin), elapsed))
+		}
+	}
+
+	duration := sc(scn.Duration)
+	if remaining := duration - time.Since(start); remaining > 0 {
+		time.Sleep(remaining)
+	}
+
+	if scn.Bounds.RecoverWithin > 0 {
+		// The recovery clock starts at the schedule's last change (the final
+		// heal/restart); anything burned past it during the main sleep counts.
+		base := start.Add(lastChangeAt(sch))
+		budget := sc(scn.Bounds.RecoverWithin) - time.Since(base)
+		if budget < 0 {
+			budget = 0
+		}
+		_, ok := h.WaitAttached(budget)
+		rep.RecoveryTime = time.Since(base)
+		if !ok {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("overlay not re-attached within %s of last change (took %s)",
+					sc(scn.Bounds.RecoverWithin), rep.RecoveryTime))
+		}
+	}
+
+	if scn.Bounds.RequireAllAttached {
+		// Under sustained faults a member can be mid-rejoin at any given
+		// instant (a 20% loss link occasionally eats three heartbeats in a
+		// row). The bound is convergence, not a lucky snapshot: give the
+		// overlay one short grace window to be simultaneously attached.
+		h.WaitAttached(sc(time.Second))
+	}
+	rep.Nodes = h.Members()
+	rep.FaultLog = h.Net.FormatLog()
+	rep.FaultStats = h.Net.FormatStats()
+	evaluate(rep, scn, h, time.Since(start))
+	return rep, nil
+}
+
+// evaluate applies the scenario bounds to the collected stats.
+func evaluate(rep *Report, scn Scenario, h *Harness, ran time.Duration) {
+	b := scn.Bounds
+	if b.RequireAllAttached && len(rep.Nodes)-1 < scn.Nodes {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("only %d of %d members alive at end", len(rep.Nodes)-1, scn.Nodes))
+	}
+	var suppressed, rejoins int64
+	sourcePackets := int64(ran.Seconds() * h.rate)
+	for _, nr := range rep.Nodes {
+		s := nr.Stats
+		if nr.Addr == "source" {
+			continue
+		}
+		suppressed += s.RepairsSuppressed
+		rejoins += s.Rejoins + s.StallRejoins
+		if b.RequireAllAttached && !s.Attached {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s detached at end", nr.Addr))
+		}
+		if b.MaxStarvingRatio > 0 && s.StarvingRatio() > b.MaxStarvingRatio {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s starving ratio %.3f > %.3f", nr.Addr, s.StarvingRatio(), b.MaxStarvingRatio))
+		}
+		if b.MinPacketsFrac > 0 {
+			want := int64(b.MinPacketsFrac * float64(sourcePackets))
+			if s.PacketsReceived < want {
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("%s received %d packets, want >= %d (%.0f%% of ~%d)",
+						nr.Addr, s.PacketsReceived, want, b.MinPacketsFrac*100, sourcePackets))
+			}
+		}
+		if b.MaxRepairRequestsPerNode > 0 && s.RepairRequests > b.MaxRepairRequestsPerNode {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s issued %d repair requests > bound %d (storm)",
+					nr.Addr, s.RepairRequests, b.MaxRepairRequestsPerNode))
+		}
+	}
+	if b.MinRepairsSuppressedTotal > 0 && suppressed < b.MinRepairsSuppressedTotal {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("repair backoff suppressed %d requests, want >= %d (gate never engaged)",
+				suppressed, b.MinRepairsSuppressedTotal))
+	}
+	if b.MinRejoinsTotal > 0 && rejoins < b.MinRejoinsTotal {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("members rejoined %d times, want >= %d (fault never disturbed the tree)",
+				rejoins, b.MinRejoinsTotal))
+	}
+}

@@ -1,0 +1,186 @@
+package live
+
+import (
+	"time"
+
+	"omcast/internal/faultnet"
+)
+
+// d wraps a literal for schedule fields.
+func d(v time.Duration) faultnet.Duration { return faultnet.Duration(v) }
+
+// rp returns a pointer to a rule (schedule fields take pointers so "absent"
+// and "clean" stay distinguishable in JSON).
+func rp(r faultnet.Rule) *faultnet.Rule { return &r }
+
+// Scenarios is the chaos resilience suite: the fault shapes the paper's
+// design claims to survive, each byte-reproducible from its seed. Timings
+// are pre-scaling (the runner stretches them 4x under -race); offsets leave
+// ~1.5 s of warmup headroom after the attach wait so the overlay streams
+// steadily before faults hit. Bounds are deliberately loose — they assert
+// "recovered, kept playing, no storm", not exact figures, so the suite stays
+// meaningful under scheduler noise.
+var Scenarios = []Scenario{
+	{
+		Name:     "lossy-10",
+		About:    "10% uniform loss on every link; playback must degrade gracefully, not diverge",
+		Nodes:    8,
+		Seed:     1001,
+		Warmup:   5 * time.Second,
+		Duration: 3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "*", To: "*",
+					Rule: rp(faultnet.Rule{Drop: 0.10})},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			MaxStarvingRatio:   0.35,
+			MinPacketsFrac:     0.4,
+		},
+	},
+	{
+		Name:     "lossy-20",
+		About:    "20% loss with reordering and jittered latency — the paper's hostile-network regime",
+		Nodes:    8,
+		Seed:     1002,
+		Warmup:   5 * time.Second,
+		Duration: 3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "*", To: "*",
+					Rule: rp(faultnet.Rule{Drop: 0.20, Reorder: 0.05,
+						Latency: d(2 * time.Millisecond), Jitter: d(3 * time.Millisecond)})},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			MaxStarvingRatio:   0.6,
+			MinPacketsFrac:     0.25,
+		},
+	},
+	{
+		Name:     "parent-crash",
+		About:    "an interior parent crashes mid-stream and later returns; orphans must re-attach within the heartbeat-timeout + rejoin bound",
+		Nodes:    8,
+		SourceBW: 2, // narrow fan-out forces depth >= 2, so n00 serves children
+		NodeBW:   3,
+		Seed:     1003,
+		Warmup:   5 * time.Second,
+		// n00 boots ahead of the pack, claims a source slot, and the rest
+		// attach beneath — so the crash hits a node with children.
+		BootDelay: 30 * time.Millisecond,
+		Duration:  3500 * time.Millisecond,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(500 * time.Millisecond), Until: d(2 * time.Second),
+					Action: faultnet.ActionCrash, Node: "n00"},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			// Heartbeat timeout (3x20 ms) + join backoff to cap (~8x20 ms)
+			// + a couple of retry rounds and the restarted node's own
+			// rejoin: 2 s of post-restart budget is the configured bound.
+			RecoverWithin:    2 * time.Second,
+			MaxStarvingRatio: 0.6,
+			MinRejoinsTotal:  1, // the crash must orphan someone
+		},
+	},
+	{
+		Name:     "source-partition-heal",
+		About:    "the source is cut off from everyone and comes back; the heal must not trigger a repair-request storm",
+		Nodes:    8,
+		Seed:     1004,
+		Warmup:   5 * time.Second,
+		Duration: 3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(500 * time.Millisecond), Until: d(1200 * time.Millisecond),
+					Action: faultnet.ActionPartition, From: "source", To: "*", Symmetric: true},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			// The 700 ms outage is ~70 packets of gap detected by every node
+			// at heal; the backoff gate must collapse that into few requests.
+			MaxRepairRequestsPerNode:  60,
+			MinRepairsSuppressedTotal: 1,
+		},
+	},
+	{
+		Name:     "asym-partition",
+		About:    "one-way partition: a CER recovery-group member can receive but not send, so striped repair must route around it",
+		Nodes:    10,
+		Seed:     1005,
+		Warmup:   5 * time.Second,
+		Duration: 3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				// n01 and n02 lose their outbound half only: requests reach
+				// them, answers die. Membership staleness must eventually
+				// steer repair (and join) traffic elsewhere.
+				{At: d(500 * time.Millisecond), Until: d(1700 * time.Millisecond),
+					Action: faultnet.ActionPartition, From: "n01", To: "*"},
+				{At: d(500 * time.Millisecond), Until: d(1700 * time.Millisecond),
+					Action: faultnet.ActionPartition, From: "n02", To: "*"},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			MaxStarvingRatio:   0.7,
+		},
+	},
+	{
+		Name:     "rolling-restart",
+		About:    "three members crash and return in an overlapping wave; the overlay must converge back to full attachment",
+		Nodes:    9,
+		Seed:     1006,
+		Warmup:   5 * time.Second,
+		Duration: 4 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(500 * time.Millisecond), Until: d(1300 * time.Millisecond),
+					Action: faultnet.ActionCrash, Node: "n01"},
+				{At: d(1 * time.Second), Until: d(1800 * time.Millisecond),
+					Action: faultnet.ActionCrash, Node: "n02"},
+				{At: d(1500 * time.Millisecond), Until: d(2300 * time.Millisecond),
+					Action: faultnet.ActionCrash, Node: "n03"},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			RecoverWithin:      2 * time.Second,
+		},
+	},
+	{
+		Name:     "join-loss-30",
+		About:    "the satellite regression: 30% loss from birth — every node must still join within a bound, thanks to backoff-paced retries",
+		Nodes:    6,
+		Seed:     1007,
+		Warmup:   0, // faults active while joining
+		Duration: 1 * time.Second,
+		Schedule: faultnet.Schedule{
+			DefaultRule: rp(faultnet.Rule{Drop: 0.30}),
+		},
+		// No RequireAllAttached: under sustained 30% loss a heartbeat window
+		// occasionally misses three times in a row, so a member can be
+		// mid-rejoin at the collection instant. The regression bound is the
+		// attach time, not the end-state snapshot.
+		Bounds: Bounds{
+			AttachWithin: 8 * time.Second,
+		},
+	},
+}
+
+// Scenario looks a scenario up by name (nil if unknown).
+func ScenarioByName(name string) *Scenario {
+	for i := range Scenarios {
+		if Scenarios[i].Name == name {
+			s := Scenarios[i]
+			return &s
+		}
+	}
+	return nil
+}

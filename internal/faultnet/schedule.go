@@ -1,0 +1,242 @@
+package faultnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Action names a scheduled fault.
+type Action string
+
+// Schedule actions. "rule" swaps a link's fault rule, "partition"/"heal"
+// toggle a blackhole between two endpoints, "crash"/"restart" take a whole
+// node down and back up.
+const (
+	ActionRule      Action = "rule"
+	ActionPartition Action = "partition"
+	ActionHeal      Action = "heal"
+	ActionCrash     Action = "crash"
+	ActionRestart   Action = "restart"
+)
+
+// LinkRule binds a static fault rule to the links matching From→To (either
+// side may be "*"). Symmetric also applies it To→From.
+type LinkRule struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Symmetric bool   `json:"symmetric,omitempty"`
+	Rule      Rule   `json:"rule"`
+}
+
+// Event is one timed fault. At is a virtual offset from scenario start; an
+// Event with Until > At automatically expands into its own reversal
+// (partition→heal, crash→restart, rule→clear) at Until.
+type Event struct {
+	At     Duration `json:"at"`
+	Until  Duration `json:"until,omitempty"`
+	Action Action   `json:"action"`
+	// From/To select links for rule/partition/heal ("*" wildcards allowed).
+	From      string `json:"from,omitempty"`
+	To        string `json:"to,omitempty"`
+	Symmetric bool   `json:"symmetric,omitempty"`
+	// Node selects the target of crash/restart.
+	Node string `json:"node,omitempty"`
+	// Rule is the rule installed by ActionRule.
+	Rule *Rule `json:"rule,omitempty"`
+}
+
+// Schedule is the declarative top-level fault plan: a master seed, an
+// optional rule for every link, static per-link rules, and timed events.
+type Schedule struct {
+	Seed        int64      `json:"seed,omitempty"`
+	DefaultRule *Rule      `json:"default_rule,omitempty"`
+	Links       []LinkRule `json:"links,omitempty"`
+	Events      []Event    `json:"events,omitempty"`
+}
+
+// Parse decodes a JSON schedule strictly (unknown fields are errors, so a
+// typo'd probability never silently yields a clean network) and validates it.
+func Parse(data []byte) (*Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faultnet: parse schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks every rule and event for internal consistency.
+func (s *Schedule) Validate() error {
+	if s.DefaultRule != nil {
+		if err := s.DefaultRule.Validate(); err != nil {
+			return fmt.Errorf("default_rule: %w", err)
+		}
+	}
+	for i, lr := range s.Links {
+		if lr.From == "" || lr.To == "" {
+			return fmt.Errorf("links[%d]: from and to are required", i)
+		}
+		if err := lr.Rule.Validate(); err != nil {
+			return fmt.Errorf("links[%d]: %w", i, err)
+		}
+	}
+	for i, ev := range s.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("events[%d]: negative at", i)
+		}
+		if ev.Until != 0 && ev.Until <= ev.At {
+			return fmt.Errorf("events[%d]: until %s not after at %s", i, ev.Until, ev.At)
+		}
+		switch ev.Action {
+		case ActionRule:
+			if ev.From == "" || ev.To == "" {
+				return fmt.Errorf("events[%d]: rule needs from and to", i)
+			}
+			if ev.Rule == nil {
+				return fmt.Errorf("events[%d]: rule action needs a rule", i)
+			}
+			if err := ev.Rule.Validate(); err != nil {
+				return fmt.Errorf("events[%d]: %w", i, err)
+			}
+		case ActionPartition, ActionHeal:
+			if ev.From == "" || ev.To == "" {
+				return fmt.Errorf("events[%d]: %s needs from and to", i, ev.Action)
+			}
+		case ActionCrash, ActionRestart:
+			if ev.Node == "" {
+				return fmt.Errorf("events[%d]: %s needs node", i, ev.Action)
+			}
+		default:
+			return fmt.Errorf("events[%d]: unknown action %q", i, ev.Action)
+		}
+	}
+	return nil
+}
+
+// Change is one fully expanded schedule step. Seq is the tiebreak within an
+// instant: changes at equal T apply in Seq order, making the plan a total
+// order regardless of map iteration or goroutine scheduling.
+type Change struct {
+	T         time.Duration
+	Seq       int
+	Action    Action
+	From, To  string
+	Symmetric bool
+	Node      string
+	Rule      Rule
+	// Clear marks an ActionRule change that removes the event rule (the
+	// automatic reversal of a rule event with Until set).
+	Clear bool
+}
+
+// String renders the canonical plan line for the change.
+func (c Change) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%s #%d %s", c.T, c.Seq, c.Action)
+	switch c.Action {
+	case ActionCrash, ActionRestart:
+		fmt.Fprintf(&b, " node=%s", c.Node)
+	default:
+		fmt.Fprintf(&b, " %s>%s", c.From, c.To)
+		if c.Symmetric {
+			b.WriteString(" sym")
+		}
+		if c.Action == ActionRule {
+			if c.Clear {
+				b.WriteString(" clear")
+			} else {
+				fmt.Fprintf(&b, " [%s]", c.Rule)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Expand flattens the schedule's events — including the implicit reversals
+// of Until — into a single list ordered by (T, Seq). Expansion is a pure
+// function of the schedule: two calls always return identical plans.
+func (s *Schedule) Expand() []Change {
+	var out []Change
+	for _, ev := range s.Events {
+		c := Change{
+			T: ev.At.D(), Action: ev.Action,
+			From: ev.From, To: ev.To, Symmetric: ev.Symmetric, Node: ev.Node,
+		}
+		if ev.Rule != nil {
+			c.Rule = *ev.Rule
+		}
+		out = append(out, c)
+		if ev.Until > 0 {
+			r := Change{
+				T:    ev.Until.D(),
+				From: ev.From, To: ev.To, Symmetric: ev.Symmetric, Node: ev.Node,
+			}
+			switch ev.Action {
+			case ActionPartition:
+				r.Action = ActionHeal
+			case ActionCrash:
+				r.Action = ActionRestart
+			case ActionRule:
+				r.Action = ActionRule
+				r.Clear = true
+			default:
+				continue // heal/restart have no reversal
+			}
+			out = append(out, r)
+		}
+	}
+	// Stable-sort by virtual time, then stamp Seq: the tiebreak preserves
+	// declaration order for simultaneous changes.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	for i := range out {
+		out[i].Seq = i
+	}
+	return out
+}
+
+// FormatPlan renders the expanded schedule as a byte-stable text block — the
+// artifact compared across runs to prove plan determinism.
+func (s *Schedule) FormatPlan() string {
+	var b strings.Builder
+	if s.DefaultRule != nil {
+		fmt.Fprintf(&b, "default [%s]\n", *s.DefaultRule)
+	}
+	for _, lr := range s.Links {
+		sym := ""
+		if lr.Symmetric {
+			sym = " sym"
+		}
+		fmt.Fprintf(&b, "link %s>%s%s [%s]\n", lr.From, lr.To, sym, lr.Rule)
+	}
+	for _, c := range s.Expand() {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StaticRule resolves the rule for the from→to link before any events fire:
+// the most specific matching LinkRule wins (later entries beat earlier ones),
+// falling back to DefaultRule, then to a clean link.
+func (s *Schedule) StaticRule(from, to string) Rule {
+	rule := Rule{}
+	if s.DefaultRule != nil {
+		rule = *s.DefaultRule
+	}
+	for _, lr := range s.Links {
+		if Match(lr.From, from) && Match(lr.To, to) {
+			rule = lr.Rule
+		} else if lr.Symmetric && Match(lr.From, to) && Match(lr.To, from) {
+			rule = lr.Rule
+		}
+	}
+	return rule
+}

@@ -67,6 +67,10 @@ func DefaultConfig() *Config {
 			// concurrent sibling internal/metrics/live (suffix "live") is
 			// deliberately outside this scope.
 			"metrics",
+			// The fault-injection model (rules, schedules, decision streams)
+			// follows the same split: internal/faultnet is pure and
+			// deterministic, internal/faultnet/live owns the timers and locks.
+			"faultnet",
 		},
 		WallclockExtra: []string{"omcast/cmd/...", "omcast/examples/..."},
 		FloatPackages:  []string{"stats", "experiments", "stream", "multitree", "metrics"},

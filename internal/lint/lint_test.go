@@ -212,3 +212,29 @@ func TestModuleIsClean(t *testing.T) {
 		t.Errorf("module has %d lint finding(s):\n%s", len(diags), sb.String())
 	}
 }
+
+// TestBuildConstraintFiltering: tag-gated twin files (the //go:build race /
+// !race pattern) must not collide during type-checking — the loader keeps the
+// default-build file and skips the tagged one.
+func TestBuildConstraintFiltering(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "twins")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("twins.go", "package twins\n\nvar Flag = raceEnabled\n")
+	write("race_on.go", "//go:build race\n\npackage twins\n\nconst raceEnabled = true\n")
+	write("race_off.go", "//go:build !race\n\npackage twins\n\nconst raceEnabled = false\n")
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading tag-gated twins: %v", err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2 (race_on.go skipped)", len(pkg.Files))
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -110,7 +111,13 @@ func (l *loader) load(dir, path string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
 		}
+		if !fileIncluded(f) {
+			continue
+		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go sources in %s", dir)
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -134,6 +141,32 @@ func (l *loader) load(dir, path string) (*Package, error) {
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// fileIncluded evaluates a file's build constraint against the analyzer's
+// build context: the default build, where no custom tags (race, integration,
+// ...) are set. Tag-gated twins like race_on.go are skipped and their
+// //go:build !race counterparts linted — the same file set a plain `go build`
+// compiles, so constrained pairs don't collide during type-checking.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(func(string) bool { return false }) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // goSources lists the non-test Go files of dir in sorted order.

@@ -1,0 +1,162 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"omcast/internal/wire"
+	"omcast/internal/xrand"
+)
+
+// TestBackoffDelayPolicy pins the shared backoff shape: deterministic for a
+// given (seed, streak), doubling from base, capped at max, jittered within
+// [d/2, d).
+func TestBackoffDelayPolicy(t *testing.T) {
+	base, max := 100*time.Millisecond, 800*time.Millisecond
+	a := xrand.NewNamed(7, "node:join:x")
+	b := xrand.NewNamed(7, "node:join:x")
+	for streak := 0; streak < 10; streak++ {
+		da := backoffDelay(base, max, streak, a)
+		db := backoffDelay(base, max, streak, b)
+		if da != db {
+			t.Fatalf("streak %d: %s vs %s — jitter not deterministic", streak, da, db)
+		}
+		full := base << streak
+		if full > max || streak >= 3 {
+			full = max
+		}
+		if da < full/2 || da >= full {
+			t.Fatalf("streak %d: delay %s outside [%s, %s)", streak, da, full/2, full)
+		}
+	}
+	// Different node addresses must draw different jitter streams.
+	c := xrand.NewNamed(7, "node:join:y")
+	same := 0
+	for streak := 0; streak < 8; streak++ {
+		if backoffDelay(base, max, streak, a) == backoffDelay(base, max, streak, c) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("distinct nodes drew identical jitter streams")
+	}
+}
+
+// TestJoinBackoffGrows boots a node with an unreachable bootstrap and checks
+// that its join attempts slow down: the gap between consecutive attempts
+// must grow toward the cap rather than staying at heartbeat cadence.
+func TestJoinBackoffGrows(t *testing.T) {
+	network := NewMemNetwork(nil)
+	defer network.Close()
+	ep, err := network.Endpoint("loner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fast
+	cfg.Bandwidth = 1
+	cfg.Bootstrap = []wire.Addr{"nobody-home"}
+	cfg.JoinBackoffBase = 10 * time.Millisecond
+	cfg.JoinBackoffMax = 80 * time.Millisecond
+	nd := New(cfg, ep)
+	nd.Start()
+	defer nd.Kill()
+
+	// With base 10 ms capped at 80 ms, ~1 s admits at most ~1000/40 + a few
+	// early fast attempts; without backoff (heartbeat cadence) it would be
+	// ~50. Bound generously to stay robust under -race scheduling.
+	time.Sleep(scale(1 * time.Second))
+	nd.mu.Lock()
+	streak := nd.joinStreak
+	nd.mu.Unlock()
+	if streak < 5 {
+		t.Fatalf("join streak = %d after 1s of futile attempts, want >= 5", streak)
+	}
+	low := nd.cfg.JoinBackoffMax / 2
+	d := backoffDelay(nd.cfg.JoinBackoffBase, nd.cfg.JoinBackoffMax, streak, xrand.NewNamed(cfg.Seed, "node:join:loner"))
+	if d < low {
+		t.Fatalf("delay at streak %d = %s, want >= %s (cap reached)", streak, d, low)
+	}
+}
+
+// scale stretches a duration under -race, mirroring eventually's factor.
+func scale(d time.Duration) time.Duration {
+	if raceEnabled {
+		return d * 4
+	}
+	return d
+}
+
+// TestJoinBackoffResetsOnAttach: once accepted, the streak clears so a later
+// detachment retries at base cadence.
+func TestJoinBackoffResetsOnAttach(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	eventually(t, 5*time.Second, "all attached", c.allAttached)
+	for _, nd := range c.nodes {
+		nd.mu.Lock()
+		streak := nd.joinStreak
+		nd.mu.Unlock()
+		if streak != 0 {
+			t.Fatalf("node %s: joinStreak = %d after attach, want 0", nd.Addr(), streak)
+		}
+	}
+}
+
+// TestRecoveryGroupExcludesStaleMembers injects a membership view where one
+// member's record stopped refreshing: CER candidate selection must skip it,
+// while fresh members with identical scores stay eligible.
+func TestRecoveryGroupExcludesStaleMembers(t *testing.T) {
+	network := NewMemNetwork(nil)
+	defer network.Close()
+	ep, err := network.Endpoint("self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fast
+	cfg.Bandwidth = 1
+	cfg.RecoveryGroup = 3
+	cfg.MemberStaleAfter = time.Second
+	nd := New(cfg, ep) // never Started: recoveryGroup is a pure read
+	defer nd.Kill()
+
+	now := time.Now()
+	nd.mu.Lock()
+	nd.attached = true
+	nd.parent = "parent"
+	for i := 0; i < 4; i++ {
+		addr := wire.Addr(fmt.Sprintf("fresh%d", i))
+		nd.membership[addr] = memberRecord{info: wire.MemberInfo{Addr: addr}, seen: now}
+	}
+	nd.membership["stale"] = memberRecord{
+		info: wire.MemberInfo{Addr: "stale"},
+		seen: now.Add(-10 * time.Second), // stopped heartbeating long ago
+	}
+	nd.mu.Unlock()
+
+	group := nd.recoveryGroup()
+	if len(group) != 3 {
+		t.Fatalf("group size = %d, want 3", len(group))
+	}
+	for _, addr := range group {
+		if addr == "stale" {
+			t.Fatalf("stale member selected into recovery group: %v", group)
+		}
+	}
+
+	// Sanity: with the filter disabled the stale member is eligible again
+	// (alphabetical tiebreak puts "stale" after "fresh*", so widen K).
+	nd.mu.Lock()
+	nd.cfg.MemberStaleAfter = -1
+	nd.cfg.RecoveryGroup = 5
+	nd.mu.Unlock()
+	group = nd.recoveryGroup()
+	found := false
+	for _, addr := range group {
+		if addr == "stale" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("filter disabled but stale member still excluded: %v", group)
+	}
+}

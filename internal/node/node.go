@@ -27,6 +27,7 @@ import (
 	"omcast/internal/metrics"
 	"omcast/internal/metrics/live"
 	"omcast/internal/wire"
+	"omcast/internal/xrand"
 )
 
 // Config parameterises one protocol node.
@@ -60,6 +61,34 @@ type Config struct {
 	// (n-first)/rate; packets absent at their deadline count as starved
 	// playback slots (the live analogue of the paper's starving-time ratio).
 	PlaybackBuffer time.Duration
+	// Seed drives the node's deterministic jitter streams (join and repair
+	// backoff); two nodes with the same seed and address draw identical
+	// jitter sequences.
+	Seed int64
+	// JoinBackoffBase/Max bound the capped exponential backoff between join
+	// attempts (defaults: HeartbeatInterval and 8x it). Each unanswered
+	// attempt doubles the delay; the actual wait is jittered to [d/2, d).
+	JoinBackoffBase time.Duration
+	JoinBackoffMax  time.Duration
+	// RepairBackoffBase/Max pace repair requests the same way: detected gaps
+	// merge into one pending window and at most one striped request (plus
+	// ELN) leaves per backoff interval, so a partition heal cannot turn into
+	// a repair storm (defaults: HeartbeatInterval/2 and 4x HeartbeatInterval).
+	RepairBackoffBase time.Duration
+	RepairBackoffMax  time.Duration
+	// MemberStaleAfter excludes membership entries not heard from (directly
+	// or via first-hand gossip) within this window from CER recovery-group
+	// selection (default 10x GossipInterval, matching the gossip prune
+	// horizon). Zero keeps the default; negative disables the filter.
+	MemberStaleAfter time.Duration
+	// StallRejoinAfter guards against zombie subtrees: a parent can be alive
+	// (heartbeating) yet cut off from the stream — e.g. after a source
+	// partition the orphans re-attach to each other and the re-formed tree is
+	// not rooted at the source, so heartbeats keep flowing while playback
+	// starves forever. Once a node has seen stream data, going this long
+	// attached without accepting a single packet treats the parent as failed
+	// and rejoins (default 6x HeartbeatTimeout; negative disables).
+	StallRejoinAfter time.Duration
 	// Metrics, if non-nil, receives the node's instruments (the concurrent
 	// wall-clock backend; serve it over HTTP with live.Handler).
 	Metrics *live.Registry
@@ -90,6 +119,24 @@ func (c Config) withDefaults() Config {
 	if c.PlaybackBuffer <= 0 {
 		c.PlaybackBuffer = 2 * time.Second
 	}
+	if c.JoinBackoffBase <= 0 {
+		c.JoinBackoffBase = c.HeartbeatInterval
+	}
+	if c.JoinBackoffMax <= 0 {
+		c.JoinBackoffMax = 8 * c.HeartbeatInterval
+	}
+	if c.RepairBackoffBase <= 0 {
+		c.RepairBackoffBase = c.HeartbeatInterval / 2
+	}
+	if c.RepairBackoffMax <= 0 {
+		c.RepairBackoffMax = 4 * c.HeartbeatInterval
+	}
+	if c.MemberStaleAfter == 0 {
+		c.MemberStaleAfter = 10 * c.GossipInterval
+	}
+	if c.StallRejoinAfter == 0 {
+		c.StallRejoinAfter = 6 * c.HeartbeatTimeout
+	}
 	return c
 }
 
@@ -111,6 +158,20 @@ type Stats struct {
 	// whose packet was (or was not) buffered by its playout deadline.
 	PlayedSlots  int64
 	StarvedSlots int64
+	// JoinAttempts counts Join envelopes sent (each backoff step retries once).
+	JoinAttempts int64
+	// RepairRequests counts striped CER requests issued; RepairsSuppressed
+	// counts gap detections absorbed into an already-pending request by the
+	// repair backoff gate (the storm-bound evidence).
+	RepairRequests    int64
+	RepairsSuppressed int64
+	// Stalls counts transitions into starvation; StallSeconds accumulates the
+	// playback time spent starved (StarvedSlots / StreamRate).
+	Stalls       int64
+	StallSeconds float64
+	// StallRejoins counts rejoins forced by the stream-stall watchdog (an
+	// attached but streamless parent — the zombie-subtree escape hatch).
+	StallRejoins int64
 }
 
 // StarvingRatio is the fraction of playout slots that starved (0 before
@@ -141,6 +202,11 @@ type nodeMetrics struct {
 	switches         *live.Counter
 	playedSlots      *live.Counter
 	starvedSlots     *live.Counter
+	joinAttempts     *live.Counter
+	repairRequests   *live.Counter
+	repairSuppressed *live.Counter
+	stalls           *live.Counter
+	stallRejoins     *live.Counter
 	txDatagrams      *live.Counter
 	rxDatagrams      *live.Counter
 	txBytes          *live.Counter
@@ -149,6 +215,9 @@ type nodeMetrics struct {
 	depth            *live.Gauge
 	children         *live.Gauge
 	knownMembers     *live.Gauge
+	joinBackoff      *live.Gauge
+	repairBackoff    *live.Gauge
+	stallSeconds     *live.Gauge
 }
 
 func newNodeMetrics(reg *live.Registry) nodeMetrics {
@@ -168,6 +237,11 @@ func newNodeMetrics(reg *live.Registry) nodeMetrics {
 		switches:         reg.Counter("omcast_node_switches_total", "ROST switch commits executed as initiator."),
 		playedSlots:      reg.Counter("omcast_node_played_slots_total", "Playout slots whose packet arrived by its deadline."),
 		starvedSlots:     reg.Counter("omcast_node_starved_slots_total", "Playout slots whose packet missed its deadline."),
+		joinAttempts:     reg.Counter("omcast_node_join_attempts_total", "Join envelopes sent (one per backoff step while detached)."),
+		repairRequests:   reg.Counter("omcast_node_repair_requests_total", "Striped CER repair requests issued."),
+		repairSuppressed: reg.Counter("omcast_node_repair_suppressed_total", "Gap detections absorbed into a pending request by the repair backoff gate."),
+		stalls:           reg.Counter("omcast_node_playback_stalls_total", "Transitions of the playout clock into starvation."),
+		stallRejoins:     reg.Counter("omcast_node_stall_rejoins_total", "Rejoins forced by the stream-stall watchdog (live parent, no stream)."),
 		txDatagrams:      reg.Counter("omcast_node_transport_tx_datagrams_total", "Datagrams handed to the transport."),
 		rxDatagrams:      reg.Counter("omcast_node_transport_rx_datagrams_total", "Datagrams delivered by the transport."),
 		txBytes:          reg.Counter("omcast_node_transport_tx_bytes_total", "Bytes handed to the transport."),
@@ -176,6 +250,9 @@ func newNodeMetrics(reg *live.Registry) nodeMetrics {
 		depth:            reg.Gauge("omcast_node_depth", "Current tree depth (0 at the source)."),
 		children:         reg.Gauge("omcast_node_children", "Children currently served."),
 		knownMembers:     reg.Gauge("omcast_node_known_members", "Entries in the partial membership view."),
+		joinBackoff:      reg.Gauge("omcast_node_join_backoff_seconds", "Jittered delay chosen before the next join attempt."),
+		repairBackoff:    reg.Gauge("omcast_node_repair_backoff_seconds", "Jittered gate interval chosen after the last repair request."),
+		stallSeconds:     reg.Gauge("omcast_node_playback_stall_seconds", "Cumulative playback time spent starved, in stream seconds."),
 	}
 }
 
@@ -225,6 +302,29 @@ type Node struct {
 	// repairing marks ranges under upstream recovery (set by ELN).
 	upstreamRepair int64 // highest sequence covered by a received ELN
 
+	// Join backoff: joinStreak counts consecutive unanswered attempts (reset
+	// on attach and detach); joinRng draws the deterministic jitter.
+	joinStreak int
+	joinRng    *xrand.Source
+	// Repair backoff: detected gaps merge into [pendFirst, pendLast] and
+	// drain through a jittered gate — at most one striped request per
+	// interval. repairStreak widens the gate while repairs go unanswered and
+	// resets when repair data arrives.
+	pendFirst    int64
+	pendLast     int64
+	repairStreak int
+	repairNextAt time.Time
+	repairRng    *xrand.Source
+	// inStall tracks whether the playout clock is currently starved (for
+	// stall-transition counting).
+	inStall bool
+	// Stream-stall watchdog state: streamSeen arms it (never before the first
+	// accepted packet, so idle overlays don't churn); lastStream and
+	// attachedAt anchor the no-stream window.
+	streamSeen bool
+	lastStream time.Time
+	attachedAt time.Time
+
 	stats Stats
 	met   nodeMetrics
 
@@ -244,8 +344,12 @@ func New(cfg Config, tr Transport) *Node {
 		buffer:     make(map[int64][]byte),
 		highest:    -1,
 		playFirst:  -1,
+		pendFirst:  -1,
+		pendLast:   -1,
 		done:       make(chan struct{}),
 	}
+	n.joinRng = xrand.NewNamed(n.cfg.Seed, "node:join:"+string(tr.Addr()))
+	n.repairRng = xrand.NewNamed(n.cfg.Seed, "node:repair:"+string(tr.Addr()))
 	if n.cfg.Metrics != nil {
 		n.met = newNodeMetrics(n.cfg.Metrics)
 	}
@@ -364,23 +468,55 @@ func (n *Node) btpLocked() float64 {
 
 // joinLoop keeps the node attached: it discovers members, picks the highest
 // spare-capacity parent and retries until accepted; it also re-runs after a
-// parent failure.
+// parent failure. Retries back off exponentially (with deterministic seeded
+// jitter) while attempts go unanswered, so a partitioned node probes gently
+// instead of hammering the overlay at heartbeat cadence.
 func (n *Node) joinLoop() {
-	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
-	defer ticker.Stop()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
 	for {
-		n.mu.Lock()
-		attached := n.attached
-		n.mu.Unlock()
-		if !attached {
-			n.tryJoin()
-		}
 		select {
 		case <-n.done:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
+		n.mu.Lock()
+		attached := n.attached
+		n.mu.Unlock()
+		var wait time.Duration
+		if attached {
+			wait = n.cfg.HeartbeatInterval
+		} else {
+			n.tryJoin()
+			wait = n.nextJoinDelay()
+		}
+		timer.Reset(wait)
 	}
+}
+
+// backoffDelay is the shared capped-exponential policy: base doubled streak
+// times, capped at max, then jittered to [d/2, d) from a deterministic
+// per-node stream so retry bursts desynchronise reproducibly.
+func backoffDelay(base, max time.Duration, streak int, rng *xrand.Source) time.Duration {
+	d := base
+	for i := 0; i < streak && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + rng.UniformDuration(0, d/2)
+}
+
+// nextJoinDelay advances the join backoff one step and returns the jittered
+// wait before the next attempt.
+func (n *Node) nextJoinDelay() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := backoffDelay(n.cfg.JoinBackoffBase, n.cfg.JoinBackoffMax, n.joinStreak, n.joinRng)
+	n.joinStreak++
+	n.met.joinBackoff.Set(d.Seconds())
+	return d
 }
 
 // tryJoin sends a Join to the best-known candidate parent (minimum depth,
@@ -420,6 +556,8 @@ func (n *Node) tryJoin() {
 	})
 	n.mu.Lock()
 	n.lastJoinTarget = cands[0].Addr
+	n.stats.JoinAttempts++
+	n.met.joinAttempts.Inc()
 	n.mu.Unlock()
 	n.send(cands[0].Addr, wire.Envelope{Type: wire.TypeJoin, Bandwidth: n.cfg.Bandwidth})
 }
@@ -465,10 +603,13 @@ func (n *Node) handleAccept(env wire.Envelope) {
 	n.attached = true
 	n.parent = env.From
 	n.parentSeen = time.Now()
+	n.attachedAt = n.parentSeen
 	n.depth = env.Depth + 1
 	n.met.attached.Set(1)
 	n.met.depth.Set(float64(n.depth))
 	n.lastJoinTarget = ""
+	n.joinStreak = 0
+	n.met.joinBackoff.Set(0)
 	if n.joinedAt.IsZero() {
 		n.joinedAt = time.Now()
 	}
@@ -511,6 +652,21 @@ func (n *Node) beat() {
 		delete(n.children, c)
 	}
 	parentDead := parent != "" && now.Sub(n.parentSeen) > n.cfg.HeartbeatTimeout
+	// Stream-stall watchdog: the parent heartbeats but no stream data arrives
+	// — a zombie subtree (e.g. re-formed around a partitioned source). Treat
+	// it as a parent failure so the node hunts for a stream-bearing position.
+	streamStalled := false
+	if !parentDead && parent != "" && n.cfg.StallRejoinAfter > 0 && n.streamSeen {
+		ref := n.lastStream
+		if n.attachedAt.After(ref) {
+			ref = n.attachedAt
+		}
+		if now.Sub(ref) > n.cfg.StallRejoinAfter {
+			streamStalled = true
+			n.stats.StallRejoins++
+			n.met.stallRejoins.Inc()
+		}
+	}
 	btp := n.btpLocked()
 	bw := n.cfg.Bandwidth
 	n.advancePlaybackLocked(now)
@@ -524,7 +680,11 @@ func (n *Node) beat() {
 		n.met.parentTimeouts.Inc()
 		n.onParentFailure()
 		parent = ""
+	} else if streamStalled {
+		n.onParentFailure()
+		parent = ""
 	}
+	n.flushRepairs(now)
 	n.mu.Lock()
 	depth := n.depth
 	n.met.depth.Set(float64(depth))
@@ -559,9 +719,20 @@ func (n *Node) advancePlaybackLocked(now time.Time) {
 		if _, ok := n.buffer[seq]; ok {
 			n.stats.PlayedSlots++
 			n.met.playedSlots.Inc()
+			// A present slot ends any stall: playback resumed.
+			n.inStall = false
 		} else {
 			n.stats.StarvedSlots++
 			n.met.starvedSlots.Inc()
+			// Consecutive starved slots are one stall; each contributes one
+			// slot-time of stalled playback.
+			if !n.inStall {
+				n.inStall = true
+				n.stats.Stalls++
+				n.met.stalls.Inc()
+			}
+			n.stats.StallSeconds += 1 / n.cfg.StreamRate
+			n.met.stallSeconds.Set(n.stats.StallSeconds)
 		}
 		n.playChecked = seq
 	}
@@ -593,13 +764,15 @@ func (n *Node) onParentFailure() {
 	n.stats.Rejoins++
 	n.met.rejoins.Inc()
 	n.met.attached.Set(0)
+	// A fresh detachment restarts the join backoff so recovery begins at
+	// base cadence rather than wherever the last outage left the streak.
+	n.joinStreak = 0
 	first := n.highest + 1
 	n.mu.Unlock()
 	// Ask the recovery group for everything from the gap start; the range
 	// end is open-ended — estimated as one detection window of packets.
 	last := first + int64(n.cfg.StreamRate*n.cfg.HeartbeatTimeout.Seconds()) + 1
-	n.requestRepair(first, last)
-	n.notifyELN(first, last)
+	n.recoverGap(first, last)
 }
 
 func (n *Node) handleLeave(env wire.Envelope) {
@@ -612,6 +785,7 @@ func (n *Node) handleLeave(env wire.Envelope) {
 		n.stats.Rejoins++
 		n.met.rejoins.Inc()
 		n.met.attached.Set(0)
+		n.joinStreak = 0
 	}
 	n.mu.Unlock()
 	// A graceful leave needs no loss recovery: the stream stops cleanly and
@@ -674,9 +848,13 @@ func (n *Node) acceptPacket(env wire.Envelope, repaired bool) {
 	n.buffer[env.Packet] = env.Payload
 	n.stats.PacketsReceived++
 	n.met.packetsReceived.Inc()
+	n.streamSeen = true
+	n.lastStream = time.Now()
 	if repaired {
 		n.stats.PacketsRepaired++
 		n.met.packetsRepaired.Inc()
+		// Repair data flowing again: relax the backoff gate.
+		n.repairStreak = 0
 	}
 	if n.playFirst < 0 {
 		// Playback starts one buffering interval after the first packet.
@@ -704,8 +882,86 @@ func (n *Node) acceptPacket(env wire.Envelope, repaired bool) {
 		n.send(c, wire.Envelope{Type: wire.TypePacket, Packet: env.Packet, Payload: env.Payload})
 	}
 	if gapFirst >= 0 && gapFirst <= gapLast {
-		n.requestRepair(gapFirst, gapLast)
-		n.notifyELN(gapFirst, gapLast)
+		n.recoverGap(gapFirst, gapLast)
+	}
+}
+
+// ---- repair pacing ----
+
+// recoverGap merges a detected loss range into the pending-repair window and
+// flushes it through the backoff gate: at most one striped request (and its
+// ELN) leaves per jittered interval, so a burst of gap detections — a
+// partition healing, a lossy parent — collapses into a bounded request
+// stream instead of a storm. Gated detections are counted as suppressed.
+func (n *Node) recoverGap(first, last int64) {
+	if last < first {
+		return
+	}
+	now := time.Now()
+	n.mu.Lock()
+	if n.pendFirst < 0 {
+		n.pendFirst, n.pendLast = first, last
+	} else {
+		if first < n.pendFirst {
+			n.pendFirst = first
+		}
+		if last > n.pendLast {
+			n.pendLast = last
+		}
+	}
+	if now.Before(n.repairNextAt) {
+		n.stats.RepairsSuppressed++
+		n.met.repairSuppressed.Inc()
+		n.mu.Unlock()
+		return
+	}
+	reqFirst, reqLast, ok := n.takeRepairLocked(now)
+	n.mu.Unlock()
+	if ok {
+		n.requestRepair(reqFirst, reqLast)
+		n.notifyELN(reqFirst, reqLast)
+	}
+}
+
+// takeRepairLocked drains the pending window if the backoff gate is open,
+// advancing the gate and streak. Requires mu; returns ok=false when nothing
+// is pending, the gate is closed, or the window fell out of the buffer.
+func (n *Node) takeRepairLocked(now time.Time) (int64, int64, bool) {
+	if n.pendFirst < 0 || now.Before(n.repairNextAt) {
+		return 0, 0, false
+	}
+	// Discard sub-ranges too old to live in anyone's repair buffer.
+	if low := n.highest - int64(n.cfg.BufferPackets); n.pendFirst < low {
+		n.pendFirst = low
+	}
+	first, last := n.pendFirst, n.pendLast
+	n.pendFirst, n.pendLast = -1, -1
+	if last < first {
+		return 0, 0, false
+	}
+	// Clamp the request span to one buffer's worth.
+	if span := int64(n.cfg.BufferPackets); last-first+1 > span {
+		last = first + span - 1
+	}
+	d := backoffDelay(n.cfg.RepairBackoffBase, n.cfg.RepairBackoffMax, n.repairStreak, n.repairRng)
+	n.repairStreak++
+	n.repairNextAt = now.Add(d)
+	n.stats.RepairRequests++
+	n.met.repairRequests.Inc()
+	n.met.repairBackoff.Set(d.Seconds())
+	return first, last, true
+}
+
+// flushRepairs retries the pending window from the heartbeat loop once the
+// gate reopens (gap detections that arrived while gated would otherwise
+// never be requested).
+func (n *Node) flushRepairs(now time.Time) {
+	n.mu.Lock()
+	first, last, ok := n.takeRepairLocked(now)
+	n.mu.Unlock()
+	if ok {
+		n.requestRepair(first, last)
+		n.notifyELN(first, last)
 	}
 }
 
@@ -780,8 +1036,15 @@ func (n *Node) recoveryGroup() []wire.Addr {
 		overlap int
 	}
 	var cands []scored
+	now := time.Now()
 	for addr, rec := range n.membership {
 		if banned[addr] {
+			continue
+		}
+		// Members we have not heard from recently may be dead: asking them
+		// for repair wastes the whole striped request, so they are excluded
+		// from CER candidate selection.
+		if n.cfg.MemberStaleAfter > 0 && now.Sub(rec.seen) > n.cfg.MemberStaleAfter {
 			continue
 		}
 		overlap := 0
@@ -972,6 +1235,21 @@ func (n *Node) mergeMembers(from wire.Addr, members []wire.MemberInfo) {
 	}
 }
 
+// touchMember refreshes a known member's freshness on any direct datagram:
+// hearing from a node first-hand — heartbeat, packet, repair, gossip — is
+// the liveness signal recoveryGroup's staleness filter keys on.
+func (n *Node) touchMember(from wire.Addr) {
+	if from == "" {
+		return
+	}
+	n.mu.Lock()
+	if rec, ok := n.membership[from]; ok {
+		rec.seen = time.Now()
+		n.membership[from] = rec
+	}
+	n.mu.Unlock()
+}
+
 func (n *Node) handleMembershipReply(env wire.Envelope) {
 	n.mergeMembers(env.From, env.Members)
 	// Bound the view.
@@ -1140,6 +1418,7 @@ func (n *Node) onDatagram(data []byte) {
 		return
 	default:
 	}
+	n.touchMember(env.From)
 	switch env.Type {
 	case wire.TypeJoin:
 		n.handleJoin(env)

@@ -541,6 +541,18 @@ func TestPlaybackScoring(t *testing.T) {
 	if s.StarvingRatio() <= 0 || s.StarvingRatio() >= 1 {
 		t.Fatalf("starving ratio = %g, want in (0,1)", s.StarvingRatio())
 	}
+	// The hole is contiguous: it must register as stall episodes with
+	// accumulated stall time of at least the hole's duration (10 slots at
+	// 100 pkt/s = 100 ms), and playback must have resumed (ended the stall).
+	if s.Stalls < 1 {
+		t.Fatalf("stalls = %d, want >= 1", s.Stalls)
+	}
+	if s.StallSeconds < 0.099 { // 10 slots x 10 ms, minus float accumulation
+		t.Fatalf("stall seconds = %g, want >= ~0.1", s.StallSeconds)
+	}
+	if s.StallSeconds > float64(s.StarvedSlots)/100+1e-9 {
+		t.Fatalf("stall seconds %g exceeds starved slots %d / rate", s.StallSeconds, s.StarvedSlots)
+	}
 }
 
 // TestHealthyPlaybackDoesNotStarve: in a stable cluster, starved slots stay

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"omcast/internal/metrics/live"
 	"omcast/internal/wire"
 )
 
@@ -41,6 +43,12 @@ type MemNetwork struct {
 	latency func(from, to wire.Addr) time.Duration
 	wg      sync.WaitGroup
 	closed  bool
+
+	// mailboxDrops counts datagrams discarded because a destination mailbox
+	// was full — congestion that used to be invisible. dropMetric mirrors it
+	// onto a live registry when SetMetrics was called.
+	mailboxDrops atomic.Int64
+	dropMetric   atomic.Pointer[live.Counter]
 }
 
 // NewMemNetwork creates a network; latency may be nil (instant delivery).
@@ -74,6 +82,22 @@ func (n *MemNetwork) Endpoint(addr wire.Addr) (Transport, error) {
 		ep.deliverLoop()
 	}()
 	return ep, nil
+}
+
+// SetMetrics registers the network's instruments on a live registry; safe to
+// call at any point, including while traffic is flowing.
+func (n *MemNetwork) SetMetrics(reg *live.Registry) {
+	c := reg.Counter("omcast_node_mailbox_dropped_total",
+		"Datagrams dropped because the destination endpoint's mailbox was full.")
+	n.dropMetric.Store(c)
+}
+
+// MailboxDrops reports how many datagrams were discarded on full mailboxes.
+func (n *MemNetwork) MailboxDrops() int64 { return n.mailboxDrops.Load() }
+
+func (n *MemNetwork) noteMailboxDrop() {
+	n.mailboxDrops.Add(1)
+	n.dropMetric.Load().Inc() // nil receiver is the uninstrumented no-op
 }
 
 // Close shuts the whole network down and waits for delivery goroutines.
@@ -148,7 +172,9 @@ func (e *memEndpoint) Send(to wire.Addr, data []byte) error {
 		case dst.inCh <- buf:
 		case <-dst.done:
 		default:
-			// Mailbox full: drop, like a congested datagram network.
+			// Mailbox full: drop, like a congested datagram network — but
+			// count it so congestion is observable.
+			e.net.noteMailboxDrop()
 		}
 	}
 	if e.net.latency == nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"omcast/internal/metrics/live"
 	"omcast/internal/wire"
 )
 
@@ -115,6 +116,64 @@ func TestMemNetworkLatency(t *testing.T) {
 	})
 	if elapsed := deliveredAt.Sub(sentAt); elapsed < delay/2 {
 		t.Fatalf("delivered after %v, want >= ~%v", elapsed, delay)
+	}
+}
+
+// TestMailboxDropCounter fills an endpoint's mailbox behind a blocked
+// handler and checks overflow is counted — both on the network itself and on
+// an attached live registry — instead of vanishing silently.
+func TestMailboxDropCounter(t *testing.T) {
+	network := NewMemNetwork(nil)
+	defer network.Close()
+	reg := live.NewRegistry()
+	network.SetMetrics(reg)
+	a, err := network.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := network.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	// Unblock the handler before network.Close runs (defers are LIFO), or
+	// the delivery goroutine would hang the shutdown wait.
+	defer close(block)
+	first := make(chan struct{})
+	var firstOnce sync.Once
+	b.SetHandler(func([]byte) {
+		firstOnce.Do(func() { close(first) })
+		<-block
+	})
+
+	// One datagram parks in the handler; 1024 fill the mailbox; everything
+	// beyond must overflow. Waiting for the handler to park first makes the
+	// accounting below exact.
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	<-first
+	const extra = 50
+	for i := 0; i < 1024+extra; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := network.MailboxDrops(); got != extra {
+		t.Fatalf("MailboxDrops = %d, want %d", got, extra)
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name == "omcast_node_mailbox_dropped_total" {
+			found = true
+			if m.Value != extra {
+				t.Fatalf("metric = %v, want %d", m.Value, extra)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("omcast_node_mailbox_dropped_total not registered")
 	}
 }
 
