@@ -106,9 +106,14 @@ func run() int {
 		fmt.Println(rep.Summary())
 		for _, nr := range rep.Nodes {
 			s := nr.Stats
-			fmt.Printf("  %-8s attached=%-5v pkts=%-5d repaired=%-4d rejoins=%-3d stalls=%-3d starving=%5.1f%% repairs=%d suppressed=%d\n",
-				nr.Addr, s.Attached, s.PacketsReceived, s.PacketsRepaired, s.Rejoins,
-				s.Stalls, s.StarvingRatio()*100, s.RepairRequests, s.RepairsSuppressed)
+			mark := " "
+			if nr.Byzantine {
+				mark = "!" // adversarial member: excluded from per-node bounds
+			}
+			fmt.Printf(" %s%-8s attached=%-5v pkts=%-5d repaired=%-4d rejoins=%-3d stalls=%-3d starving=%5.1f%% repairs=%d suppressed=%d quarantines=%d rejects=%d\n",
+				mark, nr.Addr, s.Attached, s.PacketsReceived, s.PacketsRepaired, s.Rejoins,
+				s.Stalls, s.StarvingRatio()*100, s.RepairRequests, s.RepairsSuppressed,
+				s.GuardQuarantines, s.WireRejects)
 		}
 		if *showLog {
 			fmt.Printf("--- fault log\n%s--- link stats\n%s", rep.FaultLog, rep.FaultStats)

@@ -68,18 +68,21 @@ func main() {
 
 func run() int {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "UDP address to bind")
-		source    = flag.Bool("source", false, "act as the stream source")
-		bandwidth = flag.Float64("bandwidth", 3, "outbound bandwidth (out-degree = floor)")
-		bootstrap = flag.String("bootstrap", "", "comma-separated bootstrap addresses")
-		rate      = flag.Float64("rate", 10, "stream rate in packets/second (source)")
-		heartbeat = flag.Duration("heartbeat", time.Second, "heartbeat interval")
-		switchIv  = flag.Duration("switch", 0, "ROST switching interval (0 = disabled)")
-		status    = flag.Duration("status", 5*time.Second, "status print interval")
-		group     = flag.Int("recovery-group", 3, "CER recovery group size")
-		httpAddr  = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
-		faults    = flag.String("faults", "", "JSON fault schedule to inject on this node's traffic (see internal/faultnet)")
-		faultSeed = flag.Int64("fault-seed", 0, "override the fault schedule's seed")
+		listen     = flag.String("listen", "127.0.0.1:0", "UDP address to bind")
+		source     = flag.Bool("source", false, "act as the stream source")
+		bandwidth  = flag.Float64("bandwidth", 3, "outbound bandwidth (out-degree = floor)")
+		bootstrap  = flag.String("bootstrap", "", "comma-separated bootstrap addresses")
+		rate       = flag.Float64("rate", 10, "stream rate in packets/second (source)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "heartbeat interval")
+		switchIv   = flag.Duration("switch", 0, "ROST switching interval (0 = disabled)")
+		status     = flag.Duration("status", 5*time.Second, "status print interval")
+		group      = flag.Int("recovery-group", 3, "CER recovery group size")
+		httpAddr   = flag.String("http", "", "serve /metrics and /healthz on this address (empty = disabled)")
+		faults     = flag.String("faults", "", "JSON fault schedule to inject on this node's traffic (see internal/faultnet)")
+		faultSeed  = flag.Int64("fault-seed", 0, "override the fault schedule's seed")
+		noGuard    = flag.Bool("no-guard", false, "disable the per-peer misbehavior guard (rate limiting, quarantine, BTP audit)")
+		guardRate  = flag.Float64("guard-rate", 0, "per-peer request rate limit in requests/second (0 = default)")
+		guardScore = flag.Float64("guard-score", 0, "misbehavior score that triggers quarantine (0 = default)")
 	)
 	flag.Parse()
 
@@ -118,14 +121,17 @@ func run() int {
 		fmt.Printf("omcast-node: injecting faults from %s (seed %d)\n", *faults, sch.Seed)
 	}
 	n := node.New(node.Config{
-		Source:            *source,
-		Bandwidth:         *bandwidth,
-		StreamRate:        *rate,
-		Bootstrap:         boots,
-		HeartbeatInterval: *heartbeat,
-		SwitchInterval:    *switchIv,
-		RecoveryGroup:     *group,
-		Metrics:           reg,
+		Source:               *source,
+		Bandwidth:            *bandwidth,
+		StreamRate:           *rate,
+		Bootstrap:            boots,
+		HeartbeatInterval:    *heartbeat,
+		SwitchInterval:       *switchIv,
+		RecoveryGroup:        *group,
+		DisableGuard:         *noGuard,
+		GuardRequestRate:     *guardRate,
+		GuardQuarantineScore: *guardScore,
+		Metrics:              reg,
 	}, tr)
 	n.Start()
 	role := "member"
@@ -157,10 +163,10 @@ func run() int {
 			return 0
 		case <-ticker.C:
 			s := n.Stats()
-			fmt.Printf("attached=%-5v depth=%d parent=%-22s children=%d packet=%d repaired=%d rejoins=%d switches=%d known=%d starving=%.2f%%\n",
+			fmt.Printf("attached=%-5v depth=%d parent=%-22s children=%d packet=%d repaired=%d rejoins=%d switches=%d known=%d starving=%.2f%% quarantined=%d rejects=%d\n",
 				s.Attached, s.Depth, s.Parent, s.Children, s.HighestPacket,
 				s.PacketsRepaired, s.Rejoins, s.Switches, s.KnownMembers,
-				s.StarvingRatio()*100)
+				s.StarvingRatio()*100, s.QuarantinedPeers, s.WireRejects)
 		}
 	}
 }

@@ -54,6 +54,10 @@ type MLCSelector struct {
 	Delay func(a, b topology.NodeID) time.Duration
 	// Knowledge bounds the membership sample; 0 means DefaultKnowledge.
 	Knowledge int
+	// Banned excludes members from recovery groups regardless of tree
+	// position — the simulation analogue of the live node's quarantine list
+	// (peers convicted of misbehavior must not become repair sources).
+	Banned map[overlay.MemberID]bool
 }
 
 var _ Selector = (*MLCSelector)(nil)
@@ -74,7 +78,7 @@ func (s *MLCSelector) Select(self *overlay.Member, k int) []*overlay.Member {
 	if know <= 0 {
 		know = DefaultKnowledge
 	}
-	pt := buildPartialTree(s.Tree, s.Rng, self, know)
+	pt := buildPartialTree(s.Tree, s.Rng, self, know, s.Banned)
 	if pt == nil {
 		return nil
 	}
@@ -115,6 +119,8 @@ type RandomSelector struct {
 	Rng       *xrand.Source
 	Delay     func(a, b topology.NodeID) time.Duration
 	Knowledge int
+	// Banned mirrors MLCSelector.Banned: the quarantine-analogue exclusion.
+	Banned map[overlay.MemberID]bool
 }
 
 var _ Selector = (*RandomSelector)(nil)
@@ -128,7 +134,7 @@ func (s *RandomSelector) Select(self *overlay.Member, k int) []*overlay.Member {
 	if know <= 0 {
 		know = DefaultKnowledge
 	}
-	banned := rootPathSet(self)
+	banned := rootPathSet(self, s.Banned)
 	sample := s.Tree.Sample(s.Rng, know, self)
 	group := make([]*overlay.Member, 0, k)
 	for _, c := range sample {
@@ -148,11 +154,16 @@ func (s *RandomSelector) Select(self *overlay.Member, k int) []*overlay.Member {
 	return group
 }
 
-// rootPathSet returns self's strict ancestors plus self.
-func rootPathSet(self *overlay.Member) map[overlay.MemberID]bool {
+// rootPathSet returns self's strict ancestors plus self, merged with any
+// extra exclusions (the selector's Banned set).
+func rootPathSet(self *overlay.Member, extra map[overlay.MemberID]bool) map[overlay.MemberID]bool {
 	banned := map[overlay.MemberID]bool{self.ID: true}
 	for p := self.Parent(); p != nil; p = p.Parent() {
 		banned[p.ID] = true
+	}
+	//lint:ignore map-order set union; insertion order cannot matter
+	for id := range extra {
+		banned[id] = true
 	}
 	return banned
 }
@@ -188,14 +199,14 @@ type partialTree struct {
 }
 
 // buildPartialTree samples `know` members and assembles their root paths.
-func buildPartialTree(tree *overlay.Tree, rng *xrand.Source, self *overlay.Member, know int) *partialTree {
+func buildPartialTree(tree *overlay.Tree, rng *xrand.Source, self *overlay.Member, know int, extraBanned map[overlay.MemberID]bool) *partialTree {
 	sample := tree.Sample(rng, know, self)
 	if len(sample) == 0 {
 		return nil
 	}
 	pt := &partialTree{
 		self:     self,
-		banned:   rootPathSet(self),
+		banned:   rootPathSet(self, extraBanned),
 		root:     tree.Root(),
 		children: make(map[overlay.MemberID][]*overlay.Member),
 		known:    make(map[overlay.MemberID]bool),

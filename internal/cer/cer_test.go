@@ -112,6 +112,35 @@ func TestMLCSelectSpansSubtrees(t *testing.T) {
 	}
 }
 
+func TestBannedExcludedFromGroups(t *testing.T) {
+	// The quarantine analogue: banned members never appear in a recovery
+	// group, whichever selector builds it, even when the exclusion leaves
+	// barely enough candidates.
+	tree, all := buildTree(t, 4, 3)
+	self := all[0][2]
+	banned := map[overlay.MemberID]bool{}
+	for _, b := range []int{1, 2} {
+		for _, m := range all[b] {
+			banned[m.ID] = true
+		}
+	}
+	selectors := []Selector{
+		&MLCSelector{Tree: tree, Rng: xrand.New(7), Delay: delayFn, Banned: banned},
+		&RandomSelector{Tree: tree, Rng: xrand.New(7), Delay: delayFn, Banned: banned},
+	}
+	for _, sel := range selectors {
+		group := sel.Select(self, 3)
+		if len(group) == 0 {
+			t.Fatalf("%T: empty group despite branch 3 being clean", sel)
+		}
+		for _, g := range group {
+			if banned[g.ID] {
+				t.Fatalf("%T: banned member %d chosen as recovery node", sel, g.ID)
+			}
+		}
+	}
+}
+
 func TestMLCBeatsRandomOnCorrelation(t *testing.T) {
 	// A skewed tree: most members concentrated in one heavy subtree, so a
 	// random pick lands several nodes in the same subtree while MLC spreads.

@@ -88,6 +88,26 @@ type Rule struct {
 	RateBytes float64 `json:"rate_bytes,omitempty"`
 	// Block hard-partitions this direction of the link.
 	Block bool `json:"block,omitempty"`
+
+	// The adversarial family: byzantine links, not merely lossy ones.
+	//
+	// Corrupt is the probability a datagram has one bit flipped at a
+	// deterministic position before delivery (models in-flight corruption
+	// and garbage-emitting peers; receivers see malformed or subtly wrong
+	// envelopes).
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// Replay is the probability the link's previously delivered datagram is
+	// re-delivered after the current one (models replaying attackers and
+	// pathological duplication beyond Duplicate).
+	Replay float64 `json:"replay,omitempty"`
+	// Forge rewrites protocol fields in-flight: "btp" inflates the
+	// bandwidth-time product on heartbeats and switch proposes (the ROST
+	// cheater), "repair" inverts the repair range on repair requests and
+	// ELNs (the CER saboteur). Non-matching message types pass unchanged.
+	Forge string `json:"forge,omitempty"`
+	// ForgeFactor scales the "btp" forgery (claim' = claim*f + f);
+	// zero means the default of 50.
+	ForgeFactor float64 `json:"forge_factor,omitempty"`
 }
 
 // IsZero reports whether the rule injects nothing.
@@ -98,7 +118,8 @@ func (r Rule) Validate() error {
 	for _, p := range []struct {
 		name string
 		v    float64
-	}{{"drop", r.Drop}, {"duplicate", r.Duplicate}, {"reorder", r.Reorder}} {
+	}{{"drop", r.Drop}, {"duplicate", r.Duplicate}, {"reorder", r.Reorder},
+		{"corrupt", r.Corrupt}, {"replay", r.Replay}} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("faultnet: %s probability %v outside [0,1]", p.name, p.v)
 		}
@@ -109,8 +130,24 @@ func (r Rule) Validate() error {
 	if r.RateBytes < 0 {
 		return fmt.Errorf("faultnet: negative rate_bytes")
 	}
+	switch r.Forge {
+	case "", ForgeBTP, ForgeRepair:
+	default:
+		return fmt.Errorf("faultnet: unknown forge kind %q (want %q or %q)", r.Forge, ForgeBTP, ForgeRepair)
+	}
+	if r.ForgeFactor < 0 {
+		return fmt.Errorf("faultnet: negative forge_factor")
+	}
 	return nil
 }
+
+// Forge kinds.
+const (
+	// ForgeBTP inflates bandwidth-time-product claims in flight.
+	ForgeBTP = "btp"
+	// ForgeRepair inverts repair ranges in flight.
+	ForgeRepair = "repair"
+)
 
 // String renders a compact human-readable rule summary.
 func (r Rule) String() string {
@@ -136,6 +173,19 @@ func (r Rule) String() string {
 	if r.RateBytes > 0 {
 		parts = append(parts, fmt.Sprintf("rate=%gB/s", r.RateBytes))
 	}
+	if r.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%.2f", r.Corrupt))
+	}
+	if r.Replay > 0 {
+		parts = append(parts, fmt.Sprintf("replay=%.2f", r.Replay))
+	}
+	if r.Forge != "" {
+		f := fmt.Sprintf("forge=%s", r.Forge)
+		if r.ForgeFactor > 0 {
+			f += fmt.Sprintf("x%g", r.ForgeFactor)
+		}
+		parts = append(parts, f)
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -157,6 +207,13 @@ type Decision struct {
 	Hold bool
 	// JitterFrac is a uniform [0,1) draw scaling the rule's Jitter.
 	JitterFrac float64
+	// Corrupt flips one bit of the datagram; CorruptPos and CorruptBit are
+	// uniform [0,1) draws selecting the byte and the bit within it.
+	Corrupt    bool
+	CorruptPos float64
+	CorruptBit float64
+	// Replay re-delivers the link's previous datagram after this one.
+	Replay bool
 }
 
 // Decider is one link's seeded decision stream. The same (seed, from, to)
@@ -173,17 +230,22 @@ func NewDecider(seed int64, from, to string) *Decider {
 }
 
 // Next draws the decision for the link's next datagram. It consumes exactly
-// four uniform draws regardless of the rule's values, so the decision at
+// eight uniform draws regardless of the rule's values, so the decision at
 // index n depends only on (seed, link, n) — never on which rules were active
 // for earlier datagrams.
 func (d *Decider) Next(r Rule) Decision {
 	dec := Decision{N: d.n}
 	d.n++
 	drop, dup, hold, jit := d.rng.Float64(), d.rng.Float64(), d.rng.Float64(), d.rng.Float64()
+	corrupt, cpos, cbit, replay := d.rng.Float64(), d.rng.Float64(), d.rng.Float64(), d.rng.Float64()
 	dec.Drop = drop < r.Drop
 	dec.Duplicate = dup < r.Duplicate
 	dec.Hold = hold < r.Reorder
 	dec.JitterFrac = jit
+	dec.Corrupt = corrupt < r.Corrupt
+	dec.CorruptPos = cpos
+	dec.CorruptBit = cbit
+	dec.Replay = replay < r.Replay
 	return dec
 }
 
@@ -197,8 +259,8 @@ func DecisionPreview(seed int64, links []string, n int, r Rule) string {
 		d := NewDecider(seed, from, to)
 		for i := 0; i < n; i++ {
 			dec := d.Next(r)
-			fmt.Fprintf(&b, "%s #%d drop=%t dup=%t hold=%t jitter=%.4f\n",
-				link, dec.N, dec.Drop, dec.Duplicate, dec.Hold, dec.JitterFrac)
+			fmt.Fprintf(&b, "%s #%d drop=%t dup=%t hold=%t jitter=%.4f corrupt=%t replay=%t\n",
+				link, dec.N, dec.Drop, dec.Duplicate, dec.Hold, dec.JitterFrac, dec.Corrupt, dec.Replay)
 		}
 	}
 	return b.String()
@@ -217,7 +279,7 @@ type LogEntry struct {
 	// N is the datagram's index on its link.
 	N int64
 	// Action is what happened: drop, duplicate, hold, rate-drop, block,
-	// down, partition, heal, crash, restart, rule.
+	// corrupt, forge, replay, down, partition, heal, crash, restart, rule.
 	Action string
 	// Detail carries action-specific context.
 	Detail string
@@ -250,4 +312,9 @@ type LinkStats struct {
 	// Blocked counts datagrams discarded by a partition, Block rule or
 	// crashed endpoint.
 	Blocked int64
+	// Corrupted, Forged and Replayed count adversarial outcomes: bit flips,
+	// field forgeries actually applied, and re-delivered datagrams.
+	Corrupted int64
+	Forged    int64
+	Replayed  int64
 }

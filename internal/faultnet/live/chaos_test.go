@@ -14,6 +14,12 @@ func TestChaosScenarios(t *testing.T) {
 	for _, scn := range Scenarios {
 		scn := scn
 		t.Run(scn.Name, func(t *testing.T) {
+			if raceEnabled && scn.Nodes > 16 {
+				// The race detector serializes the 65 node runtimes so hard
+				// the overlay cannot form at this scale; the 9-node byzantine
+				// scenarios give the machinery its race coverage.
+				t.Skipf("%d-node scenario skipped under -race", scn.Nodes)
+			}
 			rep, err := Run(scn)
 			if err != nil {
 				t.Fatalf("harness: %v", err)
@@ -93,5 +99,35 @@ func TestChaosRunReproducible(t *testing.T) {
 	}
 	if r1.FaultLog == "" {
 		t.Error("empty fault log from a crash scenario")
+	}
+}
+
+// TestByzantinePlanReproducible pins the deterministic half of the byzantine
+// scenarios: the expanded plan and the adversarial decision stream (corrupt
+// positions, replay draws) are byte-stable functions of the seed. The live
+// fault logs are traffic-timing-dependent (per-datagram draws follow delivery
+// order), so reproducibility there is covered by the pinned-traffic test in
+// the faultnet package, not re-asserted here.
+func TestByzantinePlanReproducible(t *testing.T) {
+	for _, name := range []string{
+		"byzantine-btp-forge", "byzantine-repair-forge",
+		"byzantine-corrupt", "byzantine-replay", "byzantine-64",
+	} {
+		scn := ScenarioByName(name)
+		if scn == nil {
+			t.Fatalf("scenario %s missing from suite", name)
+		}
+		if len(scn.Byzantine) == 0 {
+			t.Errorf("%s: no byzantine members declared", name)
+		}
+		if p1, p2 := scn.Plan(), scn.Plan(); p1 != p2 {
+			t.Errorf("%s: plan not reproducible:\n%s\nvs\n%s", name, p1, p2)
+		}
+		links := []string{"n61>source", "n62>n00", "n63>n01"}
+		rule := faultnet.Rule{Corrupt: 0.3, Replay: 0.4, Forge: faultnet.ForgeBTP, ForgeFactor: 50}
+		if t1, t2 := faultnet.DecisionPreview(scn.Seed, links, 64, rule),
+			faultnet.DecisionPreview(scn.Seed, links, 64, rule); t1 != t2 {
+			t.Errorf("%s: adversarial decision preview not reproducible", name)
+		}
 	}
 }

@@ -59,6 +59,9 @@ type netMetrics struct {
 	reordered   *mlive.Counter
 	rateDropped *mlive.Counter
 	blocked     *mlive.Counter
+	corrupted   *mlive.Counter
+	forged      *mlive.Counter
+	replayed    *mlive.Counter
 	changes     *mlive.Counter
 	nodesDown   *mlive.Gauge
 }
@@ -71,6 +74,9 @@ func newNetMetrics(reg *mlive.Registry) netMetrics {
 		reordered:   reg.Counter("omcast_faultnet_reordered_total", "Datagrams held back past a successor by a reorder decision."),
 		rateDropped: reg.Counter("omcast_faultnet_rate_dropped_total", "Datagrams dropped by a link bandwidth cap."),
 		blocked:     reg.Counter("omcast_faultnet_blocked_total", "Datagrams discarded by partitions, block rules or crashed endpoints."),
+		corrupted:   reg.Counter("omcast_faultnet_corrupted_total", "Datagrams with a bit flipped by a corruption decision."),
+		forged:      reg.Counter("omcast_faultnet_forged_total", "Datagrams with protocol fields forged in flight."),
+		replayed:    reg.Counter("omcast_faultnet_replayed_total", "Datagrams re-delivered by a replay decision."),
 		changes:     reg.Counter("omcast_faultnet_schedule_changes_total", "Schedule changes applied."),
 		nodesDown:   reg.Gauge("omcast_faultnet_nodes_down", "Nodes currently held down by crash changes."),
 	}
@@ -90,6 +96,10 @@ type linkState struct {
 	// maxHold flush fires; heldGen guards the flush against releases).
 	held    []byte
 	heldGen int64
+
+	// lastSent is the link's previously released datagram (post-forge,
+	// post-corruption): the bytes a Replay decision re-delivers.
+	lastSent []byte
 }
 
 // patternRule is an event-installed rule overlay.
@@ -386,6 +396,22 @@ func (n *Network) send(inner node.Transport, to wire.Addr, data []byte) error {
 		return nil
 	}
 
+	// Adversarial stage: field-level forgery first (the protocol-aware
+	// attacker), then the deterministic bit flip (the dumb one). Both operate
+	// on copies; the caller's slice is never mutated.
+	if forged, ok := forgeBytes(rule, data); ok {
+		data = forged
+		st.stats.Forged++
+		n.met.forged.Inc()
+		n.notePerDatagramLocked(link, dec.N, "forge")
+	}
+	if dec.Corrupt {
+		data = corruptBytes(dec, data)
+		st.stats.Corrupted++
+		n.met.corrupted.Inc()
+		n.notePerDatagramLocked(link, dec.N, "corrupt")
+	}
+
 	delay := rule.Latency.D() + time.Duration(dec.JitterFrac*float64(rule.Jitter.D()))
 	buf := append([]byte(nil), data...)
 
@@ -396,6 +422,7 @@ func (n *Network) send(inner node.Transport, to wire.Addr, data []byte) error {
 		st.heldGen++
 		gen := st.heldGen
 		st.stats.Held++
+		st.lastSent = buf
 		n.met.reordered.Inc()
 		n.notePerDatagramLocked(link, dec.N, "hold")
 		flush := time.AfterFunc(maxHold+delay, func() {
@@ -429,6 +456,13 @@ func (n *Network) send(inner node.Transport, to wire.Addr, data []byte) error {
 		n.notePerDatagramLocked(link, dec.N, "duplicate")
 		out = append(out, buf)
 	}
+	if dec.Replay && st.lastSent != nil {
+		st.stats.Replayed++
+		n.met.replayed.Inc()
+		n.notePerDatagramLocked(link, dec.N, "replay")
+		out = append(out, st.lastSent)
+	}
+	st.lastSent = buf
 	if delay > 0 {
 		for i, b := range out {
 			b := b
@@ -520,8 +554,9 @@ func (n *Network) FormatStats() string {
 	var b strings.Builder
 	for _, k := range keys {
 		s := stats[k]
-		fmt.Fprintf(&b, "%s sent=%d dropped=%d dup=%d held=%d rate=%d blocked=%d\n",
-			k, s.Sent, s.Dropped, s.Duplicated, s.Held, s.RateDropped, s.Blocked)
+		fmt.Fprintf(&b, "%s sent=%d dropped=%d dup=%d held=%d rate=%d blocked=%d corrupt=%d forged=%d replay=%d\n",
+			k, s.Sent, s.Dropped, s.Duplicated, s.Held, s.RateDropped, s.Blocked,
+			s.Corrupted, s.Forged, s.Replayed)
 	}
 	return b.String()
 }

@@ -49,6 +49,17 @@ type Bounds struct {
 	// least this many rejoins summed across members (proof a crash orphaned
 	// someone rather than clipping a leaf).
 	MinRejoinsTotal int64
+	// MinQuarantinesTotal demands the guard layer actually convicted someone:
+	// at least this many quarantine sentences summed across all nodes —
+	// evidence a byzantine scenario's defense engaged, not that the attack
+	// politely missed.
+	MinQuarantinesTotal int64
+	// MinWireRejectsTotal demands wire validation caught forged or corrupted
+	// datagrams, summed across all nodes.
+	MinWireRejectsTotal int64
+	// MinAuditFailsTotal demands the BTP delta audit caught inflated claims,
+	// summed across all nodes.
+	MinAuditFailsTotal int64
 }
 
 // Scenario is one table-driven chaos run: an overlay size, a fault schedule
@@ -76,6 +87,22 @@ type Scenario struct {
 	// durations. Seed is stamped from the scenario at run time.
 	Schedule faultnet.Schedule
 	Bounds   Bounds
+	// Byzantine names members whose outbound links the schedule turns
+	// adversarial (forge/corrupt/replay rules). They run honest protocol
+	// code — the attack is modeled at the network layer — but honest peers
+	// quarantine them, so per-node bounds and attachment checks exclude
+	// them: the scenario asserts the *honest* overlay's continuity.
+	Byzantine []string
+}
+
+// byzantine reports whether an address is in the scenario's byzantine set.
+func (s Scenario) byzantine(addr wire.Addr) bool {
+	for _, b := range s.Byzantine {
+		if wire.Addr(b) == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // scaledSchedule returns the schedule with seed stamped and every duration
@@ -97,10 +124,12 @@ func (s Scenario) scaledSchedule() *faultnet.Schedule {
 // would scale it — a pure function of the scenario, no overlay required.
 func (s Scenario) Plan() string { return s.scaledSchedule().FormatPlan() }
 
-// NodeReport pairs an address with its final protocol stats.
+// NodeReport pairs an address with its final protocol stats. Byzantine marks
+// members the scenario declared adversarial (excluded from per-node bounds).
 type NodeReport struct {
-	Addr  wire.Addr
-	Stats node.Stats
+	Addr      wire.Addr
+	Stats     node.Stats
+	Byzantine bool
 }
 
 // Report is a scenario run's outcome.
@@ -276,25 +305,30 @@ func (h *Harness) Members() []NodeReport {
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, a := range addrs {
-		out = append(out, NodeReport{Addr: a, Stats: nodes[a].Stats()})
+		out = append(out, NodeReport{Addr: a, Stats: nodes[a].Stats(), Byzantine: h.sc.byzantine(a)})
 	}
 	return out
 }
 
-// AllAttached reports whether the full member set is alive and every member
-// holds a tree position (false while any node is crashed).
+// AllAttached reports whether the full member set is alive and every honest
+// member holds a tree position (false while any node is crashed). Byzantine
+// members are exempt: once quarantined by every honest peer they may be
+// permanently detached, and that is the defense working, not a failure.
 func (h *Harness) AllAttached() bool {
 	h.mu.Lock()
-	nodes := make([]*node.Node, 0, len(h.nodes))
-	for _, nd := range h.nodes {
-		nodes = append(nodes, nd)
+	nodes := make(map[wire.Addr]*node.Node, len(h.nodes))
+	for a, nd := range h.nodes {
+		nodes[a] = nd
 	}
 	full := len(h.nodes) == h.sc.Nodes
 	h.mu.Unlock()
 	if !full {
 		return false
 	}
-	for _, nd := range nodes {
+	for a, nd := range nodes {
+		if h.sc.byzantine(a) {
+			continue
+		}
 		if !nd.Stats().Attached {
 			return false
 		}
@@ -428,10 +462,22 @@ func evaluate(rep *Report, scn Scenario, h *Harness, ran time.Duration) {
 			fmt.Sprintf("only %d of %d members alive at end", len(rep.Nodes)-1, scn.Nodes))
 	}
 	var suppressed, rejoins int64
+	var quarantines, wireRejects, auditFails int64
 	sourcePackets := int64(ran.Seconds() * h.rate)
 	for _, nr := range rep.Nodes {
 		s := nr.Stats
+		// Guard totals sum over every node, source included: any honest
+		// participant convicting a byzantine peer is evidence.
+		quarantines += s.GuardQuarantines
+		wireRejects += s.WireRejects
+		auditFails += s.GuardAuditFails
 		if nr.Addr == "source" {
+			continue
+		}
+		if nr.Byzantine {
+			// Adversarial members are outside the delivery contract: honest
+			// peers quarantine them, so attachment, starvation and packet
+			// bounds do not apply.
 			continue
 		}
 		suppressed += s.RepairsSuppressed
@@ -466,5 +512,20 @@ func evaluate(rep *Report, scn Scenario, h *Harness, ran time.Duration) {
 		rep.Failures = append(rep.Failures,
 			fmt.Sprintf("members rejoined %d times, want >= %d (fault never disturbed the tree)",
 				rejoins, b.MinRejoinsTotal))
+	}
+	if b.MinQuarantinesTotal > 0 && quarantines < b.MinQuarantinesTotal {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("nodes quarantined %d peers, want >= %d (guard never convicted)",
+				quarantines, b.MinQuarantinesTotal))
+	}
+	if b.MinWireRejectsTotal > 0 && wireRejects < b.MinWireRejectsTotal {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("nodes wire-rejected %d datagrams, want >= %d (validation never engaged)",
+				wireRejects, b.MinWireRejectsTotal))
+	}
+	if b.MinAuditFailsTotal > 0 && auditFails < b.MinAuditFailsTotal {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("nodes failed %d BTP audits, want >= %d (forged claims never caught)",
+				auditFails, b.MinAuditFailsTotal))
 	}
 }

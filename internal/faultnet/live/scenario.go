@@ -155,6 +155,134 @@ var Scenarios = []Scenario{
 		},
 	},
 	{
+		Name:  "byzantine-btp-forge",
+		About: "one peer inflates its BTP claims 50x on every heartbeat and switch-propose; the per-peer audit must convict and quarantine it while honest members keep streaming",
+		Nodes: 9,
+		Seed:  1008,
+		// n08 boots last: a leaf when the forging starts, so the attack tests
+		// the audit, not tree repair.
+		BootDelay: 30 * time.Millisecond,
+		Warmup:    5 * time.Second,
+		Duration:  3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "n08", To: "*",
+					Rule: rp(faultnet.Rule{Forge: faultnet.ForgeBTP, ForgeFactor: 50})},
+			},
+		},
+		Byzantine: []string{"n08"},
+		Bounds: Bounds{
+			RequireAllAttached:  true,
+			MaxStarvingRatio:    0.6,
+			MinAuditFailsTotal:  1, // the inflated claims must be caught...
+			MinQuarantinesTotal: 1, // ...and the forger sentenced
+		},
+	},
+	{
+		Name:  "byzantine-repair-forge",
+		About: "one peer's repair requests and ELNs are rewritten to inverted ranges in flight; receivers must wire-reject and attribute them, and honest repair must keep working",
+		Nodes: 9,
+		Seed:  1009,
+		// Inbound loss makes n08 actually issue repair requests (the forge
+		// needs traffic to rewrite); honest links stay clean.
+		BootDelay: 30 * time.Millisecond,
+		Warmup:    5 * time.Second,
+		Duration:  3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "*", To: "n08",
+					Rule: rp(faultnet.Rule{Drop: 0.15})},
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "n08", To: "*",
+					Rule: rp(faultnet.Rule{Forge: faultnet.ForgeRepair})},
+			},
+		},
+		Byzantine: []string{"n08"},
+		Bounds: Bounds{
+			RequireAllAttached:  true,
+			MaxStarvingRatio:    0.6,
+			MinWireRejectsTotal: 2,
+		},
+	},
+	{
+		Name:  "byzantine-corrupt",
+		About: "a quarter of one peer's datagrams get a deterministic bit flipped in flight; wire validation must shed the garbage and the honest overlay must not notice",
+		Nodes: 9,
+		Seed:  1010,
+		// Corruption is unattributable (a flipped byte usually breaks the JSON
+		// before From can be trusted), so the bound is containment plus
+		// rejection counts — not a quarantine conviction.
+		BootDelay: 30 * time.Millisecond,
+		Warmup:    5 * time.Second,
+		Duration:  3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "n08", To: "*",
+					Rule: rp(faultnet.Rule{Corrupt: 0.25})},
+			},
+		},
+		Byzantine: []string{"n08"},
+		Bounds: Bounds{
+			RequireAllAttached:  true,
+			MaxStarvingRatio:    0.6,
+			MinWireRejectsTotal: 1,
+		},
+	},
+	{
+		Name:  "byzantine-replay",
+		About: "one peer's links replay half their datagrams and duplicate a third more; stale heartbeats, repeated repair requests and duplicate packets must all be absorbed",
+		Nodes: 9,
+		Seed:  1011,
+		// Replayed envelopes are syntactically honest, so there is nothing to
+		// convict — the assertion is pure delivery continuity under echo.
+		BootDelay: 30 * time.Millisecond,
+		Warmup:    5 * time.Second,
+		Duration:  3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "n08", To: "*",
+					Rule: rp(faultnet.Rule{Replay: 0.5, Duplicate: 0.3})},
+			},
+		},
+		Byzantine: []string{"n08"},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			MaxStarvingRatio:   0.6,
+		},
+	},
+	{
+		Name:  "byzantine-64",
+		About: "the acceptance scenario: 64 members, three byzantine (BTP forger, repair forger, corrupter); honest delivery continuity and quarantine convergence must hold at scale",
+		Nodes: 64,
+		// A slightly wider source keeps the deep tree forming briskly; the
+		// short boot stagger stops 64 simultaneous joins from thundering.
+		SourceBW:  4,
+		NodeBW:    3,
+		Seed:      1012,
+		BootDelay: 10 * time.Millisecond,
+		Warmup:    8 * time.Second,
+		Duration:  3 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "n61", To: "*",
+					Rule: rp(faultnet.Rule{Forge: faultnet.ForgeBTP, ForgeFactor: 50})},
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "*", To: "n62",
+					Rule: rp(faultnet.Rule{Drop: 0.15})},
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "n62", To: "*",
+					Rule: rp(faultnet.Rule{Forge: faultnet.ForgeRepair})},
+				{At: d(200 * time.Millisecond), Action: faultnet.ActionRule, From: "n63", To: "*",
+					Rule: rp(faultnet.Rule{Corrupt: 0.2})},
+			},
+		},
+		Byzantine: []string{"n61", "n62", "n63"},
+		Bounds: Bounds{
+			RequireAllAttached:  true,
+			MaxStarvingRatio:    0.7,
+			MinAuditFailsTotal:  1,
+			MinQuarantinesTotal: 1,
+			MinWireRejectsTotal: 1,
+		},
+	},
+	{
 		Name:     "join-loss-30",
 		About:    "the satellite regression: 30% loss from birth — every node must still join within a bound, thanks to backoff-paced retries",
 		Nodes:    6,

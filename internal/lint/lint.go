@@ -71,6 +71,9 @@ func DefaultConfig() *Config {
 			// follows the same split: internal/faultnet is pure and
 			// deterministic, internal/faultnet/live owns the timers and locks.
 			"faultnet",
+			// The wire codec (envelope validation included) is pure parsing:
+			// no clocks, no goroutines, no map-order leaks.
+			"wire",
 		},
 		WallclockExtra: []string{"omcast/cmd/...", "omcast/examples/..."},
 		FloatPackages:  []string{"stats", "experiments", "stream", "multitree", "metrics"},

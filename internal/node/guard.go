@@ -1,0 +1,269 @@
+package node
+
+import (
+	"time"
+
+	"omcast/internal/wire"
+)
+
+// The guard layer is the node's per-peer misbehavior defense: the live
+// analogue of the simulator's cheater model (omcast.topUpCheaters and the
+// rost.Referees that audit claimed bandwidth-time products). Wire validation
+// (internal/wire) rejects envelopes no honest node could send; the guard
+// decides what to do about the *sender*:
+//
+//   - every peer carries a misbehavior score that decays linearly over time;
+//     malformed datagrams, validation rejects, request floods and implausible
+//     BTP claims add points;
+//   - request-type messages (Join, RepairRequest, MembershipRequest — the
+//     ones a peer can use to make us do work) pass through a per-peer token
+//     bucket; over-rate requests are dropped and scored;
+//   - BTP claims on heartbeats and switch proposes are audited against the
+//     peer's own earlier claims: a bandwidth-time product can only grow as
+//     fast as the claimed bandwidth allows (delta <= bw * dt * slack + grace);
+//   - a peer whose score crosses the threshold is quarantined: all of its
+//     datagrams are dropped, it is removed from membership/children (and the
+//     tree position, if it was the parent), excluded from CER recovery-group
+//     selection, and gossip about it is ignored until the quarantine expires.
+//
+// Known residual: a peer that lies about its BTP *consistently from birth*
+// (constant inflation factor baked into every claim) keeps a self-consistent
+// trajectory and passes the delta audit. Catching that requires comparing
+// claims against independently observed forwarding throughput over long
+// windows — the simulator's referee protocol models exactly that study
+// (internal/rost); DESIGN.md §11 discusses the split.
+
+// Guard scoring constants: points per offense and the offense vocabulary.
+const (
+	// scoreWireReject is charged when a peer's datagram fails wire
+	// validation (parseable enough to attribute).
+	scoreWireReject = 4
+	// scoreRateLimited is charged per request dropped by the token bucket.
+	scoreRateLimited = 1
+	// scoreAuditFail is charged when a BTP claim outruns the peer's own
+	// claimed bandwidth.
+	scoreAuditFail = 6
+)
+
+// guardPeer is the per-remote-peer guard state.
+type guardPeer struct {
+	// score is the decayed misbehavior score; scoreAt is when it was last
+	// decayed.
+	score   float64
+	scoreAt time.Time
+	// tokens is the request token bucket; tokensAt the last refill.
+	tokens   float64
+	tokensAt time.Time
+	// quarantinedUntil, when in the future, drops everything from the peer.
+	quarantinedUntil time.Time
+	// lastBTP/lastBTPAt/lastBW anchor the BTP delta audit: the peer's last
+	// accepted claim and when it was made.
+	lastBTP   float64
+	lastBTPAt time.Time
+	lastBW    float64
+	// lastSeen orders eviction when the guard table is full.
+	lastSeen time.Time
+}
+
+// guardPeerLocked returns (creating if needed) the guard record for a peer,
+// evicting the stalest non-quarantined record when the table is full.
+// Requires mu.
+func (n *Node) guardPeerLocked(addr wire.Addr, now time.Time) *guardPeer {
+	if p, ok := n.guard[addr]; ok {
+		return p
+	}
+	if max := 4 * n.cfg.MembershipLimit; len(n.guard) >= max {
+		var victim wire.Addr
+		var oldest time.Time
+		for a, p := range n.guard {
+			if now.Before(p.quarantinedUntil) {
+				continue // keep quarantine memory under table pressure
+			}
+			if victim == "" || p.lastSeen.Before(oldest) {
+				victim, oldest = a, p.lastSeen
+			}
+		}
+		if victim == "" {
+			for a, p := range n.guard { // all quarantined: evict stalest anyway
+				if victim == "" || p.lastSeen.Before(oldest) {
+					victim, oldest = a, p.lastSeen
+				}
+			}
+		}
+		delete(n.guard, victim)
+	}
+	p := &guardPeer{scoreAt: now, tokensAt: now, tokens: n.cfg.GuardRequestBurst}
+	n.guard[addr] = p
+	return p
+}
+
+// decayScoreLocked applies the linear score decay up to now. Requires mu.
+func (p *guardPeer) decayScoreLocked(rate float64, now time.Time) {
+	if dt := now.Sub(p.scoreAt).Seconds(); dt > 0 {
+		p.score -= rate * dt
+		if p.score < 0 {
+			p.score = 0
+		}
+	}
+	p.scoreAt = now
+}
+
+// quarantinedLocked reports whether a peer is currently quarantined.
+// Requires mu.
+func (n *Node) quarantinedLocked(addr wire.Addr, now time.Time) bool {
+	p, ok := n.guard[addr]
+	return ok && now.Before(p.quarantinedUntil)
+}
+
+// quarantinedCountLocked counts peers currently quarantined. Requires mu.
+func (n *Node) quarantinedCountLocked(now time.Time) int {
+	c := 0
+	for _, p := range n.guard {
+		if now.Before(p.quarantinedUntil) {
+			c++
+		}
+	}
+	return c
+}
+
+// noteMisbehaviorLocked charges points against a peer and quarantines it when
+// the decayed score crosses the threshold: membership and child state are
+// purged so the peer stops influencing CER selection and the tree. Returns
+// whether the quarantined peer was our parent (the caller must run the
+// parent-failure path outside the lock). Requires mu.
+func (n *Node) noteMisbehaviorLocked(addr wire.Addr, p *guardPeer, points float64, now time.Time) (lostParent bool) {
+	p.decayScoreLocked(n.cfg.GuardScoreDecay, now)
+	p.score += points
+	if p.score < n.cfg.GuardQuarantineScore || now.Before(p.quarantinedUntil) {
+		return false
+	}
+	p.quarantinedUntil = now.Add(n.cfg.GuardQuarantine)
+	p.score = 0 // the sentence restarts the account
+	n.stats.GuardQuarantines++
+	n.met.guardQuarantines.Inc()
+	delete(n.membership, addr)
+	delete(n.children, addr)
+	if n.attached && addr == n.parent {
+		return true
+	}
+	return false
+}
+
+// guardTypeIsRequest reports whether a message type asks us to do work on
+// the sender's behalf — the types the token bucket meters. Stream, repair
+// data and handshake replies are deliberately exempt: rate-limiting the
+// stream would turn the guard itself into a loss source.
+func guardTypeIsRequest(t wire.Type) bool {
+	switch t {
+	case wire.TypeJoin, wire.TypeRepairRequest, wire.TypeMembershipRequest:
+		return true
+	}
+	return false
+}
+
+// guardAdmit is the per-datagram admission decision for a decoded, wire-valid
+// envelope: quarantine drop, request rate limit, BTP audit. It returns false
+// when the datagram must not reach its handler.
+func (n *Node) guardAdmit(env wire.Envelope) bool {
+	if n.cfg.DisableGuard {
+		return true
+	}
+	now := time.Now()
+	admit := true
+	lostParent := false
+	n.mu.Lock()
+	p := n.guardPeerLocked(env.From, now)
+	p.lastSeen = now
+	if now.Before(p.quarantinedUntil) {
+		n.stats.GuardQuarantineDrops++
+		n.met.guardQuarantineDrops.Inc()
+		n.mu.Unlock()
+		return false
+	}
+	switch {
+	case guardTypeIsRequest(env.Type):
+		if dt := now.Sub(p.tokensAt).Seconds(); dt > 0 {
+			p.tokens += dt * n.cfg.GuardRequestRate
+			if p.tokens > n.cfg.GuardRequestBurst {
+				p.tokens = n.cfg.GuardRequestBurst
+			}
+		}
+		p.tokensAt = now
+		if p.tokens < 1 {
+			n.stats.GuardRateLimited++
+			n.met.guardRateLimited.Inc()
+			lostParent = n.noteMisbehaviorLocked(env.From, p, scoreRateLimited, now)
+			admit = false
+		} else {
+			p.tokens--
+		}
+	case env.Type == wire.TypeHeartbeat || env.Type == wire.TypeSwitchPropose:
+		if !n.auditBTPLocked(p, env, now) {
+			n.stats.GuardAuditFails++
+			n.met.guardAuditFails.Inc()
+			lostParent = n.noteMisbehaviorLocked(env.From, p, scoreAuditFail, now)
+			admit = false
+		}
+	}
+	n.mu.Unlock()
+	if lostParent {
+		n.onParentFailure()
+	}
+	return admit
+}
+
+// noteWireReject attributes a failed decode/validation to its claimed sender
+// (when one parsed) and scores it. Quarantined senders are silently dropped.
+func (n *Node) noteWireReject(from wire.Addr) {
+	if n.cfg.DisableGuard || from == "" {
+		return
+	}
+	now := time.Now()
+	lostParent := false
+	n.mu.Lock()
+	p := n.guardPeerLocked(from, now)
+	p.lastSeen = now
+	if !now.Before(p.quarantinedUntil) {
+		lostParent = n.noteMisbehaviorLocked(from, p, scoreWireReject, now)
+	}
+	n.mu.Unlock()
+	if lostParent {
+		n.onParentFailure()
+	}
+}
+
+// auditBTPLocked checks a claimed bandwidth-time product against the peer's
+// own claim trajectory: between two claims dt apart, the product may grow by
+// at most claimed_bandwidth * dt * slack, plus a grace floor that absorbs
+// delivery jitter (reordered heartbeats compress dt). Claims may always
+// *shrink* — a restarted peer resets its clock. The baseline is only
+// advanced by claims that pass, so a forging peer keeps failing against its
+// last honest claim instead of ratcheting the baseline up. Requires mu.
+func (n *Node) auditBTPLocked(p *guardPeer, env wire.Envelope, now time.Time) bool {
+	if p.lastBTPAt.IsZero() {
+		// First claim: nothing to compare against. (A peer inflating from its
+		// very first heartbeat with a consistent trajectory evades the delta
+		// audit — see the package comment on residual risk.)
+		if env.Type == wire.TypeHeartbeat {
+			p.lastBTP, p.lastBTPAt, p.lastBW = env.BTP, now, env.Bandwidth
+		}
+		return true
+	}
+	dt := now.Sub(p.lastBTPAt).Seconds()
+	bw := env.Bandwidth
+	if p.lastBW > bw {
+		bw = p.lastBW
+	}
+	grace := bw * n.cfg.HeartbeatTimeout.Seconds()
+	if grace < 1 {
+		grace = 1
+	}
+	allowed := bw*dt*n.cfg.GuardAuditSlack + grace
+	if env.BTP > p.lastBTP+allowed {
+		return false
+	}
+	if env.Type == wire.TypeHeartbeat {
+		p.lastBTP, p.lastBTPAt, p.lastBW = env.BTP, now, env.Bandwidth
+	}
+	return true
+}

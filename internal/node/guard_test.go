@@ -1,0 +1,476 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"omcast/internal/wire"
+)
+
+// sinkTransport is a goroutine-free Transport for guard unit tests: sends are
+// recorded, never delivered.
+type sinkTransport struct {
+	addr wire.Addr
+
+	mu   sync.Mutex
+	sent []wire.Envelope
+}
+
+func (s *sinkTransport) Addr() wire.Addr { return s.addr }
+
+func (s *sinkTransport) Send(to wire.Addr, data []byte) error {
+	env, err := wire.Decode(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sent = append(s.sent, env)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *sinkTransport) SetHandler(func(data []byte)) {}
+func (s *sinkTransport) Close() error                 { return nil }
+
+func (s *sinkTransport) sentTo(to wire.Addr) []wire.Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]wire.Envelope(nil), s.sent...)
+}
+
+// newGuardNode builds an unstarted node over a sink transport: handlers can
+// be driven directly without any background loops running.
+func newGuardNode(mutate func(cfg *Config)) (*Node, *sinkTransport) {
+	cfg := Config{Bandwidth: 3}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tr := &sinkTransport{addr: "self"}
+	return New(cfg, tr), tr
+}
+
+// attachTo puts the node into an attached state under the given parent,
+// as the Accept handler would.
+func attachTo(n *Node, parent wire.Addr) {
+	n.mu.Lock()
+	n.attached = true
+	n.parent = parent
+	n.parentSeen = time.Now()
+	n.attachedAt = n.parentSeen
+	n.depth = 2
+	n.joinedAt = time.Now()
+	n.mu.Unlock()
+}
+
+func envBytes(t *testing.T, env wire.Envelope) []byte {
+	t.Helper()
+	b, err := wire.Encode(env)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return b
+}
+
+func TestGuardRateLimitsRequests(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.GuardRequestRate = 0.001 // effectively no refill within the test
+		cfg.GuardRequestBurst = 3
+		cfg.GuardQuarantineScore = 1000 // keep quarantine out of this test
+	})
+	req := wire.Envelope{Type: wire.TypeMembershipRequest, From: "flooder"}
+	for i := 0; i < 3; i++ {
+		if !n.guardAdmit(req) {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	if n.guardAdmit(req) {
+		t.Fatal("request over burst admitted")
+	}
+	if got := n.Stats().GuardRateLimited; got != 1 {
+		t.Fatalf("GuardRateLimited = %d, want 1", got)
+	}
+	// Non-request types are never metered: the stream must not be throttled.
+	if !n.guardAdmit(wire.Envelope{Type: wire.TypePacket, From: "flooder", Packet: 1}) {
+		t.Fatal("stream packet denied by the request limiter")
+	}
+}
+
+func TestGuardScoreDecays(t *testing.T) {
+	p := &guardPeer{score: 10, scoreAt: time.Now().Add(-4 * time.Second)}
+	p.decayScoreLocked(2, time.Now()) // 2 points/s over 4s
+	if p.score > 2.1 || p.score < 1.9 {
+		t.Fatalf("score after decay = %v, want ~2", p.score)
+	}
+	p.scoreAt = time.Now().Add(-time.Hour)
+	p.decayScoreLocked(2, time.Now())
+	if p.score != 0 {
+		t.Fatalf("score decayed below zero: %v", p.score)
+	}
+}
+
+func TestGuardQuarantinesWireRejecters(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.GuardQuarantineScore = 7 // two wire rejects (4 points each) cross it
+	})
+	// Give the offender a membership record: quarantine must purge it.
+	n.mu.Lock()
+	n.membership["evil"] = memberRecord{info: wire.MemberInfo{Addr: "evil"}, seen: time.Now()}
+	n.mu.Unlock()
+
+	n.noteWireReject("evil")
+	if n.Stats().QuarantinedPeers != 0 {
+		t.Fatal("quarantined after a single reject")
+	}
+	n.noteWireReject("evil")
+	s := n.Stats()
+	if s.GuardQuarantines != 1 || s.QuarantinedPeers != 1 {
+		t.Fatalf("quarantines=%d quarantined=%d, want 1/1", s.GuardQuarantines, s.QuarantinedPeers)
+	}
+	if s.KnownMembers != 0 {
+		t.Fatal("quarantine did not purge the membership record")
+	}
+	// Everything from a quarantined peer is dropped before dispatch.
+	if n.guardAdmit(wire.Envelope{Type: wire.TypeHeartbeat, From: "evil"}) {
+		t.Fatal("quarantined peer's datagram admitted")
+	}
+	if got := n.Stats().GuardQuarantineDrops; got != 1 {
+		t.Fatalf("GuardQuarantineDrops = %d, want 1", got)
+	}
+	// Gossip must not re-introduce the peer while the sentence runs.
+	n.mergeMembers("other", []wire.MemberInfo{{Addr: "evil", Spare: 5}})
+	if n.Stats().KnownMembers != 0 {
+		t.Fatal("gossip re-introduced a quarantined peer")
+	}
+}
+
+func TestGuardQuarantiningParentDetaches(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.GuardQuarantineScore = 7
+	})
+	attachTo(n, "p")
+	n.noteWireReject("p")
+	n.noteWireReject("p")
+	s := n.Stats()
+	if s.Attached {
+		t.Fatal("still attached to a quarantined parent")
+	}
+	if s.Rejoins != 1 {
+		t.Fatalf("Rejoins = %d, want 1 (parent-failure path must run)", s.Rejoins)
+	}
+}
+
+func TestGuardBTPAudit(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.GuardQuarantineScore = 1000 // isolate the audit decision
+	})
+	hb := func(btp float64) wire.Envelope {
+		return wire.Envelope{Type: wire.TypeHeartbeat, From: "peer", Bandwidth: 3, BTP: btp}
+	}
+	// First claim is the baseline, whatever it is.
+	if !n.guardAdmit(hb(10)) {
+		t.Fatal("baseline claim denied")
+	}
+	// Honest growth (well under bw*dt*slack + grace) passes.
+	if !n.guardAdmit(hb(10.5)) {
+		t.Fatal("honest growth denied")
+	}
+	// A jump no bandwidth could produce fails.
+	if n.guardAdmit(hb(1e6)) {
+		t.Fatal("forged BTP jump admitted")
+	}
+	if got := n.Stats().GuardAuditFails; got != 1 {
+		t.Fatalf("GuardAuditFails = %d, want 1", got)
+	}
+	// The failed claim must not have ratcheted the baseline: the same forged
+	// value keeps failing.
+	if n.guardAdmit(hb(1e6)) {
+		t.Fatal("forged BTP admitted on retry — baseline advanced on a failed claim")
+	}
+	// Shrinking claims always pass (peer restart resets its clock).
+	if !n.guardAdmit(hb(0)) {
+		t.Fatal("shrinking claim denied")
+	}
+	// SwitchPropose claims are audited against the same trajectory.
+	if n.guardAdmit(wire.Envelope{Type: wire.TypeSwitchPropose, From: "peer", Bandwidth: 3, BTP: 1e6}) {
+		t.Fatal("forged SwitchPropose BTP admitted")
+	}
+}
+
+func TestGuardTableEviction(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.MembershipLimit = 2 // guard table cap = 8
+		cfg.GuardQuarantineScore = 7
+	})
+	// Quarantine one peer, then flood the table with strangers.
+	n.noteWireReject("evil")
+	n.noteWireReject("evil")
+	for i := 0; i < 20; i++ {
+		n.guardAdmit(wire.Envelope{Type: wire.TypeHeartbeat, From: wire.Addr(fmt.Sprintf("g%02d", i))})
+	}
+	n.mu.Lock()
+	size := len(n.guard)
+	_, evilKept := n.guard["evil"]
+	n.mu.Unlock()
+	if size > 8 {
+		t.Fatalf("guard table grew to %d, cap is 8", size)
+	}
+	if !evilKept {
+		t.Fatal("eviction dropped the quarantined record while strangers were available")
+	}
+	if n.Stats().QuarantinedPeers != 1 {
+		t.Fatal("quarantine lost under table pressure")
+	}
+}
+
+func TestRecoveryGroupExcludesQuarantined(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.GuardQuarantineScore = 7
+	})
+	attachTo(n, "p")
+	n.noteWireReject("q")
+	n.noteWireReject("q")
+	// Simulate the re-learn race: the record sneaks back into membership
+	// after sentencing (e.g. a merge that raced the conviction).
+	now := time.Now()
+	n.mu.Lock()
+	for _, a := range []wire.Addr{"a", "b", "q"} {
+		n.membership[a] = memberRecord{info: wire.MemberInfo{Addr: a}, seen: now}
+	}
+	n.mu.Unlock()
+	group := n.recoveryGroup()
+	for _, a := range group {
+		if a == "q" {
+			t.Fatal("quarantined peer selected into the recovery group")
+		}
+	}
+	if len(group) != 2 {
+		t.Fatalf("recovery group = %v, want the 2 honest members", group)
+	}
+}
+
+func TestRepairRequestRangeRejectedAtHandler(t *testing.T) {
+	n, tr := newGuardNode(nil)
+	n.mu.Lock()
+	n.highest = 100
+	n.buffer[50] = nil
+	n.mu.Unlock()
+	cases := []wire.Envelope{
+		{Type: wire.TypeRepairRequest, From: "r", FirstMissing: 9, LastMissing: 3},
+		{Type: wire.TypeRepairRequest, From: "r", FirstMissing: -5, LastMissing: 3},
+		{Type: wire.TypeRepairRequest, From: "r", FirstMissing: 0, LastMissing: wire.MaxRepairSpan + 10},
+	}
+	for _, env := range cases {
+		n.handleRepairRequest(env)
+	}
+	s := n.Stats()
+	if s.GuardImplausible != int64(len(cases)) {
+		t.Fatalf("GuardImplausible = %d, want %d", s.GuardImplausible, len(cases))
+	}
+	if s.RepairsServed != 0 || len(tr.sentTo("r")) != 0 {
+		t.Fatal("rejected repair request was partially served")
+	}
+}
+
+func TestRepairRequestScanClamped(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.BufferPackets = 16
+		cfg.RecoveryGroup = 1 // this node covers the whole stripe space
+	})
+	n.mu.Lock()
+	n.highest = 1000
+	for seq := int64(990); seq <= 1000; seq++ {
+		n.buffer[seq] = nil
+	}
+	n.mu.Unlock()
+	// A wire-legal but buffer-impossible range: the scan must clamp to
+	// [highest-BufferPackets, highest] rather than walk all 65k sequences.
+	n.handleRepairRequest(wire.Envelope{
+		Type: wire.TypeRepairRequest, From: "r",
+		FirstMissing: 0, LastMissing: wire.MaxRepairSpan - 1,
+	})
+	if got := n.Stats().RepairsServed; got != 11 {
+		t.Fatalf("RepairsServed = %d, want the 11 buffered packets", got)
+	}
+}
+
+func TestMembershipReplyLimitClamped(t *testing.T) {
+	n, tr := newGuardNode(func(cfg *Config) {
+		cfg.MembershipLimit = 2
+	})
+	attachTo(n, "p")
+	now := time.Now()
+	n.mu.Lock()
+	for i := 0; i < 6; i++ {
+		a := wire.Addr(fmt.Sprintf("m%d", i))
+		n.membership[a] = memberRecord{info: wire.MemberInfo{Addr: a}, seen: now}
+	}
+	n.mu.Unlock()
+	n.handleMembershipRequest(wire.Envelope{
+		Type: wire.TypeMembershipRequest, From: "greedy", Limit: wire.MaxLimit,
+	})
+	var reply *wire.Envelope
+	for _, env := range tr.sentTo("greedy") {
+		if env.Type == wire.TypeMembershipReply {
+			reply = &env
+			break
+		}
+	}
+	if reply == nil {
+		t.Fatal("no membership reply sent")
+	}
+	if len(reply.Members) > 2 {
+		t.Fatalf("reply carries %d members, want <= the partial-view cap 2", len(reply.Members))
+	}
+}
+
+func TestPacketImplausibilityClamps(t *testing.T) {
+	t.Run("at-source", func(t *testing.T) {
+		n, _ := newGuardNode(func(cfg *Config) { cfg.Source = true })
+		n.acceptPacket(wire.Envelope{Type: wire.TypePacket, From: "evil", Packet: 5}, false)
+		s := n.Stats()
+		if s.PacketsReceived != 0 || s.GuardImplausible != 1 {
+			t.Fatalf("source ingested a stream packet: %+v", s)
+		}
+	})
+	t.Run("not-parent", func(t *testing.T) {
+		n, _ := newGuardNode(nil)
+		attachTo(n, "p")
+		n.acceptPacket(wire.Envelope{Type: wire.TypePacket, From: "p", Packet: 0}, false)
+		n.acceptPacket(wire.Envelope{Type: wire.TypePacket, From: "evil", Packet: 1}, false)
+		s := n.Stats()
+		if s.PacketsReceived != 1 || s.GuardImplausible != 1 {
+			t.Fatalf("non-parent stream packet accepted: %+v", s)
+		}
+		// Repair data is exempt: it legitimately arrives from group members.
+		n.acceptPacket(wire.Envelope{Type: wire.TypeRepairData, From: "helper", Packet: 1}, true)
+		if got := n.Stats().PacketsRepaired; got != 1 {
+			t.Fatalf("repair data from a non-parent rejected: repaired=%d", got)
+		}
+	})
+	t.Run("jump-and-resync", func(t *testing.T) {
+		n, _ := newGuardNode(nil)
+		attachTo(n, "p")
+		n.acceptPacket(wire.Envelope{Type: wire.TypePacket, From: "p", Packet: 0}, false)
+		jump := int64(1 + 4*n.cfg.BufferPackets + 10)
+		for i := 0; i < jumpResyncStreak-1; i++ {
+			n.acceptPacket(wire.Envelope{Type: wire.TypePacket, From: "p", Packet: jump + int64(i)}, false)
+		}
+		s := n.Stats()
+		if s.PacketsReceived != 1 || s.GuardImplausible != int64(jumpResyncStreak-1) {
+			t.Fatalf("jump packets accepted before the resync streak: %+v", s)
+		}
+		// The streak-th consecutive parent jump is a genuine discontinuity.
+		n.acceptPacket(wire.Envelope{Type: wire.TypePacket, From: "p", Packet: jump + jumpResyncStreak}, false)
+		if got := n.Stats().PacketsReceived; got != 2 {
+			t.Fatal("parent stream discontinuity never resynchronised")
+		}
+	})
+	t.Run("repair-below-window", func(t *testing.T) {
+		n, _ := newGuardNode(nil)
+		attachTo(n, "p")
+		n.mu.Lock()
+		n.highest = 10000
+		n.streamSeen = true
+		n.mu.Unlock()
+		n.acceptPacket(wire.Envelope{Type: wire.TypeRepairData, From: "helper", Packet: 1}, true)
+		s := n.Stats()
+		if s.PacketsRepaired != 0 || s.GuardImplausible != 1 {
+			t.Fatalf("ancient repair data accepted: %+v", s)
+		}
+	})
+}
+
+func TestELNRangeClamped(t *testing.T) {
+	n, _ := newGuardNode(nil)
+	attachTo(n, "p")
+	n.mu.Lock()
+	n.highest = 100
+	n.streamSeen = true
+	n.mu.Unlock()
+	// A plausible parent ELN advances the suppression mark.
+	n.handleELN(wire.Envelope{Type: wire.TypeELN, From: "p", FirstMissing: 50, LastMissing: 120})
+	n.mu.Lock()
+	mark := n.upstreamRepair
+	n.mu.Unlock()
+	if mark != 120 {
+		t.Fatalf("upstreamRepair = %d, want 120", mark)
+	}
+	// A forged range far beyond the head must not suppress our repairs.
+	n.handleELN(wire.Envelope{Type: wire.TypeELN, From: "p", FirstMissing: 0, LastMissing: 1 << 40})
+	n.mu.Lock()
+	mark = n.upstreamRepair
+	n.mu.Unlock()
+	if mark != 120 {
+		t.Fatalf("forged ELN moved upstreamRepair to %d", mark)
+	}
+	if got := n.Stats().GuardImplausible; got != 1 {
+		t.Fatalf("GuardImplausible = %d, want 1", got)
+	}
+}
+
+func TestWireRejectAttribution(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.GuardQuarantineScore = 7
+	})
+	// An envelope that parses but fails validation names its sender; two of
+	// them cross the quarantine threshold.
+	bad := envBytes(t, wire.Envelope{
+		Type: wire.TypeRepairRequest, From: "evil", FirstMissing: 9, LastMissing: 3,
+	})
+	n.onDatagram(bad)
+	n.onDatagram(bad)
+	s := n.Stats()
+	if s.WireRejects != 2 {
+		t.Fatalf("WireRejects = %d, want 2", s.WireRejects)
+	}
+	if s.GuardQuarantines != 1 {
+		t.Fatalf("GuardQuarantines = %d, want 1", s.GuardQuarantines)
+	}
+	// Unattributable garbage is counted but charges no one.
+	n.onDatagram([]byte("{not json"))
+	s = n.Stats()
+	if s.WireRejects != 3 || s.GuardQuarantines != 1 {
+		t.Fatalf("unattributable reject mishandled: %+v", s)
+	}
+}
+
+func TestDisableGuardBypasses(t *testing.T) {
+	n, _ := newGuardNode(func(cfg *Config) {
+		cfg.DisableGuard = true
+		cfg.GuardRequestBurst = 1
+		cfg.GuardRequestRate = 0.001
+	})
+	req := wire.Envelope{Type: wire.TypeMembershipRequest, From: "x"}
+	for i := 0; i < 10; i++ {
+		if !n.guardAdmit(req) {
+			t.Fatal("DisableGuard did not bypass the limiter")
+		}
+	}
+	n.noteWireReject("x")
+	if got := n.Stats().GuardQuarantines; got != 0 {
+		t.Fatalf("DisableGuard still quarantined: %d", got)
+	}
+}
+
+func TestSwitchCommitShapeRejected(t *testing.T) {
+	// The fuzzer's find: a SwitchCommit from the parent naming neither a
+	// replaced child (Chain) nor a NewParent used to re-point the node at the
+	// empty address — attached with no parent. It must be dropped and counted.
+	n, _ := newGuardNode(nil)
+	attachTo(n, "p")
+	n.onDatagram(envBytes(t, wire.Envelope{Type: wire.TypeSwitchCommit, From: "p"}))
+	s := n.Stats()
+	if !s.Attached || s.Parent != "p" {
+		t.Fatalf("shapeless switch commit re-pointed the node: attached=%t parent=%q", s.Attached, s.Parent)
+	}
+	if s.GuardImplausible != 1 {
+		t.Fatalf("GuardImplausible = %d, want 1", s.GuardImplausible)
+	}
+	// A well-formed commit from the parent still re-points.
+	n.onDatagram(envBytes(t, wire.Envelope{Type: wire.TypeSwitchCommit, From: "p", NewParent: "np"}))
+	if s = n.Stats(); s.Parent != "np" {
+		t.Fatalf("valid switch commit ignored: parent=%q", s.Parent)
+	}
+}

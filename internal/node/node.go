@@ -92,6 +92,27 @@ type Config struct {
 	// Metrics, if non-nil, receives the node's instruments (the concurrent
 	// wall-clock backend; serve it over HTTP with live.Handler).
 	Metrics *live.Registry
+
+	// DisableGuard switches the per-peer misbehavior guard off (validation
+	// still applies; rejects just go unattributed). Test/ablation knob.
+	DisableGuard bool
+	// GuardRequestRate/Burst shape the per-peer token bucket metering
+	// request-type messages — Join, RepairRequest, MembershipRequest
+	// (defaults 100/s and 2x rate). Honest peers direct at most a few tens
+	// of requests per second at any single target.
+	GuardRequestRate  float64
+	GuardRequestBurst float64
+	// GuardQuarantineScore is the decayed misbehavior score that triggers
+	// quarantine (default 12); GuardScoreDecay is the linear decay in points
+	// per second (default 1).
+	GuardQuarantineScore float64
+	GuardScoreDecay      float64
+	// GuardQuarantine is how long a quarantined peer stays dropped
+	// (default 50x HeartbeatInterval).
+	GuardQuarantine time.Duration
+	// GuardAuditSlack scales the allowed BTP growth between two claims
+	// (delta <= bandwidth * dt * slack + grace; default 2).
+	GuardAuditSlack float64
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +158,24 @@ func (c Config) withDefaults() Config {
 	if c.StallRejoinAfter == 0 {
 		c.StallRejoinAfter = 6 * c.HeartbeatTimeout
 	}
+	if c.GuardRequestRate <= 0 {
+		c.GuardRequestRate = 100
+	}
+	if c.GuardRequestBurst <= 0 {
+		c.GuardRequestBurst = 2 * c.GuardRequestRate
+	}
+	if c.GuardQuarantineScore <= 0 {
+		c.GuardQuarantineScore = 12
+	}
+	if c.GuardScoreDecay <= 0 {
+		c.GuardScoreDecay = 1
+	}
+	if c.GuardQuarantine <= 0 {
+		c.GuardQuarantine = 50 * c.HeartbeatInterval
+	}
+	if c.GuardAuditSlack <= 0 {
+		c.GuardAuditSlack = 2
+	}
 	return c
 }
 
@@ -172,6 +211,22 @@ type Stats struct {
 	// StallRejoins counts rejoins forced by the stream-stall watchdog (an
 	// attached but streamless parent — the zombie-subtree escape hatch).
 	StallRejoins int64
+	// WireRejects counts datagrams that failed wire decode/validation.
+	WireRejects int64
+	// GuardRateLimited counts requests dropped by the per-peer token bucket;
+	// GuardQuarantineDrops counts datagrams dropped because their sender was
+	// quarantined; GuardQuarantines counts quarantine sentences handed out;
+	// GuardAuditFails counts BTP claims that outran the sender's own claimed
+	// bandwidth; GuardImplausible counts handler-level rejections of
+	// wire-valid but contextually absurd values (packet-sequence jumps,
+	// non-parent stream packets, out-of-window repair ranges).
+	GuardRateLimited     int64
+	GuardQuarantineDrops int64
+	GuardQuarantines     int64
+	GuardAuditFails      int64
+	GuardImplausible     int64
+	// QuarantinedPeers is the number of peers currently quarantined.
+	QuarantinedPeers int
 }
 
 // StarvingRatio is the fraction of playout slots that starved (0 before
@@ -218,41 +273,95 @@ type nodeMetrics struct {
 	joinBackoff      *live.Gauge
 	repairBackoff    *live.Gauge
 	stallSeconds     *live.Gauge
+
+	// Guard instruments. wireRejects and implausible are pre-registered per
+	// reason/kind so label cardinality stays fixed.
+	wireRejects          map[string]*live.Counter
+	implausible          map[string]*live.Counter
+	guardRateLimited     *live.Counter
+	guardQuarantineDrops *live.Counter
+	guardQuarantines     *live.Counter
+	guardAuditFails      *live.Counter
+	quarantinedPeers     *live.Gauge
+}
+
+// implausibleKinds is the fixed vocabulary of handler-level rejections of
+// wire-valid but contextually absurd datagrams.
+var implausibleKinds = []string{
+	"packet-at-source",  // stream/repair data sent at the stream origin
+	"packet-not-parent", // stream packet from someone other than the parent
+	"packet-jump",       // sequence implausibly far ahead of the local head
+	"repair-range",      // repair request outside the serviceable window shape
+	"eln-range",         // ELN covering sequences implausibly far ahead
+	"switch-shape",      // switch commit naming neither a replaced child nor a new parent
+}
+
+// noteWireRejectMetric bumps the labeled reject counter (nil-safe).
+func (m *nodeMetrics) noteWireReject(reason string) {
+	if m.wireRejects != nil {
+		m.wireRejects[reason].Inc()
+	}
+}
+
+// noteImplausible bumps the labeled implausible counter (nil-safe).
+func (m *nodeMetrics) noteImplausible(kind string) {
+	if m.implausible != nil {
+		m.implausible[kind].Inc()
+	}
 }
 
 func newNodeMetrics(reg *live.Registry) nodeMetrics {
 	peerLabel := func(v string) metrics.Label { return metrics.Label{Key: "peer", Value: v} }
+	wireRejects := make(map[string]*live.Counter, len(wire.Reasons()))
+	for _, r := range wire.Reasons() {
+		wireRejects[r] = reg.Counter("omcast_node_wire_rejects_total",
+			"Datagrams rejected by wire decode/validation, by reason.",
+			metrics.Label{Key: "reason", Value: r})
+	}
+	implausible := make(map[string]*live.Counter, len(implausibleKinds))
+	for _, k := range implausibleKinds {
+		implausible[k] = reg.Counter("omcast_node_guard_implausible_total",
+			"Wire-valid datagrams rejected at the handler boundary as contextually absurd, by kind.",
+			metrics.Label{Key: "kind", Value: k})
+	}
 	return nodeMetrics{
-		heartbeatsSent:   reg.Counter("omcast_node_heartbeats_sent_total", "Heartbeat envelopes sent to the parent and children."),
-		parentTimeouts:   reg.Counter("omcast_node_neighbor_timeouts_total", "Neighbours declared dead after missed heartbeats.", peerLabel("parent")),
-		childTimeouts:    reg.Counter("omcast_node_neighbor_timeouts_total", "Neighbours declared dead after missed heartbeats.", peerLabel("child")),
-		packetsReceived:  reg.Counter("omcast_node_packets_received_total", "Stream packets accepted into the buffer."),
-		packetsForwarded: reg.Counter("omcast_node_packets_forwarded_total", "Stream packet copies forwarded to children."),
-		packetsDuplicate: reg.Counter("omcast_node_packets_duplicate_total", "Stream packets dropped as already buffered."),
-		packetsRepaired:  reg.Counter("omcast_node_packets_repaired_total", "Packets recovered through CER repair."),
-		repairsServed:    reg.Counter("omcast_node_repairs_served_total", "Repair packets served to other members."),
-		elnSent:          reg.Counter("omcast_node_eln_sent_total", "Explicit-loss-notification envelopes sent downstream."),
-		gossipSent:       reg.Counter("omcast_node_gossip_sent_total", "Membership gossip requests initiated."),
-		rejoins:          reg.Counter("omcast_node_rejoins_total", "Times the node lost its parent and re-entered joining."),
-		switches:         reg.Counter("omcast_node_switches_total", "ROST switch commits executed as initiator."),
-		playedSlots:      reg.Counter("omcast_node_played_slots_total", "Playout slots whose packet arrived by its deadline."),
-		starvedSlots:     reg.Counter("omcast_node_starved_slots_total", "Playout slots whose packet missed its deadline."),
-		joinAttempts:     reg.Counter("omcast_node_join_attempts_total", "Join envelopes sent (one per backoff step while detached)."),
-		repairRequests:   reg.Counter("omcast_node_repair_requests_total", "Striped CER repair requests issued."),
-		repairSuppressed: reg.Counter("omcast_node_repair_suppressed_total", "Gap detections absorbed into a pending request by the repair backoff gate."),
-		stalls:           reg.Counter("omcast_node_playback_stalls_total", "Transitions of the playout clock into starvation."),
-		stallRejoins:     reg.Counter("omcast_node_stall_rejoins_total", "Rejoins forced by the stream-stall watchdog (live parent, no stream)."),
-		txDatagrams:      reg.Counter("omcast_node_transport_tx_datagrams_total", "Datagrams handed to the transport."),
-		rxDatagrams:      reg.Counter("omcast_node_transport_rx_datagrams_total", "Datagrams delivered by the transport."),
-		txBytes:          reg.Counter("omcast_node_transport_tx_bytes_total", "Bytes handed to the transport."),
-		rxBytes:          reg.Counter("omcast_node_transport_rx_bytes_total", "Bytes delivered by the transport."),
-		attached:         reg.Gauge("omcast_node_attached", "1 while the node holds a tree position (sources always 1)."),
-		depth:            reg.Gauge("omcast_node_depth", "Current tree depth (0 at the source)."),
-		children:         reg.Gauge("omcast_node_children", "Children currently served."),
-		knownMembers:     reg.Gauge("omcast_node_known_members", "Entries in the partial membership view."),
-		joinBackoff:      reg.Gauge("omcast_node_join_backoff_seconds", "Jittered delay chosen before the next join attempt."),
-		repairBackoff:    reg.Gauge("omcast_node_repair_backoff_seconds", "Jittered gate interval chosen after the last repair request."),
-		stallSeconds:     reg.Gauge("omcast_node_playback_stall_seconds", "Cumulative playback time spent starved, in stream seconds."),
+		wireRejects:          wireRejects,
+		implausible:          implausible,
+		guardRateLimited:     reg.Counter("omcast_node_guard_rate_limited_total", "Requests dropped by the per-peer token bucket."),
+		guardQuarantineDrops: reg.Counter("omcast_node_guard_quarantine_drops_total", "Datagrams dropped because their sender was quarantined."),
+		guardQuarantines:     reg.Counter("omcast_node_guard_quarantines_total", "Quarantine sentences handed out to misbehaving peers."),
+		guardAuditFails:      reg.Counter("omcast_node_guard_btp_audit_fails_total", "BTP claims that outran the sender's own claimed bandwidth."),
+		quarantinedPeers:     reg.Gauge("omcast_node_guard_quarantined_peers", "Peers currently quarantined."),
+		heartbeatsSent:       reg.Counter("omcast_node_heartbeats_sent_total", "Heartbeat envelopes sent to the parent and children."),
+		parentTimeouts:       reg.Counter("omcast_node_neighbor_timeouts_total", "Neighbours declared dead after missed heartbeats.", peerLabel("parent")),
+		childTimeouts:        reg.Counter("omcast_node_neighbor_timeouts_total", "Neighbours declared dead after missed heartbeats.", peerLabel("child")),
+		packetsReceived:      reg.Counter("omcast_node_packets_received_total", "Stream packets accepted into the buffer."),
+		packetsForwarded:     reg.Counter("omcast_node_packets_forwarded_total", "Stream packet copies forwarded to children."),
+		packetsDuplicate:     reg.Counter("omcast_node_packets_duplicate_total", "Stream packets dropped as already buffered."),
+		packetsRepaired:      reg.Counter("omcast_node_packets_repaired_total", "Packets recovered through CER repair."),
+		repairsServed:        reg.Counter("omcast_node_repairs_served_total", "Repair packets served to other members."),
+		elnSent:              reg.Counter("omcast_node_eln_sent_total", "Explicit-loss-notification envelopes sent downstream."),
+		gossipSent:           reg.Counter("omcast_node_gossip_sent_total", "Membership gossip requests initiated."),
+		rejoins:              reg.Counter("omcast_node_rejoins_total", "Times the node lost its parent and re-entered joining."),
+		switches:             reg.Counter("omcast_node_switches_total", "ROST switch commits executed as initiator."),
+		playedSlots:          reg.Counter("omcast_node_played_slots_total", "Playout slots whose packet arrived by its deadline."),
+		starvedSlots:         reg.Counter("omcast_node_starved_slots_total", "Playout slots whose packet missed its deadline."),
+		joinAttempts:         reg.Counter("omcast_node_join_attempts_total", "Join envelopes sent (one per backoff step while detached)."),
+		repairRequests:       reg.Counter("omcast_node_repair_requests_total", "Striped CER repair requests issued."),
+		repairSuppressed:     reg.Counter("omcast_node_repair_suppressed_total", "Gap detections absorbed into a pending request by the repair backoff gate."),
+		stalls:               reg.Counter("omcast_node_playback_stalls_total", "Transitions of the playout clock into starvation."),
+		stallRejoins:         reg.Counter("omcast_node_stall_rejoins_total", "Rejoins forced by the stream-stall watchdog (live parent, no stream)."),
+		txDatagrams:          reg.Counter("omcast_node_transport_tx_datagrams_total", "Datagrams handed to the transport."),
+		rxDatagrams:          reg.Counter("omcast_node_transport_rx_datagrams_total", "Datagrams delivered by the transport."),
+		txBytes:              reg.Counter("omcast_node_transport_tx_bytes_total", "Bytes handed to the transport."),
+		rxBytes:              reg.Counter("omcast_node_transport_rx_bytes_total", "Bytes delivered by the transport."),
+		attached:             reg.Gauge("omcast_node_attached", "1 while the node holds a tree position (sources always 1)."),
+		depth:                reg.Gauge("omcast_node_depth", "Current tree depth (0 at the source)."),
+		children:             reg.Gauge("omcast_node_children", "Children currently served."),
+		knownMembers:         reg.Gauge("omcast_node_known_members", "Entries in the partial membership view."),
+		joinBackoff:          reg.Gauge("omcast_node_join_backoff_seconds", "Jittered delay chosen before the next join attempt."),
+		repairBackoff:        reg.Gauge("omcast_node_repair_backoff_seconds", "Jittered gate interval chosen after the last repair request."),
+		stallSeconds:         reg.Gauge("omcast_node_playback_stall_seconds", "Cumulative playback time spent starved, in stream seconds."),
 	}
 }
 
@@ -285,6 +394,12 @@ type Node struct {
 	switching  bool
 
 	membership map[wire.Addr]memberRecord
+	// guard holds the per-peer misbehavior state (see guard.go); jumpStreak
+	// counts consecutive parent packets rejected as implausible sequence
+	// jumps, so a genuine stream discontinuity resynchronises instead of
+	// starving forever.
+	guard      map[wire.Addr]*guardPeer
+	jumpStreak int
 	// lastJoinTarget detects unanswered join attempts: a candidate that
 	// neither accepts nor rejects within one tick is presumed dead and
 	// dropped from the view (dead members never send Rejects).
@@ -341,6 +456,7 @@ func New(cfg Config, tr Transport) *Node {
 		transport:  tr,
 		children:   make(map[wire.Addr]*peer),
 		membership: make(map[wire.Addr]memberRecord),
+		guard:      make(map[wire.Addr]*guardPeer),
 		buffer:     make(map[int64][]byte),
 		highest:    -1,
 		playFirst:  -1,
@@ -421,6 +537,7 @@ func (n *Node) Stats() Stats {
 	s.Children = len(n.children)
 	s.HighestPacket = n.highest
 	s.KnownMembers = len(n.membership)
+	s.QuarantinedPeers = n.quarantinedCountLocked(time.Now())
 	return s
 }
 
@@ -674,6 +791,7 @@ func (n *Node) beat() {
 	n.met.attached.Set(boolGauge(n.attached))
 	n.met.children.Set(float64(len(n.children)))
 	n.met.knownMembers.Set(float64(len(n.membership)))
+	n.met.quarantinedPeers.Set(float64(n.quarantinedCountLocked(now)))
 	n.mu.Unlock()
 
 	if parentDead {
@@ -836,10 +954,61 @@ func (n *Node) trimBufferLocked() {
 	}
 }
 
+// jumpResyncStreak is how many consecutive implausible-jump packets from the
+// attached parent it takes to accept the discontinuity as a genuine stream
+// resync (e.g. rejoining after an outage longer than the plausibility
+// window) rather than a forgery.
+const jumpResyncStreak = 16
+
+// packetRejectLocked is the handler-boundary sanity check for stream/repair
+// data: wire-valid packets can still be contextually absurd — stream data at
+// the source, stream packets from a non-parent while attached (the stream
+// has exactly one upstream), or sequence numbers so far from the local head
+// that accepting them would wipe the repair buffer and wreck the playback
+// clock. Returns the implausible-kind token, or "" to accept. Requires mu.
+func (n *Node) packetRejectLocked(env wire.Envelope, repaired bool) string {
+	if n.cfg.Source {
+		// The origin never ingests stream or repair data; a forged packet
+		// here would poison the buffer every downstream repair draws from.
+		return "packet-at-source"
+	}
+	fromParent := n.attached && env.From == n.parent
+	if !repaired && n.attached && !fromParent {
+		return "packet-not-parent"
+	}
+	span := 4 * int64(n.cfg.BufferPackets)
+	if n.streamSeen && env.Packet > n.highest+span {
+		if fromParent && !repaired {
+			// The parent itself is consistently ahead of us: after enough
+			// consecutive jumps this is a real discontinuity, not a stray
+			// corruption — resynchronise to the parent's head.
+			n.jumpStreak++
+			if n.jumpStreak >= jumpResyncStreak {
+				n.jumpStreak = 0
+				return ""
+			}
+		}
+		return "packet-jump"
+	}
+	if repaired && n.streamSeen && env.Packet < n.highest-span {
+		return "packet-jump" // below any window we could have requested
+	}
+	if fromParent && !repaired {
+		n.jumpStreak = 0
+	}
+	return ""
+}
+
 // acceptPacket stores and forwards one packet; returns the gap to repair if
 // one opened.
 func (n *Node) acceptPacket(env wire.Envelope, repaired bool) {
 	n.mu.Lock()
+	if kind := n.packetRejectLocked(env, repaired); kind != "" {
+		n.stats.GuardImplausible++
+		n.mu.Unlock()
+		n.met.noteImplausible(kind)
+		return
+	}
 	if _, dup := n.buffer[env.Packet]; dup {
 		n.mu.Unlock()
 		n.met.packetsDuplicate.Inc()
@@ -983,11 +1152,23 @@ func (n *Node) notifyELN(first, last int64) {
 func (n *Node) handleELN(env wire.Envelope) {
 	n.mu.Lock()
 	fromParent := env.From == n.parent
-	if fromParent && env.LastMissing > n.upstreamRepair {
+	// Plausibility clamp: an ELN claims upstream recovery for a range, and a
+	// forged LastMissing far beyond the stream head would suppress our own
+	// repair requests forever. Once we have seen stream data, ignore claims
+	// implausibly far ahead of it.
+	implausible := fromParent && n.streamSeen &&
+		env.LastMissing > n.highest+4*int64(n.cfg.BufferPackets)
+	if implausible {
+		n.stats.GuardImplausible++
+	} else if fromParent && env.LastMissing > n.upstreamRepair {
 		n.upstreamRepair = env.LastMissing
 	}
 	children := n.childrenLocked()
 	n.mu.Unlock()
+	if implausible {
+		n.met.noteImplausible("eln-range")
+		return
+	}
 	if !fromParent {
 		return
 	}
@@ -1041,6 +1222,12 @@ func (n *Node) recoveryGroup() []wire.Addr {
 		if banned[addr] {
 			continue
 		}
+		// Quarantined peers are purged from membership at sentencing, but a
+		// race can re-learn one between sentence and expiry; never hand a
+		// convicted peer a stripe of our repair traffic.
+		if n.quarantinedLocked(addr, now) {
+			continue
+		}
 		// Members we have not heard from recently may be dead: asking them
 		// for repair wastes the whole striped request, so they are excluded
 		// from CER candidate selection.
@@ -1075,6 +1262,17 @@ func (n *Node) recoveryGroup() []wire.Addr {
 // handleRepairRequest serves the packets it has (its epsilon share of the
 // stripe space) and forwards the remainder along the chain.
 func (n *Node) handleRepairRequest(env wire.Envelope) {
+	// Handler-boundary re-check: Decode already rejects inverted, negative
+	// and over-wide ranges, but this handler walks the range — it must never
+	// trust its bounds, whatever path the envelope took in.
+	if env.FirstMissing < 0 || env.LastMissing < env.FirstMissing ||
+		env.LastMissing-env.FirstMissing+1 > wire.MaxRepairSpan {
+		n.mu.Lock()
+		n.stats.GuardImplausible++
+		n.mu.Unlock()
+		n.met.noteImplausible("repair-range")
+		return
+	}
 	requester := env.Requester
 	if requester == "" {
 		requester = env.From
@@ -1082,8 +1280,17 @@ func (n *Node) handleRepairRequest(env wire.Envelope) {
 	share := 1.0 / float64(n.cfg.RecoveryGroup) // static residual-share model
 	lo, hi := env.Epsilon, env.Epsilon+share
 	n.mu.Lock()
+	// Clamp the scan to the window the buffer can actually serve, so the
+	// walk is bounded by BufferPackets no matter what range was requested.
+	first, last := env.FirstMissing, env.LastMissing
+	if low := n.highest - int64(n.cfg.BufferPackets); first < low {
+		first = low
+	}
+	if last > n.highest {
+		last = n.highest
+	}
 	var serve []int64
-	for seq := env.FirstMissing; seq <= env.LastMissing; seq++ {
+	for seq := first; seq <= last; seq++ {
 		frac := float64(seq%100) / 100
 		if frac >= lo && frac < hi {
 			if _, ok := n.buffer[seq]; ok {
@@ -1228,7 +1435,17 @@ func (n *Node) mergeMembers(from wire.Addr, members []wire.MemberInfo) {
 		if info.Addr == n.Addr() {
 			continue
 		}
+		// Gossip must not re-introduce a quarantined peer (third parties keep
+		// relaying it until their own guards convict).
+		if n.quarantinedLocked(info.Addr, now) {
+			continue
+		}
 		_, known := n.membership[info.Addr]
+		// Hard cap on view growth: a flood of forged member records must not
+		// balloon the map past the prune threshold the reply path enforces.
+		if !known && len(n.membership) >= 4*n.cfg.MembershipLimit {
+			continue
+		}
 		if info.Addr == from || !known {
 			n.membership[info.Addr] = memberRecord{info: info, seen: now}
 		}
@@ -1385,23 +1602,26 @@ func (n *Node) handleSwitchCommit(env wire.Envelope) {
 		n.mu.Unlock()
 		return
 	}
-	if env.From == n.parent || env.NewParent != "" {
-		// Demoted parent or displaced grandchild: re-point to NewParent.
-		wasParent := n.parent
-		n.parent = env.NewParent
-		n.parentSeen = time.Now()
-		n.parentBTP = 0
-		n.parentBW = 0
-		n.depth++ // one layer down (approximate; gossip refreshes it)
-		delete(n.children, env.NewParent)
-		n.switching = false
+	if env.NewParent == "" {
+		// No valid shape: a commit naming neither a replaced child nor a new
+		// parent would re-point us at the empty address — attached with no
+		// parent, a one-datagram orphaning. Forged or corrupt; drop it.
+		n.stats.GuardImplausible++
 		n.mu.Unlock()
-		// Greet the new parent so it knows us (idempotent join-as-child).
-		n.send(env.NewParent, wire.Envelope{Type: wire.TypeJoin, Bandwidth: n.cfg.Bandwidth})
-		_ = wasParent
+		n.met.noteImplausible("switch-shape")
 		return
 	}
+	// Demoted parent or displaced grandchild: re-point to NewParent.
+	n.parent = env.NewParent
+	n.parentSeen = time.Now()
+	n.parentBTP = 0
+	n.parentBW = 0
+	n.depth++ // one layer down (approximate; gossip refreshes it)
+	delete(n.children, env.NewParent)
+	n.switching = false
 	n.mu.Unlock()
+	// Greet the new parent so it knows us (idempotent join-as-child).
+	n.send(env.NewParent, wire.Envelope{Type: wire.TypeJoin, Bandwidth: n.cfg.Bandwidth})
 }
 
 // ---- dispatch ----
@@ -1409,14 +1629,25 @@ func (n *Node) handleSwitchCommit(env wire.Envelope) {
 func (n *Node) onDatagram(data []byte) {
 	n.met.rxDatagrams.Inc()
 	n.met.rxBytes.Add(int64(len(data)))
-	env, err := wire.Decode(data)
-	if err != nil {
-		return // malformed datagrams are dropped
-	}
 	select {
 	case <-n.done:
 		return
 	default:
+	}
+	env, err := wire.Decode(data)
+	if err != nil {
+		// Malformed or semantically invalid: drop, count by reason, and —
+		// when the envelope parsed far enough to name a sender — charge the
+		// claimed sender's misbehavior score.
+		n.mu.Lock()
+		n.stats.WireRejects++
+		n.mu.Unlock()
+		n.met.noteWireReject(wire.Reason(err))
+		n.noteWireReject(env.From)
+		return
+	}
+	if !n.guardAdmit(env) {
+		return // rate-limited, quarantined or audit-failed
 	}
 	n.touchMember(env.From)
 	switch env.Type {

@@ -21,6 +21,7 @@ package rost
 import (
 	"time"
 
+	"omcast/internal/metrics"
 	"omcast/internal/overlay"
 	"omcast/internal/xrand"
 )
@@ -72,6 +73,31 @@ type Referees struct {
 	// AgeResets counts members whose whole age-referee set died at once,
 	// losing their provable seniority.
 	AgeResets int
+
+	met refereeMetrics
+}
+
+// refereeMetrics mirrors the referee counters into a metrics registry so
+// traced runs can watch verification pressure and cheating exposure evolve.
+// All pointers stay nil (and no-op) until Instrument is called.
+type refereeMetrics struct {
+	verifications *metrics.Counter
+	rejections    *metrics.Counter
+	replacements  *metrics.Counter
+	ageResets     *metrics.Counter
+	cheaters      *metrics.Gauge
+}
+
+// Instrument registers the referee mechanism's instruments on reg.
+func (r *Referees) Instrument(reg *metrics.Registry) {
+	r.met = refereeMetrics{
+		verifications: reg.Counter("omcast_referee_verifications_total", "BTP claims checked against referee evidence."),
+		rejections:    reg.Counter("omcast_referee_rejections_total", "BTP claims the referees exposed as inflated."),
+		replacements:  reg.Counter("omcast_referee_replacements_total", "Referee hand-offs after referee departures."),
+		ageResets:     reg.Counter("omcast_referee_age_resets_total", "Members whose whole age-referee set died, losing provable seniority."),
+		cheaters:      reg.Gauge("omcast_referee_marked_cheaters", "Members currently marked as inflating their claims."),
+	}
+	r.met.cheaters.Set(float64(len(r.cheatFactor)))
 }
 
 // RefereeConfig parameterises NewReferees; zero fields take defaults.
@@ -133,6 +159,7 @@ func (r *Referees) Enroll(m *overlay.Member, now time.Duration) {
 func (r *Referees) Forget(id overlay.MemberID) {
 	delete(r.records, id)
 	delete(r.cheatFactor, id)
+	r.met.cheaters.Set(float64(len(r.cheatFactor)))
 }
 
 // MarkCheater makes a member advertise factor x its true BTP. A factor of 1
@@ -140,9 +167,10 @@ func (r *Referees) Forget(id overlay.MemberID) {
 func (r *Referees) MarkCheater(id overlay.MemberID, factor float64) {
 	if factor <= 0 || factor == 1 {
 		delete(r.cheatFactor, id)
-		return
+	} else {
+		r.cheatFactor[id] = factor
 	}
-	r.cheatFactor[id] = factor
+	r.met.cheaters.Set(float64(len(r.cheatFactor)))
 }
 
 // ClaimedBTP returns the BTP the member advertises to its neighbours:
@@ -186,6 +214,7 @@ func (r *Referees) VerifyBTP(m *overlay.Member, claimed float64, now time.Durati
 	}
 	r.maintain(m, rec, now)
 	r.Verifications++
+	r.met.verifications.Inc()
 	age := now - rec.witnessedJoin
 	if age < 0 {
 		age = 0
@@ -193,6 +222,7 @@ func (r *Referees) VerifyBTP(m *overlay.Member, claimed float64, now time.Durati
 	trueBTP := rec.measuredBW * age.Seconds()
 	if claimed > trueBTP*(1+r.tolerance)+1e-9 {
 		r.Rejections++
+		r.met.rejections.Inc()
 		return false
 	}
 	return true
@@ -209,6 +239,7 @@ func (r *Referees) maintain(m *overlay.Member, rec *refereeRecord, now time.Dura
 		// age restarts now.
 		rec.witnessedJoin = now
 		r.AgeResets++
+		r.met.ageResets.Inc()
 		rec.ageReferees = r.pickReferees(m, r.rage)
 	} else {
 		rec.ageReferees = r.replaceDead(m, rec.ageReferees)
@@ -240,6 +271,7 @@ func (r *Referees) replaceDead(m *overlay.Member, ids []overlay.MemberID) []over
 	fresh := r.pickReferees(m, missing)
 	out = append(out, fresh...)
 	r.Replacements += len(fresh)
+	r.met.replacements.Add(float64(len(fresh)))
 	return out
 }
 

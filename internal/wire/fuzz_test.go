@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the parser. The invariants: Decode
+// never panics, never accepts an envelope Validate rejects, and everything
+// it accepts re-encodes and re-decodes to the same envelope (the parser and
+// the validators agree on a fixed point).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(`{"type":6,"from":"s","packet":100,"payload":"AQID"}`))
+	f.Add([]byte(`{"type":8,"from":"a","first_missing":5,"last_missing":25,"chain":["r2","r3"],"epsilon":0.25}`))
+	f.Add([]byte(`{"type":5,"from":"p","bandwidth":3,"depth":1,"seq":7,"btp":42.5}`))
+	f.Add([]byte(`{"type":11,"from":"b","members":[{"addr":"m1","depth":3,"spare":2,"bandwidth":4,"ancestors":["p"]}]}`))
+	f.Add([]byte(`{"type":8,"from":"a","first_missing":9,"last_missing":3}`))
+	f.Add([]byte(`{"type":12,"from":"c","btp":1e308}`))
+	f.Add([]byte(`{"type":999,"from":"x"}`))
+	f.Add([]byte(`{broken`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			if r := Reason(err); r == "" {
+				t.Fatalf("error without a reason: %v", err)
+			}
+			return
+		}
+		if verr := Validate(env); verr != nil {
+			t.Fatalf("Decode accepted an envelope Validate rejects: %v\n%s", verr, data)
+		}
+		b, err := Encode(env)
+		if err != nil {
+			t.Fatalf("accepted envelope does not re-encode: %v", err)
+		}
+		again, err := Decode(b)
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not re-decode: %v\n%s", err, b)
+		}
+		if again.Type != env.Type || again.From != env.From || again.Packet != env.Packet ||
+			again.FirstMissing != env.FirstMissing || again.LastMissing != env.LastMissing {
+			t.Fatalf("re-decode drifted: %+v -> %+v", env, again)
+		}
+	})
+}
+
+// FuzzRoundTrip drives structured field values through Encode|Decode. Any
+// envelope Validate accepts must survive the round trip bit-exactly on its
+// scalar fields; any envelope Validate rejects must also be rejected when it
+// arrives as bytes (no validation gap between the two entry points).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(6), "s", 0.0, 0, uint64(0), int64(100), []byte{1, 2, 3}, int64(0), int64(0), "", "", 0.0, 0, 0.0, "")
+	f.Add(uint8(8), "a", 0.0, 0, uint64(0), int64(0), []byte(nil), int64(5), int64(25), "r2,r3", "orig", 0.25, 0, 0.0, "")
+	f.Add(uint8(5), "p", 3.0, 1, uint64(7), int64(0), []byte(nil), int64(0), int64(0), "", "", 0.0, 0, 42.5, "")
+	f.Add(uint8(15), "i", 0.0, 0, uint64(0), int64(0), []byte(nil), int64(0), int64(0), "old", "", 0.0, 0, 0.0, "np")
+	f.Add(uint8(8), "a", 0.0, 0, uint64(0), int64(0), []byte(nil), int64(9), int64(3), "", "", 0.0, 0, 0.0, "")
+	f.Fuzz(func(t *testing.T, typ uint8, from string, bw float64, depth int, seq uint64,
+		pkt int64, payload []byte, first, last int64, chain, requester string,
+		eps float64, limit int, btp float64, newParent string) {
+		env := Envelope{
+			Type: Type(typ), From: Addr(from), Bandwidth: bw, Depth: depth,
+			Seq: seq, Packet: pkt, Payload: payload,
+			FirstMissing: first, LastMissing: last,
+			Requester: Addr(requester), Epsilon: eps, Limit: limit,
+			BTP: btp, NewParent: Addr(newParent),
+		}
+		if chain != "" {
+			for _, c := range strings.Split(chain, ",") {
+				env.Chain = append(env.Chain, Addr(c))
+			}
+		}
+		valid := Validate(env) == nil
+		b, err := Encode(env)
+		if err != nil {
+			// Unencodable (e.g. NaN) implies invalid; a valid envelope must
+			// always encode.
+			if valid {
+				t.Fatalf("valid envelope failed to encode: %v", err)
+			}
+			return
+		}
+		got, err := Decode(b)
+		if valid && err != nil {
+			t.Fatalf("validation gap: Validate accepted but Decode rejects: %v\n%s", err, b)
+		}
+		if !valid {
+			// Encoding may launder an invalid envelope into a valid one (JSON
+			// replaces invalid UTF-8), so rejection is not guaranteed — but
+			// whatever Decode accepts must itself validate.
+			if err == nil {
+				if verr := Validate(got); verr != nil {
+					t.Fatalf("Decode accepted an envelope Validate rejects: %v", verr)
+				}
+			}
+			return
+		}
+		if got.Type != env.Type || got.From != env.From || got.Packet != env.Packet ||
+			got.Seq != env.Seq || got.Depth != env.Depth ||
+			got.FirstMissing != env.FirstMissing || got.LastMissing != env.LastMissing ||
+			got.Bandwidth != env.Bandwidth || got.BTP != env.BTP || got.Epsilon != env.Epsilon ||
+			got.Limit != env.Limit || got.Requester != env.Requester || got.NewParent != env.NewParent {
+			t.Fatalf("round trip drifted:\n sent %+v\n got  %+v", env, got)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGoldenEnvelopes pins the exact on-wire bytes of every message type
+// with all of its optional fields populated. A diff here is a wire-format
+// break: old and new nodes would stop interoperating (and every checked-in
+// fuzz corpus entry would rot), so changes must be deliberate.
+func TestGoldenEnvelopes(t *testing.T) {
+	cases := []struct {
+		env    Envelope
+		golden string
+	}{
+		{
+			Envelope{Type: TypeJoin, From: "j", Bandwidth: 3.5},
+			`{"type":1,"from":"j","bandwidth":3.5}`,
+		},
+		{
+			Envelope{Type: TypeAccept, From: "p", Depth: 2},
+			`{"type":2,"from":"p","depth":2}`,
+		},
+		{
+			Envelope{Type: TypeReject, From: "p"},
+			`{"type":3,"from":"p"}`,
+		},
+		{
+			Envelope{Type: TypeLeave, From: "c"},
+			`{"type":4,"from":"c"}`,
+		},
+		{
+			Envelope{Type: TypeHeartbeat, From: "p", Bandwidth: 3, Depth: 1, Seq: 7, BTP: 42.5},
+			`{"type":5,"from":"p","bandwidth":3,"depth":1,"seq":7,"btp":42.5}`,
+		},
+		{
+			Envelope{Type: TypePacket, From: "s", Packet: 100, Payload: []byte{1, 2, 3}},
+			`{"type":6,"from":"s","packet":100,"payload":"AQID"}`,
+		},
+		{
+			Envelope{Type: TypeELN, From: "p", FirstMissing: 10, LastMissing: 20},
+			`{"type":7,"from":"p","first_missing":10,"last_missing":20}`,
+		},
+		{
+			Envelope{Type: TypeRepairRequest, From: "a", FirstMissing: 5, LastMissing: 25,
+				Chain: []Addr{"r2", "r3"}, Requester: "orig", Epsilon: 0.25},
+			`{"type":8,"from":"a","first_missing":5,"last_missing":25,"chain":["r2","r3"],"requester":"orig","epsilon":0.25}`,
+		},
+		{
+			Envelope{Type: TypeRepairData, From: "r", Packet: 15, Payload: []byte("x")},
+			`{"type":9,"from":"r","packet":15,"payload":"eA=="}`,
+		},
+		{
+			Envelope{Type: TypeMembershipRequest, From: "a", Limit: 100,
+				Members: []MemberInfo{{Addr: "a", Depth: 2, Spare: 1, Bandwidth: 3}}},
+			`{"type":10,"from":"a","members":[{"addr":"a","depth":2,"spare":1,"bandwidth":3}],"limit":100}`,
+		},
+		{
+			Envelope{Type: TypeMembershipReply, From: "b", Members: []MemberInfo{
+				{Addr: "m1", Depth: 3, Spare: 2, Bandwidth: 4, Ancestors: []Addr{"p", "root"}},
+			}},
+			`{"type":11,"from":"b","members":[{"addr":"m1","depth":3,"spare":2,"bandwidth":4,"ancestors":["p","root"]}]}`,
+		},
+		{
+			Envelope{Type: TypeSwitchPropose, From: "c", BTP: 123.4},
+			`{"type":12,"from":"c","btp":123.4}`,
+		},
+		{
+			Envelope{Type: TypeSwitchAccept, From: "p", NewParent: "gp"},
+			`{"type":13,"from":"p","new_parent":"gp"}`,
+		},
+		{
+			Envelope{Type: TypeSwitchReject, From: "p"},
+			`{"type":14,"from":"p"}`,
+		},
+		{
+			Envelope{Type: TypeSwitchCommit, From: "i", Chain: []Addr{"old"}, NewParent: "np"},
+			`{"type":15,"from":"i","chain":["old"],"new_parent":"np"}`,
+		},
+	}
+	covered := map[Type]bool{}
+	for _, tc := range cases {
+		covered[tc.env.Type] = true
+		b, err := Encode(tc.env)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", tc.env.Type, err)
+		}
+		if string(b) != tc.golden {
+			t.Errorf("%v encoding drifted:\n got  %s\n want %s", tc.env.Type, b, tc.golden)
+		}
+		got, err := Decode([]byte(tc.golden))
+		if err != nil {
+			t.Fatalf("Decode(%v golden): %v", tc.env.Type, err)
+		}
+		if !reflect.DeepEqual(got, tc.env) {
+			t.Errorf("%v golden round trip changed the envelope:\n got  %+v\n want %+v", tc.env.Type, got, tc.env)
+		}
+	}
+	for ty := TypeJoin; ty <= TypeSwitchCommit; ty++ {
+		if !covered[ty] {
+			t.Errorf("no golden case for %v", ty)
+		}
+	}
+}

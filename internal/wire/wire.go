@@ -156,17 +156,24 @@ func Encode(env Envelope) ([]byte, error) {
 	return b, nil
 }
 
-// Decode parses an envelope and validates its type.
+// Decode parses an envelope and runs the full semantic validators (see
+// Validate): every envelope it returns with a nil error is one an honest
+// node could have sent. On a validation failure the partially decoded
+// envelope is returned alongside the error so the caller can attribute the
+// misbehavior to the claimed sender (the guard layer in internal/node keys
+// its misbehavior scores on this); on a JSON syntax failure the envelope is
+// zero. Classify errors with Reason.
 func Decode(b []byte) (Envelope, error) {
+	if len(b) > MaxDatagram {
+		return Envelope{}, &ValidationError{Reason: ReasonSize,
+			Detail: fmt.Sprintf("datagram %d bytes > %d", len(b), MaxDatagram)}
+	}
 	var env Envelope
 	if err := json.Unmarshal(b, &env); err != nil {
 		return Envelope{}, fmt.Errorf("wire: decoding: %w", err)
 	}
-	if env.Type < TypeJoin || env.Type > TypeSwitchCommit {
-		return Envelope{}, fmt.Errorf("wire: unknown message type %d", int(env.Type))
-	}
-	if env.From == "" {
-		return Envelope{}, fmt.Errorf("wire: %v message without sender", env.Type)
+	if err := Validate(env); err != nil {
+		return env, err
 	}
 	return env, nil
 }

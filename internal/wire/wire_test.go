@@ -72,12 +72,29 @@ func TestTypeStrings(t *testing.T) {
 	}
 }
 
-// TestRoundTripProperty: any envelope with a valid type and sender survives
-// the round trip.
+// TestRoundTripProperty: any envelope an honest node could send — valid
+// type, sender, non-negative in-cap numerics — survives the round trip.
+// (Out-of-domain values are Decode *rejections* now; those live in
+// validate_test.go.)
 func TestRoundTripProperty(t *testing.T) {
 	f := func(tRaw uint8, from string, pkt int64, btp float64, seq uint64) bool {
 		if from == "" {
 			from = "x"
+		}
+		if len(from) > MaxAddrLen {
+			from = "too-long" // byte-truncation could split a rune; just swap it
+		}
+		if pkt < 0 {
+			pkt = -pkt
+		}
+		if pkt < 0 { // MinInt64 negates to itself
+			pkt = 0
+		}
+		if btp < 0 {
+			btp = -btp
+		}
+		for btp > MaxBTP {
+			btp /= MaxBTP
 		}
 		env := Envelope{
 			Type:   Type(int(tRaw)%int(TypeSwitchCommit) + 1),

@@ -292,6 +292,9 @@ func newSession(cfg Config, extra churn.Hooks) (*session, error) {
 		if s.protocol != nil {
 			s.protocol.Instrument(cfg.Metrics)
 		}
+		if s.referees != nil {
+			s.referees.Instrument(cfg.Metrics)
+		}
 	}
 
 	hooks := churn.Hooks{
