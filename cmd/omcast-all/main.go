@@ -28,6 +28,7 @@ func main() {
 func run() int {
 	var (
 		seed    = flag.Int64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "worker pool size for independent runs (0 = GOMAXPROCS; output is identical for every setting)")
 		quick   = flag.Bool("quick", false, "reduced scale for a fast smoke pass")
 		out     = flag.String("o", "", "also write the report to this file")
 		verbose = flag.Bool("v", false, "print per-run progress")
@@ -37,7 +38,7 @@ func run() int {
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

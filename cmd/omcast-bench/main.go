@@ -1,0 +1,85 @@
+// Command omcast-bench runs the tier-1 benchmark suite, writes a
+// BENCH_<date>.json report, and compares it against the previous report,
+// exiting non-zero when any case's ns/op regressed past the threshold. It
+// seeds and extends the repo's performance trajectory without `go test`.
+//
+// Usage:
+//
+//	omcast-bench                          # full suite, compare to BENCH_baseline.json
+//	omcast-bench -quick -o BENCH_ci.json  # CI smoke pass
+//	omcast-bench -baseline ""             # measure only, no comparison
+//	omcast-bench -threshold 0.10          # stricter gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"omcast/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out       = flag.String("o", "", "output report path (default BENCH_<date>.json)")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "previous report to compare against (empty disables)")
+		threshold = flag.Float64("threshold", 0.25, "ns/op regression threshold as a fraction (0.25 = +25%)")
+		quick     = flag.Bool("quick", false, "reduced suite for CI smoke passes")
+	)
+	flag.Parse()
+
+	//lint:ignore no-wallclock report naming and metadata only; never feeds simulation state
+	date := time.Now().UTC().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	fmt.Printf("running tier-1 benchmark suite (quick=%v)...\n", *quick)
+	rep, err := bench.Run(date, *quick, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", err)
+		return 1
+	}
+	if err := rep.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("report written to %s\n", path)
+
+	if *baseline == "" {
+		return 0
+	}
+	prev, err := bench.ReadReport(*baseline)
+	if os.IsNotExist(err) {
+		fmt.Printf("no baseline at %s; skipping comparison (commit this report to seed one)\n", *baseline)
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", err)
+		return 1
+	}
+	deltas, regressed := bench.Compare(prev, rep, *threshold)
+	fmt.Printf("\ncomparison against %s (%s, threshold +%.0f%%):\n", *baseline, prev.Date, *threshold*100)
+	for _, d := range deltas {
+		flag := "  "
+		if d.Regressed {
+			flag = "!!"
+		}
+		fmt.Printf("%s %-26s %12.1f -> %12.1f ns/op (%+.1f%%)  allocs %d -> %d\n",
+			flag, d.Name, d.PrevNs, d.CurNs, (d.Ratio-1)*100, d.PrevAlloc, d.CurAlloc)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "omcast-bench: ns/op regression beyond +%.0f%% against %s\n", *threshold*100, *baseline)
+		return 1
+	}
+	fmt.Println("no regressions beyond threshold")
+	return 0
+}

@@ -35,6 +35,7 @@ func run() int {
 		warmup   = flag.Duration("warmup", 0, "warm-up horizon (default 3h)")
 		measure  = flag.Duration("measure", 0, "measurement window (default 1h)")
 		replicas = flag.Int("replicas", 0, "seeds behind Figure 14's confidence intervals (default 5)")
+		workers  = flag.Int("workers", 0, "worker pool size for independent runs (0 = GOMAXPROCS; output is identical for every setting)")
 		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		asCSV    = flag.Bool("csv", false, "emit the table as CSV instead of aligned text")
 		verbose  = flag.Bool("v", false, "print per-run progress")
@@ -61,6 +62,7 @@ func run() int {
 		Warmup:   *warmup,
 		Measure:  *measure,
 		Replicas: *replicas,
+		Workers:  *workers,
 		Quick:    *quick,
 	}
 	if *sizes != "" {

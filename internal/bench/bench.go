@@ -1,0 +1,304 @@
+// Package bench runs the repo's tier-1 performance suite outside `go test`
+// and serialises the results as a BENCH report, seeding the performance
+// trajectory the ROADMAP calls for: cmd/omcast-bench writes BENCH_<date>.json
+// files and compares them against the previous report with a configurable
+// regression threshold.
+//
+// The suite reuses testing.Benchmark, so the measured bodies are the same
+// regimes the `go test -bench` suite pins: the event kernel's steady state,
+// dense drains, cancel churn, membership sampling, delay-oracle lookups, and
+// one reduced figure regeneration as an end-to-end composite. Headline
+// figure metrics (the per-algorithm disruption averages of a reduced
+// Figure 4) ride along in the report so a perf change that shifts simulation
+// output is visible in the same artifact.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"omcast/internal/eventsim"
+	"omcast/internal/experiments"
+	"omcast/internal/overlay"
+	"omcast/internal/topology"
+	"omcast/internal/xrand"
+)
+
+// Case is one named benchmark of the suite.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Suite returns the tier-1 cases. quick shrinks the heavyweight bodies so a
+// CI smoke pass stays under a minute.
+func Suite(quick bool) []Case {
+	dense := 500_000
+	if quick {
+		dense = 100_000
+	}
+	return []Case{
+		{Name: "eventsim/schedule-fire", Bench: benchScheduleFire},
+		{Name: "eventsim/run-dense", Bench: benchRunDense(dense)},
+		{Name: "eventsim/cancel-churn", Bench: benchCancelChurn},
+		{Name: "overlay/sample-100", Bench: benchSample},
+		{Name: "topology/delay", Bench: benchDelay},
+		{Name: "experiments/fig11-tiny", Bench: benchFig11Tiny},
+	}
+}
+
+// benchScheduleFire is the kernel steady state: one schedule plus one fire
+// per iteration over a 10k standing queue (zero allocations with the pool).
+func benchScheduleFire(b *testing.B) {
+	sim := eventsim.New()
+	for i := 0; i < 10000; i++ {
+		sim.Schedule(time.Duration(i)*time.Millisecond, func(*eventsim.Simulator) {})
+	}
+	at := 10 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(at, func(*eventsim.Simulator) {})
+		at += time.Millisecond
+		if err := sim.Run(time.Duration(i) * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRunDense(events int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim := eventsim.New()
+			for j := 0; j < events; j++ {
+				sim.Schedule(time.Duration(j%1000)*time.Millisecond, func(*eventsim.Simulator) {})
+			}
+			if err := sim.RunAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchCancelChurn(b *testing.B) {
+	sim := eventsim.New()
+	at := time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := sim.Schedule(at, func(*eventsim.Simulator) {})
+		at += time.Millisecond
+		sim.Cancel(id)
+	}
+}
+
+func benchSample(b *testing.B) {
+	tree, err := overlay.NewTree(0, 100, func(a, c topology.NodeID) time.Duration { return time.Millisecond })
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		tree.NewMember(topology.NodeID(i), 0.5, time.Duration(i))
+	}
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tree.Sample(rng, 100, nil); len(got) != 100 {
+			b.Fatal("short sample")
+		}
+	}
+}
+
+func benchDelay(b *testing.B) {
+	cfg := topology.DefaultConfig(1)
+	cfg.TransitDomains = 2
+	cfg.TransitNodesPerDomain = 4
+	cfg.StubDomainsPerTransit = 2
+	cfg.StubNodesPerDomain = 8
+	topo, err := topology.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(2)
+	n := topo.Size()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := topology.NodeID(rng.Intn(n))
+		v := topology.NodeID(rng.Intn(n))
+		if d := topo.Delay(u, v); d < 0 {
+			b.Fatal("negative delay")
+		}
+	}
+}
+
+// tinyFigureOptions is the smallest configuration that still drives a full
+// churn/stream pipeline end to end.
+func tinyFigureOptions() experiments.Options {
+	return experiments.Options{Seed: 1, Quick: true, Sizes: []int{300}, Size: 300}
+}
+
+func benchFig11Tiny(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NewRunner(tinyFigureOptions()).Run("fig11"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Result is one measured case.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is one BENCH_*.json artifact.
+type Report struct {
+	// Date is caller-supplied (the package itself reads no clock).
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	MaxProcs  int      `json:"maxprocs"`
+	Quick     bool     `json:"quick"`
+	Results   []Result `json:"results"`
+	// Headline carries simulation-output scalars (per-algorithm Figure 4
+	// disruption averages at reduced scale) so output drift and perf drift
+	// land in the same artifact.
+	Headline map[string]float64 `json:"headline,omitempty"`
+}
+
+// Run executes the cases with testing.Benchmark and assembles a report.
+// progress, when non-nil, receives one line per completed case.
+func Run(date string, quick bool, progress func(format string, args ...any)) (Report, error) {
+	rep := Report{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Quick:     quick,
+	}
+	for _, c := range Suite(quick) {
+		r := testing.Benchmark(c.Bench)
+		res := Result{
+			Name:        c.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		if progress != nil {
+			progress("%-26s %12.1f ns/op %8d B/op %6d allocs/op", res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+	}
+	head, err := headline()
+	if err != nil {
+		return Report{}, fmt.Errorf("bench: headline figure: %w", err)
+	}
+	rep.Headline = head
+	return rep, nil
+}
+
+// headline regenerates a reduced Figure 4 and records one scalar per
+// algorithm: the average disruptions at the single sweep size.
+func headline() (map[string]float64, error) {
+	tab, err := experiments.NewRunner(tinyFigureOptions()).Run("fig4")
+	if err != nil {
+		return nil, err
+	}
+	if len(tab.Rows) == 0 {
+		return nil, fmt.Errorf("fig4 produced no rows")
+	}
+	out := make(map[string]float64, len(tab.Header)-1)
+	row := tab.Rows[0]
+	for c := 1; c < len(tab.Header) && c < len(row); c++ {
+		v, err := strconv.ParseFloat(row[c], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 cell %q: %w", row[c], err)
+		}
+		out["fig4/"+tab.Header[c]] = v
+	}
+	return out, nil
+}
+
+// WriteFile serialises the report as indented JSON.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a previously written report.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Delta is one case compared across two reports.
+type Delta struct {
+	Name      string
+	PrevNs    float64
+	CurNs     float64
+	Ratio     float64 // CurNs / PrevNs
+	PrevAlloc int64
+	CurAlloc  int64
+	Regressed bool
+}
+
+// Compare matches cases by name and flags every case whose ns/op grew by
+// more than threshold (0.25 = +25%). Cases present in only one report are
+// skipped: suite membership may change across commits, and a comparison
+// should not punish adding coverage. It returns the deltas in name order and
+// whether any case regressed.
+func Compare(prev, cur Report, threshold float64) ([]Delta, bool) {
+	prevByName := make(map[string]Result, len(prev.Results))
+	for _, r := range prev.Results {
+		prevByName[r.Name] = r
+	}
+	var deltas []Delta
+	regressed := false
+	for _, c := range cur.Results {
+		p, ok := prevByName[c.Name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{
+			Name:      c.Name,
+			PrevNs:    p.NsPerOp,
+			CurNs:     c.NsPerOp,
+			Ratio:     c.NsPerOp / p.NsPerOp,
+			PrevAlloc: p.AllocsPerOp,
+			CurAlloc:  c.AllocsPerOp,
+		}
+		d.Regressed = d.Ratio > 1+threshold
+		if d.Regressed {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, regressed
+}

@@ -5,12 +5,17 @@
 // runs bit-for-bit reproducible for a fixed seed and event program. All
 // simulated time is expressed as time.Duration offsets from the start of the
 // simulation.
+//
+// The queue is an inlined 4-ary heap over pooled event records: firing or
+// compacting an event returns its record to a free list, so the steady-state
+// schedule/fire cycle performs no heap allocations, and the flat comparison
+// loop avoids container/heap's interface boxing. Pop order is the strict
+// total order (at, seq), so the internal heap layout can never leak into
+// results.
 package eventsim
 
 import (
-	"container/heap"
 	"errors"
-	"fmt"
 	"math"
 	"time"
 
@@ -25,65 +30,45 @@ type Handler func(sim *Simulator)
 // the horizon was reached.
 var ErrStopped = errors.New("eventsim: simulation stopped")
 
-// event is a single queued callback.
+// event is a single queued callback. Records are pooled: once an event fires
+// or is swept by compaction its record returns to the simulator's free list
+// with gen advanced, which invalidates every EventID still pointing at it.
 type event struct {
-	at      time.Duration
-	schedAt time.Duration // when Schedule was called (queue-residence metric)
-	seq     uint64        // tie-break: FIFO among equal timestamps
-	handler Handler
-	// canceled events stay in the heap but are skipped when popped; this is
-	// cheaper than O(n) removal and keeps Cancel O(1).
+	at       time.Duration
+	schedAt  time.Duration // when Schedule was called (queue-residence metric)
+	seq      uint64        // tie-break: FIFO among equal timestamps
+	gen      uint32        // incremented on recycle; stale EventIDs mismatch
 	canceled bool
-	index    int
+	handler  Handler
 }
 
 // EventID identifies a scheduled event so it can be canceled. The zero value
 // is never a valid ID.
 type EventID struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
-// Valid reports whether the ID refers to a scheduled event.
+// Valid reports whether the ID was issued by Schedule (the zero EventID is
+// not). A valid ID may still refer to an event that has already fired.
 func (id EventID) Valid() bool { return id.ev != nil }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders events by (at, seq) — a strict total order because seq is
+// unique per scheduled event.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		// heap.Push is only ever called by this package with *event; a
-		// mismatch is a programming error surfaced loudly in tests.
-		panic(fmt.Sprintf("eventsim: pushed %T, want *event", x))
-	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
+// Compaction policy: sweep canceled tombstones out of the queue once they
+// are more than 1/compactFraction of it and at least compactMinCanceled
+// (small queues are cheaper to drain than to rebuild).
+const (
+	compactFraction    = 4
+	compactMinCanceled = 64
+)
 
 // kernelMetrics holds the kernel's optional instruments. All pointers are
 // nil until Instrument is called; the metric types' nil-safe methods make
@@ -98,12 +83,20 @@ type kernelMetrics struct {
 // Simulator is a single-threaded discrete-event scheduler. The zero value is
 // not usable; construct with New.
 type Simulator struct {
-	now     time.Duration
-	queue   eventQueue
+	now time.Duration
+	// queue is a 4-ary min-heap ordered by (at, seq): children of slot i
+	// live at 4i+1..4i+4. The shallower tree halves the sift-down depth of
+	// the binary layout, and the flat loops need no interface dispatch.
+	queue   []*event
+	free    []*event // recycled event records
 	seq     uint64
 	stopped bool
 	// processed counts events that actually fired (canceled events excluded).
 	processed uint64
+	// nCanceled counts canceled tombstones still sitting in the queue; when
+	// they exceed len(queue)/compactFraction the queue is compacted so that
+	// schedule/cancel churn cannot grow the queue without bound.
+	nCanceled int
 	// depthHigh tracks the largest queue depth ever observed; it is plain
 	// kernel state (one int compare per Schedule) so the instrumented
 	// hot path stays free of gauge writes.
@@ -148,8 +141,110 @@ func (s *Simulator) Now() time.Duration { return s.now }
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events still queued, including canceled
-// events that have not yet been popped.
+// events that have been neither popped nor compacted away.
 func (s *Simulator) Pending() int { return len(s.queue) }
+
+// alloc takes an event record from the free list, or makes a new one.
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle invalidates outstanding EventIDs for ev and returns its record to
+// the free list. The handler reference is dropped so pooled records never
+// pin closure captures.
+func (s *Simulator) recycle(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	s.free = append(s.free, ev)
+}
+
+// siftUp restores the heap property after appending at slot i.
+func (s *Simulator) siftUp(i int) {
+	q := s.queue
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+}
+
+// siftDown restores the heap property after replacing slot i.
+func (s *Simulator) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for c++; c < end; c++ {
+			if less(q[c], q[best]) {
+				best = c
+			}
+		}
+		if !less(q[best], ev) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = ev
+}
+
+// pop removes the queue head. The caller still holds the popped *event.
+func (s *Simulator) pop() {
+	q := s.queue
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	s.queue = q[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+}
+
+// compact sweeps canceled tombstones out of the queue and re-heapifies the
+// survivors. Heap layout after the rebuild may differ from an insert-order
+// layout, but pop order is fixed by the (at, seq) total order, so compaction
+// is invisible to results.
+func (s *Simulator) compact() {
+	q := s.queue
+	kept := q[:0]
+	for _, ev := range q {
+		if ev.canceled {
+			s.recycle(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(q); i++ {
+		q[i] = nil
+	}
+	s.queue = kept
+	if len(kept) > 1 {
+		for i := (len(kept) - 2) / 4; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
+	s.nCanceled = 0
+}
 
 // Schedule registers handler to fire at absolute virtual time at. Times in
 // the past (before Now) are clamped to Now, so the event fires next. The
@@ -161,14 +256,20 @@ func (s *Simulator) Schedule(at time.Duration, handler Handler) EventID {
 	if at < s.now {
 		at = s.now
 	}
-	ev := &event{at: at, schedAt: s.now, seq: s.seq, handler: handler}
+	ev := s.alloc()
+	ev.at = at
+	ev.schedAt = s.now
+	ev.seq = s.seq
+	ev.canceled = false
+	ev.handler = handler
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.queue = append(s.queue, ev)
+	s.siftUp(len(s.queue) - 1)
 	if len(s.queue) > s.depthHigh {
 		s.depthHigh = len(s.queue)
 	}
 	s.met.scheduled.Inc()
-	return EventID{ev: ev}
+	return EventID{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAfter registers handler to fire delay after the current time.
@@ -181,14 +282,19 @@ func (s *Simulator) ScheduleAfter(delay time.Duration, handler Handler) EventID 
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an already-fired
-// or already-canceled event is a no-op. It reports whether the event was
-// live before the call.
+// or already-canceled event is a no-op (a fired event's record may have been
+// recycled, which the ID's generation detects). It reports whether the event
+// was live before the call.
 func (s *Simulator) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.canceled || id.ev.index < 0 {
+	if id.ev == nil || id.ev.gen != id.gen || id.ev.canceled {
 		return false
 	}
 	id.ev.canceled = true
+	s.nCanceled++
 	s.met.canceled.Inc()
+	if s.nCanceled >= compactMinCanceled && s.nCanceled*compactFraction > len(s.queue) {
+		s.compact()
+	}
 	return true
 }
 
@@ -208,20 +314,24 @@ func (s *Simulator) Run(horizon time.Duration) error {
 			s.now = horizon
 			return nil
 		}
-		popped, ok := heap.Pop(&s.queue).(*event)
-		if !ok {
-			return errors.New("eventsim: corrupt event queue")
-		}
-		if popped.canceled {
+		s.pop()
+		if next.canceled {
+			s.nCanceled--
+			s.recycle(next)
 			continue
 		}
-		s.now = popped.at
-		popped.handler(s)
+		// Recycle before invoking: the record is fully read out, the bumped
+		// generation makes self-Cancel from inside the handler a no-op, and
+		// the handler's own Schedule calls can reuse the record immediately.
+		h, at, schedAt := next.handler, next.at, next.schedAt
+		s.recycle(next)
+		s.now = at
+		h(s)
 		s.processed++
 		s.met.fired.Inc()
 		// float64(d)*1e-9 instead of Seconds(): one multiply, not a divmod
 		// decomposition — this runs once per fired event.
-		s.met.residence.Observe(float64(popped.at-popped.schedAt) * 1e-9)
+		s.met.residence.Observe(float64(at-schedAt) * 1e-9)
 		if s.stopped {
 			return ErrStopped
 		}

@@ -5,25 +5,33 @@ import (
 	"time"
 )
 
-// BenchmarkScheduleFire measures the kernel's heap throughput: one schedule
-// plus one fire per iteration, over a standing queue of 10k events.
+// BenchmarkScheduleFire measures the kernel's steady-state throughput: one
+// schedule plus one fire per iteration, over a standing queue of 10k events.
+// This is the regime every long simulation run lives in, and with the event
+// pool it must not allocate.
 func BenchmarkScheduleFire(b *testing.B) {
 	sim := New()
 	for i := 0; i < 10000; i++ {
 		sim.Schedule(time.Duration(i)*time.Millisecond, func(*Simulator) {})
 	}
-	b.ResetTimer()
 	at := 10 * time.Second
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Schedule(at, func(*Simulator) {})
 		at += time.Millisecond
+		// Fire exactly the one standing event due at i ms.
+		if err := sim.Run(time.Duration(i) * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
 	}
+	b.StopTimer()
 	if err := sim.RunAll(); err != nil {
 		b.Fatal(err)
 	}
 }
 
-// BenchmarkRunDense measures draining one million same-window events.
+// BenchmarkRunDense measures draining one million same-window events,
+// including the cold-start cost of growing the queue and event pool.
 func BenchmarkRunDense(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim := New()
@@ -33,5 +41,18 @@ func BenchmarkRunDense(b *testing.B) {
 		if err := sim.RunAll(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScheduleCancelChurn measures the schedule/cancel regime that the
+// compaction sweep keeps bounded: every event is canceled before it fires.
+func BenchmarkScheduleCancelChurn(b *testing.B) {
+	sim := New()
+	at := time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := sim.Schedule(at, func(*Simulator) {})
+		at += time.Millisecond
+		sim.Cancel(id)
 	}
 }

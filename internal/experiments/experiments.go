@@ -6,6 +6,12 @@
 // Runs that share simulations (Figures 4, 7, 8 and 10 all read the same
 // tree-level sweep; Figures 6 and 9 share the tracked-member runs) are
 // cached inside a Runner so `omcast-all` does the work once.
+//
+// Every figure decomposes into independent seeded work units — one per
+// replication or curve point — executed on a bounded worker pool
+// (internal/parallel) and merged in canonical unit order, so tables,
+// progress lines and metric snapshots are byte-identical for every worker
+// count. See DESIGN.md §12 for the determinism argument.
 package experiments
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"omcast"
 	"omcast/internal/metrics"
+	"omcast/internal/parallel"
 	"omcast/internal/stats"
 )
 
@@ -39,18 +46,50 @@ type Options struct {
 	// SweepSeeds averages the Figure 4/7/8/10 size sweep over this many
 	// seeds; zero means 3.
 	SweepSeeds int
+	// Workers bounds the worker pool running a figure's independent work
+	// units; zero means GOMAXPROCS, 1 forces sequential execution. Every
+	// setting produces byte-identical output: results, metrics and progress
+	// lines are merged in canonical unit order after each batch.
+	Workers int
 	// Quick shrinks everything (small topology, few hundred members, short
-	// windows) for smoke tests and benchmarks.
+	// windows) for smoke tests and benchmarks. It fills only the fields the
+	// caller left at their zero value, so tests can combine Quick's small
+	// topology with custom sizes or windows.
 	Quick bool
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed run. Lines
+	// for a figure's work units are delivered after the figure's batch
+	// completes, in canonical unit order regardless of Workers; the
+	// callback is only ever invoked from the goroutine calling Run.
 	Progress func(format string, args ...any)
-	// Metrics, when non-nil, is threaded into every run's Config so the
-	// whole suite accumulates into one registry (re-registration returns
-	// the existing instruments), e.g. for omcast-sim's -metrics-out flag.
+	// Metrics, when non-nil, accumulates every run's instruments. Work
+	// units populate private registries that are merged into this one in
+	// canonical unit order (see metrics.Registry.Merge), which mirrors
+	// sequential sessions sharing the registry and keeps snapshots
+	// byte-identical across worker counts.
 	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
+	if o.Quick {
+		if o.Sizes == nil {
+			o.Sizes = []int{400, 800}
+		}
+		if o.Size == 0 {
+			o.Size = 800
+		}
+		if o.Warmup <= 0 {
+			o.Warmup = 45 * time.Minute
+		}
+		if o.Measure <= 0 {
+			o.Measure = 30 * time.Minute
+		}
+		if o.Replicas <= 0 {
+			o.Replicas = 2
+		}
+		if o.SweepSeeds <= 0 {
+			o.SweepSeeds = 1
+		}
+	}
 	if o.Sizes == nil {
 		o.Sizes = []int{2000, 5000, 8000, 11000, 14000}
 	}
@@ -68,14 +107,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SweepSeeds <= 0 {
 		o.SweepSeeds = 3
-	}
-	if o.Quick {
-		o.Sizes = []int{400, 800}
-		o.Size = 800
-		o.Warmup = 45 * time.Minute
-		o.Measure = 30 * time.Minute
-		o.Replicas = 2
-		o.SweepSeeds = 1
 	}
 	return o
 }
@@ -187,6 +218,50 @@ func NewRunner(opts Options) *Runner {
 	return &Runner{opts: opts.withDefaults()}
 }
 
+// runUnits executes n independent work units on the engine's worker pool and
+// returns their results in unit order. Each unit receives a copy of the
+// runner's options with Metrics swapped for a private registry and Progress
+// swapped for a line buffer; once the whole batch finishes, the registries
+// are merged into the shared registry and the buffered lines emitted, both
+// in canonical unit order. Every worker count — including 1 — goes through
+// the same private-registry path, so float accumulation order, snapshot
+// bytes and the progress stream never depend on Workers or on scheduling.
+//
+// Units must draw randomness only from the seeds in their own configs
+// (omcast.Run derives every stream from Config.Seed), touch no Runner state,
+// and leave all table assembly to the merge code in their caller.
+func runUnits[T any](r *Runner, n int, fn func(o Options, i int) (T, error)) ([]T, error) {
+	type sidecar struct {
+		reg  *metrics.Registry
+		msgs []string
+	}
+	sidecars := make([]sidecar, n)
+	results, err := parallel.Run(r.opts.Workers, n, func(i int) (T, error) {
+		sc := &sidecars[i]
+		o := r.opts
+		if o.Metrics != nil {
+			sc.reg = metrics.NewRegistry()
+			o.Metrics = sc.reg
+		}
+		o.Progress = func(format string, args ...any) {
+			sc.msgs = append(sc.msgs, fmt.Sprintf(format, args...))
+		}
+		return fn(o, i)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range sidecars {
+		if sidecars[i].reg != nil {
+			r.opts.Metrics.Merge(sidecars[i].reg)
+		}
+		for _, line := range sidecars[i].msgs {
+			r.opts.progress("%s", line)
+		}
+	}
+	return results, nil
+}
+
 // Run executes one experiment by ID.
 func (r *Runner) Run(id string) (Table, error) {
 	//lint:ignore no-wallclock Table.Elapsed is harness wall-clock cost, not simulation output
@@ -254,16 +329,55 @@ func (r *Runner) All() ([]Table, error) {
 }
 
 // treeSweep runs (once) the shared size sweep behind Figures 4, 7, 8, 10.
+// Work units are the individual (algorithm, size, replication) runs; the
+// merge loop averages replications in ascending seed order, exactly as the
+// sequential engine did, so the averages are bit-identical.
 func (r *Runner) treeSweep() (map[omcast.Algorithm][]omcast.TreeResult, error) {
 	if r.sweep != nil {
 		return r.sweep, nil
 	}
-	sweep := make(map[omcast.Algorithm][]omcast.TreeResult, len(omcast.Algorithms))
+	type cell struct {
+		alg  omcast.Algorithm
+		size int
+		rep  int
+	}
+	cells := make([]cell, 0, len(omcast.Algorithms)*len(r.opts.Sizes)*r.opts.SweepSeeds)
 	for _, alg := range omcast.Algorithms {
 		for _, size := range r.opts.Sizes {
-			avg, err := r.averagedRun(alg, size)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %v at %d: %w", alg, size, err)
+			for rep := 0; rep < r.opts.SweepSeeds; rep++ {
+				cells = append(cells, cell{alg, size, rep})
+			}
+		}
+	}
+	results, err := runUnits(r, len(cells), func(o Options, i int) (omcast.TreeResult, error) {
+		c := cells[i]
+		res, err := omcast.Run(o.baseConfig(o.Seed+int64(c.rep), c.alg, c.size))
+		if err != nil {
+			return omcast.TreeResult{}, fmt.Errorf("sweep %v at %d: %w", c.alg, c.size, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweep := make(map[omcast.Algorithm][]omcast.TreeResult, len(omcast.Algorithms))
+	n := float64(r.opts.SweepSeeds)
+	i := 0
+	for _, alg := range omcast.Algorithms {
+		for _, size := range r.opts.Sizes {
+			var avg omcast.TreeResult
+			for rep := 0; rep < r.opts.SweepSeeds; rep++ {
+				res := results[i]
+				i++
+				avg.Algorithm = res.Algorithm
+				avg.AvgDisruptions += res.AvgDisruptions / n
+				avg.AvgReconnections += res.AvgReconnections / n
+				avg.PerLifetimeDisruptions += res.PerLifetimeDisruptions / n
+				avg.PerLifetimeReconnections += res.PerLifetimeReconnections / n
+				avg.AvgServiceDelayMS += res.AvgServiceDelayMS / n
+				avg.AvgStretch += res.AvgStretch / n
+				avg.AvgSize += res.AvgSize / n
+				avg.Departures += res.Departures
 			}
 			sweep[alg] = append(sweep[alg], avg)
 			r.opts.progress("sweep %-26s M=%-6d disruptions=%.2f delay=%.0fms (%d seeds)",
@@ -272,28 +386,6 @@ func (r *Runner) treeSweep() (map[omcast.Algorithm][]omcast.TreeResult, error) {
 	}
 	r.sweep = sweep
 	return sweep, nil
-}
-
-// averagedRun averages the sweep metrics over SweepSeeds independent seeds.
-func (r *Runner) averagedRun(alg omcast.Algorithm, size int) (omcast.TreeResult, error) {
-	var avg omcast.TreeResult
-	n := float64(r.opts.SweepSeeds)
-	for rep := 0; rep < r.opts.SweepSeeds; rep++ {
-		res, err := omcast.Run(r.opts.baseConfig(r.opts.Seed+int64(rep), alg, size))
-		if err != nil {
-			return omcast.TreeResult{}, err
-		}
-		avg.Algorithm = res.Algorithm
-		avg.AvgDisruptions += res.AvgDisruptions / n
-		avg.AvgReconnections += res.AvgReconnections / n
-		avg.PerLifetimeDisruptions += res.PerLifetimeDisruptions / n
-		avg.PerLifetimeReconnections += res.PerLifetimeReconnections / n
-		avg.AvgServiceDelayMS += res.AvgServiceDelayMS / n
-		avg.AvgStretch += res.AvgStretch / n
-		avg.AvgSize += res.AvgSize / n
-		avg.Departures += res.Departures
-	}
-	return avg, nil
 }
 
 // sweepTable renders one metric of the shared sweep.
@@ -359,19 +451,26 @@ func (r *Runner) fig10() (Table, error) {
 }
 
 // fig5Data runs (once) the 5-algorithm single-size comparison behind the
-// disruption CDF.
+// disruption CDF. One work unit per algorithm.
 func (r *Runner) fig5Data() (map[omcast.Algorithm][]float64, error) {
 	if r.fig5 != nil {
 		return r.fig5, nil
 	}
-	data := make(map[omcast.Algorithm][]float64, len(omcast.Algorithms))
-	for _, alg := range omcast.Algorithms {
-		res, err := omcast.Run(r.opts.baseConfig(r.opts.Seed, alg, r.opts.Size))
+	counts, err := runUnits(r, len(omcast.Algorithms), func(o Options, i int) ([]float64, error) {
+		alg := omcast.Algorithms[i]
+		res, err := omcast.Run(o.baseConfig(o.Seed, alg, o.Size))
 		if err != nil {
 			return nil, err
 		}
-		data[alg] = res.DisruptionCounts
-		r.opts.progress("fig5 %-26s members=%d", alg, len(res.DisruptionCounts))
+		o.progress("fig5 %-26s members=%d", alg, len(res.DisruptionCounts))
+		return res.DisruptionCounts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := make(map[omcast.Algorithm][]float64, len(omcast.Algorithms))
+	for i, alg := range omcast.Algorithms {
+		data[alg] = counts[i]
 	}
 	r.fig5 = data
 	return data, nil
@@ -405,7 +504,8 @@ func (r *Runner) fig5Table() (Table, error) {
 	return t, nil
 }
 
-// trackedRuns runs (once) the Figure 6/9 typical-member sessions.
+// trackedRuns runs (once) the Figure 6/9 typical-member sessions. One work
+// unit per algorithm.
 func (r *Runner) trackedRuns() (map[omcast.Algorithm]omcast.TrackedSeries, error) {
 	if r.tracked != nil {
 		return r.tracked, nil
@@ -414,14 +514,21 @@ func (r *Runner) trackedRuns() (map[omcast.Algorithm]omcast.TrackedSeries, error
 	if r.opts.Quick {
 		observe = 60 * time.Minute
 	}
-	out := make(map[omcast.Algorithm]omcast.TrackedSeries, len(omcast.Algorithms))
-	for _, alg := range omcast.Algorithms {
-		series, _, err := omcast.RunTracked(r.opts.baseConfig(r.opts.Seed, alg, r.opts.Size), 2, observe)
+	series, err := runUnits(r, len(omcast.Algorithms), func(o Options, i int) (omcast.TrackedSeries, error) {
+		alg := omcast.Algorithms[i]
+		s, _, err := omcast.RunTracked(o.baseConfig(o.Seed, alg, o.Size), 2, observe)
 		if err != nil {
-			return nil, err
+			return omcast.TrackedSeries{}, err
 		}
-		out[alg] = series
-		r.opts.progress("tracked %-26s samples=%d", alg, len(series.Minutes))
+		o.progress("tracked %-26s samples=%d", alg, len(s.Minutes))
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[omcast.Algorithm]omcast.TrackedSeries, len(omcast.Algorithms))
+	for i, alg := range omcast.Algorithms {
+		out[alg] = series[i]
 	}
 	r.tracked = out
 	return out, nil
@@ -493,22 +600,27 @@ func (r *Runner) fig11() (Table, error) {
 			"(0.15 reconnections per node at the smallest interval)",
 		},
 	}
-	for _, iv := range intervals {
-		cfg := r.opts.baseConfig(r.opts.Seed, omcast.ROST, r.opts.Size)
+	rows, err := runUnits(r, len(intervals), func(o Options, i int) ([]string, error) {
+		iv := intervals[i]
+		cfg := o.baseConfig(o.Seed, omcast.ROST, o.Size)
 		cfg.SwitchInterval = iv
 		res, err := omcast.Run(cfg)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		o.progress("fig11 interval=%v disruptions=%.2f", iv, res.AvgDisruptions)
+		return []string{
 			fmt.Sprintf("%.0fs", iv.Seconds()),
 			fmt.Sprintf("%.2f", res.AvgDisruptions),
 			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS),
 			fmt.Sprintf("%.2f", res.AvgStretch),
 			fmt.Sprintf("%.2f", res.AvgReconnections),
-		})
-		r.opts.progress("fig11 interval=%v disruptions=%.2f", iv, res.AvgDisruptions)
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -524,19 +636,37 @@ func (r *Runner) fig12() (Table, error) {
 	for _, k := range groups {
 		t.Header = append(t.Header, fmt.Sprintf("K=%d", k))
 	}
+	type cell struct{ size, k int }
+	cells := make([]cell, 0, len(r.opts.Sizes)*len(groups))
 	for _, size := range r.opts.Sizes {
-		row := make([]string, 0, len(groups)+1)
 		for _, k := range groups {
-			res, err := omcast.RunStreaming(r.opts.baseConfig(r.opts.Seed, omcast.MinimumDepth, size),
-				omcast.StreamConfig{Recovery: omcast.CER, GroupSize: k})
-			if err != nil {
-				return Table{}, err
-			}
-			if len(row) == 0 {
-				row = append(row, fmt.Sprintf("%.0f", res.AvgSize))
-			}
-			row = append(row, fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100))
-			r.opts.progress("fig12 M=%-6d K=%d starving=%.3f%%", size, k, res.AvgStarvingRatio*100)
+			cells = append(cells, cell{size, k})
+		}
+	}
+	type point struct {
+		avgSize float64
+		cell    string
+	}
+	points, err := runUnits(r, len(cells), func(o Options, i int) (point, error) {
+		c := cells[i]
+		res, err := omcast.RunStreaming(o.baseConfig(o.Seed, omcast.MinimumDepth, c.size),
+			omcast.StreamConfig{Recovery: omcast.CER, GroupSize: c.k})
+		if err != nil {
+			return point{}, err
+		}
+		o.progress("fig12 M=%-6d K=%d starving=%.3f%%", c.size, c.k, res.AvgStarvingRatio*100)
+		return point{res.AvgSize, fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100)}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	i := 0
+	for range r.opts.Sizes {
+		row := make([]string, 0, len(groups)+1)
+		row = append(row, fmt.Sprintf("%.0f", points[i].avgSize))
+		for range groups {
+			row = append(row, points[i].cell)
+			i++
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -559,16 +689,35 @@ func (r *Runner) fig13() (Table, error) {
 	for _, k := range groups {
 		t.Header = append(t.Header, fmt.Sprintf("K=%d", k))
 	}
+	type cell struct {
+		buffer time.Duration
+		k      int
+	}
+	cells := make([]cell, 0, len(buffers)*len(groups))
+	for _, b := range buffers {
+		for _, k := range groups {
+			cells = append(cells, cell{b, k})
+		}
+	}
+	ratios, err := runUnits(r, len(cells), func(o Options, i int) (string, error) {
+		c := cells[i]
+		res, err := omcast.RunStreaming(o.baseConfig(o.Seed, omcast.MinimumDepth, o.Size),
+			omcast.StreamConfig{Recovery: omcast.CER, GroupSize: c.k, Buffer: c.buffer})
+		if err != nil {
+			return "", err
+		}
+		o.progress("fig13 B=%v K=%d starving=%.3f%%", c.buffer, c.k, res.AvgStarvingRatio*100)
+		return fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	i := 0
 	for _, b := range buffers {
 		row := []string{fmt.Sprintf("%.0fs", b.Seconds())}
-		for _, k := range groups {
-			res, err := omcast.RunStreaming(r.opts.baseConfig(r.opts.Seed, omcast.MinimumDepth, r.opts.Size),
-				omcast.StreamConfig{Recovery: omcast.CER, GroupSize: k, Buffer: b})
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100))
-			r.opts.progress("fig13 B=%v K=%d starving=%.3f%%", b, k, res.AvgStarvingRatio*100)
+		for range groups {
+			row = append(row, ratios[i])
+			i++
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -585,23 +734,40 @@ func (r *Runner) fig14() (Table, error) {
 			"the baseline with two recovery nodes",
 		},
 	}
+	type cell struct{ k, rep int }
+	cells := make([]cell, 0, len(groups)*r.opts.Replicas)
+	for _, k := range groups {
+		for rep := 0; rep < r.opts.Replicas; rep++ {
+			cells = append(cells, cell{k, rep})
+		}
+	}
+	type pair struct{ rost, base float64 }
+	pairs, err := runUnits(r, len(cells), func(o Options, i int) (pair, error) {
+		c := cells[i]
+		seed := o.Seed + int64(c.rep)
+		a, err := omcast.RunStreaming(o.baseConfig(seed, omcast.ROST, o.Size),
+			omcast.StreamConfig{Recovery: omcast.CER, GroupSize: c.k})
+		if err != nil {
+			return pair{}, err
+		}
+		b, err := omcast.RunStreaming(o.baseConfig(seed, omcast.MinimumDepth, o.Size),
+			omcast.StreamConfig{Recovery: omcast.SingleSource, GroupSize: c.k})
+		if err != nil {
+			return pair{}, err
+		}
+		o.progress("fig14 K=%d seed=%d rost=%.3f%% base=%.3f%%", c.k, seed, a.AvgStarvingRatio*100, b.AvgStarvingRatio*100)
+		return pair{a.AvgStarvingRatio * 100, b.AvgStarvingRatio * 100}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	i := 0
 	for _, k := range groups {
 		var rost, base []float64
 		for rep := 0; rep < r.opts.Replicas; rep++ {
-			seed := r.opts.Seed + int64(rep)
-			a, err := omcast.RunStreaming(r.opts.baseConfig(seed, omcast.ROST, r.opts.Size),
-				omcast.StreamConfig{Recovery: omcast.CER, GroupSize: k})
-			if err != nil {
-				return Table{}, err
-			}
-			b, err := omcast.RunStreaming(r.opts.baseConfig(seed, omcast.MinimumDepth, r.opts.Size),
-				omcast.StreamConfig{Recovery: omcast.SingleSource, GroupSize: k})
-			if err != nil {
-				return Table{}, err
-			}
-			rost = append(rost, a.AvgStarvingRatio*100)
-			base = append(base, b.AvgStarvingRatio*100)
-			r.opts.progress("fig14 K=%d seed=%d rost=%.3f%% base=%.3f%%", k, seed, a.AvgStarvingRatio*100, b.AvgStarvingRatio*100)
+			rost = append(rost, pairs[i].rost)
+			base = append(base, pairs[i].base)
+			i++
 		}
 		ra := stats.ConfidenceInterval95(rost)
 		ba := stats.ConfidenceInterval95(base)
@@ -625,15 +791,21 @@ func (r *Runner) ablationRecovery() (Table, error) {
 		Header: []string{"scheme", "starving ratio"},
 		Notes:  []string{"isolates the value of MLC selection (Algorithm 1) from the value of bandwidth striping"},
 	}
-	for _, scheme := range []omcast.Recovery{omcast.CER, omcast.CERRandomGroup, omcast.SingleSource} {
-		res, err := omcast.RunStreaming(r.opts.baseConfig(r.opts.Seed, omcast.MinimumDepth, r.opts.Size),
+	schemes := []omcast.Recovery{omcast.CER, omcast.CERRandomGroup, omcast.SingleSource}
+	rows, err := runUnits(r, len(schemes), func(o Options, i int) ([]string, error) {
+		scheme := schemes[i]
+		res, err := omcast.RunStreaming(o.baseConfig(o.Seed, omcast.MinimumDepth, o.Size),
 			omcast.StreamConfig{Recovery: scheme, GroupSize: 3})
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{scheme.String(), fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100)})
-		r.opts.progress("ablation-recovery %s starving=%.3f%%", scheme, res.AvgStarvingRatio*100)
+		o.progress("ablation-recovery %s starving=%.3f%%", scheme, res.AvgStarvingRatio*100)
+		return []string{scheme.String(), fmt.Sprintf("%.3f%%", res.AvgStarvingRatio*100)}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -643,22 +815,28 @@ func (r *Runner) ablationRejoin() (Table, error) {
 		Header: []string{"orphan rejoin", "disruptions/node", "service delay"},
 		Notes:  []string{"ancestor rejoin keeps freed interior positions inside the affected subtree"},
 	}
-	for _, disable := range []bool{false, true} {
-		cfg := r.opts.baseConfig(r.opts.Seed, omcast.ROST, r.opts.Size)
+	variants := []bool{false, true}
+	rows, err := runUnits(r, len(variants), func(o Options, i int) ([]string, error) {
+		disable := variants[i]
+		cfg := o.baseConfig(o.Seed, omcast.ROST, o.Size)
 		cfg.DisableAncestorRejoin = disable
 		res, err := omcast.Run(cfg)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		label := "ancestor-first"
 		if disable {
 			label = "full re-join"
 		}
-		t.Rows = append(t.Rows, []string{label,
+		o.progress("ablation-rejoin disable=%v disruptions=%.2f", disable, res.AvgDisruptions)
+		return []string{label,
 			fmt.Sprintf("%.2f", res.AvgDisruptions),
-			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS)})
-		r.opts.progress("ablation-rejoin disable=%v disruptions=%.2f", disable, res.AvgDisruptions)
+			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS)}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -668,23 +846,29 @@ func (r *Runner) ablationPriority() (Table, error) {
 		Header: []string{"join rule", "disruptions/node", "service delay", "stretch"},
 		Notes:  []string{"parking free-riders deep keeps high slots for members switching can actually displace"},
 	}
-	for _, cp := range []bool{false, true} {
-		cfg := r.opts.baseConfig(r.opts.Seed, omcast.ROST, r.opts.Size)
+	variants := []bool{false, true}
+	rows, err := runUnits(r, len(variants), func(o Options, i int) ([]string, error) {
+		cp := variants[i]
+		cfg := o.baseConfig(o.Seed, omcast.ROST, o.Size)
 		cfg.ContributorPriority = cp
 		res, err := omcast.Run(cfg)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		label := "minimum-depth for all"
 		if cp {
 			label = "contributor priority"
 		}
-		t.Rows = append(t.Rows, []string{label,
+		o.progress("ablation-priority cp=%v disruptions=%.2f", cp, res.AvgDisruptions)
+		return []string{label,
 			fmt.Sprintf("%.2f", res.AvgDisruptions),
 			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS),
-			fmt.Sprintf("%.2f", res.AvgStretch)})
-		r.opts.progress("ablation-priority cp=%v disruptions=%.2f", cp, res.AvgDisruptions)
+			fmt.Sprintf("%.2f", res.AvgStretch)}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -694,23 +878,29 @@ func (r *Runner) ablationGuard() (Table, error) {
 		Header: []string{"guard", "disruptions/node", "reconnections/node", "service delay"},
 		Notes:  []string{"without the guard, lower-bandwidth children switch up only to be overtaken and demoted again"},
 	}
-	for _, disabled := range []bool{false, true} {
-		cfg := r.opts.baseConfig(r.opts.Seed, omcast.ROST, r.opts.Size)
+	variants := []bool{false, true}
+	rows, err := runUnits(r, len(variants), func(o Options, i int) ([]string, error) {
+		disabled := variants[i]
+		cfg := o.baseConfig(o.Seed, omcast.ROST, o.Size)
 		cfg.DisableBandwidthGuard = disabled
 		res, err := omcast.Run(cfg)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		label := "bandwidth >= parent required"
 		if disabled {
 			label = "BTP comparison only"
 		}
-		t.Rows = append(t.Rows, []string{label,
+		o.progress("ablation-guard disabled=%v disruptions=%.2f", disabled, res.AvgDisruptions)
+		return []string{label,
 			fmt.Sprintf("%.2f", res.AvgDisruptions),
 			fmt.Sprintf("%.2f", res.AvgReconnections),
-			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS)})
-		r.opts.progress("ablation-guard disabled=%v disruptions=%.2f", disabled, res.AvgDisruptions)
+			fmt.Sprintf("%.0fms", res.AvgServiceDelayMS)}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -737,19 +927,24 @@ func (r *Runner) extensionMultiTree() (Table, error) {
 		{"4 stripes, interior-disjoint", omcast.MultiTreeConfig{Stripes: 4, Quorum: 3, Disjoint: true}},
 		{"4 stripes, split + ROST", omcast.MultiTreeConfig{Stripes: 4, Quorum: 3, UseROST: true}},
 	}
-	for _, v := range variants {
-		res, err := omcast.RunMultiTree(r.opts.baseConfig(r.opts.Seed, omcast.MinimumDepth, size), v.mt)
+	rows, err := runUnits(r, len(variants), func(o Options, i int) ([]string, error) {
+		v := variants[i]
+		res, err := omcast.RunMultiTree(o.baseConfig(o.Seed, omcast.MinimumDepth, size), v.mt)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		o.progress("multitree %-30s outage=%.3f%%", v.label, res.OutageRatio*100)
+		return []string{
 			v.label,
 			fmt.Sprintf("%.3f%%", res.OutageRatio*100),
 			fmt.Sprintf("%.2f%%", res.FullQualityRatio*100),
 			fmt.Sprintf("%d", res.Episodes),
-		})
-		r.opts.progress("multitree %-30s outage=%.3f%%", v.label, res.OutageRatio*100)
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -126,6 +126,7 @@ func Rules() []*Rule {
 		ruleNoGlobalRand(),
 		ruleMapOrder(),
 		ruleNoGoroutineInSim(),
+		ruleHandlerPurity(),
 		ruleFloatAccum(),
 	}
 }

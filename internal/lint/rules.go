@@ -338,6 +338,92 @@ func ruleNoGoroutineInSim() *Rule {
 	}
 }
 
+// ---- handler-purity ----
+
+// ruleHandlerPurity enforces purity of eventsim.Handler callbacks wherever
+// they are written, module-wide: a handler executes on the virtual timeline,
+// so reading the wall clock inside one desynchronises simulated time, and
+// spawning a goroutine escapes the single-threaded kernel entirely. The rule
+// is structural — any function literal or declaration whose signature is
+// func(*eventsim.Simulator) is treated as a handler body.
+func ruleHandlerPurity() *Rule {
+	return &Rule{
+		Name: "handler-purity",
+		Doc:  "forbid wall-clock reads and goroutine spawns inside eventsim.Handler callbacks",
+		applies: func(cfg *Config, path string) bool {
+			return true // handlers must be pure no matter which package defines them
+		},
+		check: func(pkg *Package, rep *reporter) {
+			inspect(pkg, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					if isHandlerSig(pkg.Info.TypeOf(n)) {
+						body = n.Body
+					}
+				case *ast.FuncDecl:
+					if obj := pkg.Info.ObjectOf(n.Name); obj != nil {
+						if isHandlerSig(obj.Type()) {
+							body = n.Body
+						}
+					}
+				}
+				if body == nil {
+					return true
+				}
+				checkHandlerBody(pkg, rep, body)
+				return true
+			})
+		},
+	}
+}
+
+// isHandlerSig reports whether t is the eventsim.Handler shape:
+// func(*eventsim.Simulator) with no results. Matching is by package name so
+// the rule holds for any kernel named eventsim (including test fixtures).
+func isHandlerSig(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Variadic() || sig.Results().Len() != 0 || sig.Params().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Simulator" && named.Obj().Pkg().Name() == "eventsim"
+}
+
+// checkHandlerBody walks one handler body, skipping nested handler literals —
+// those are visited by the outer inspect in their own right, so descending
+// here would report their findings twice.
+func checkHandlerBody(pkg *Package, rep *reporter, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if isHandlerSig(pkg.Info.TypeOf(n)) {
+				return false
+			}
+		case *ast.GoStmt:
+			rep.reportf(n.Pos(),
+				"go statement inside an eventsim.Handler; handlers must complete synchronously on the simulation thread — schedule a follow-up event instead")
+		case *ast.SelectorExpr:
+			if pkgNameUse(pkg, n.X) == "time" && wallclockFuncs[n.Sel.Name] {
+				rep.reportf(n.Pos(),
+					"time.%s inside an eventsim.Handler; handlers run on the virtual timeline and must take time from the Simulator argument",
+					n.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
 // ---- float-accum ----
 
 func ruleFloatAccum() *Rule {

@@ -1,0 +1,36 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"omcast/internal/topology"
+	"omcast/internal/xrand"
+)
+
+// TestSampleAllocCeiling pins Sample's steady-state allocation budget: one
+// allocation per call (the result slice the caller owns). The per-call dedup
+// map is gone — duplicates are tracked in the tree's epoch-stamped scratch
+// buffer. A regression here fails go test, not just the bench report.
+func TestSampleAllocCeiling(t *testing.T) {
+	tree, err := NewTree(0, 100, func(a, b topology.NodeID) time.Duration { return time.Millisecond })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		tree.NewMember(topology.NodeID(i), 0.5, time.Duration(i))
+	}
+	rng := xrand.New(1)
+	// One warm call sizes the scratch buffer.
+	if got := tree.Sample(rng, 100, nil); len(got) != 100 {
+		t.Fatalf("warm sample returned %d members", len(got))
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if got := tree.Sample(rng, 100, nil); len(got) != 100 {
+			t.Fatal("short sample")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("Sample allocates %.1f times per call, want <= 1 (the result slice)", allocs)
+	}
+}

@@ -132,6 +132,12 @@ type Tree struct {
 	nextID MemberID
 	// delayFn gives the unicast delay between two underlay routers.
 	delayFn func(a, b topology.NodeID) time.Duration
+	// sampleSeen/sampleEpoch replace Sample's per-call dedup map: an index
+	// is "drawn this call" iff sampleSeen[i] == sampleEpoch. Bumping the
+	// epoch clears every stamp at once, so the buffer is reused across
+	// calls without touching its contents.
+	sampleSeen  []uint32
+	sampleEpoch uint32
 }
 
 // NewTree creates a tree rooted at a source member placed on rootAttach with
@@ -406,18 +412,29 @@ func (t *Tree) Sample(rng *xrand.Source, n int, exclude *Member) []*Member {
 	}
 	// Partial Fisher-Yates over a scratch index space would disturb t.order;
 	// instead draw with rejection, which is cheap because n << len(order) in
-	// the overlay regime (100 out of thousands).
-	seen := make(map[int]struct{}, n*2)
+	// the overlay regime (100 out of thousands). Duplicates are detected
+	// with the tree's epoch-stamped scratch buffer: same accept/reject
+	// sequence as a dedup map (so the RNG stream is untouched) without the
+	// per-call map allocations.
+	if len(t.sampleSeen) < len(t.order) {
+		t.sampleSeen = make([]uint32, len(t.order))
+		t.sampleEpoch = 0
+	}
+	t.sampleEpoch++
+	if t.sampleEpoch == 0 { // epoch wrapped: stale stamps could collide
+		clear(t.sampleSeen)
+		t.sampleEpoch = 1
+	}
 	out := make([]*Member, 0, n)
 	attempts := 0
 	maxAttempts := 20 * n
 	for len(out) < n && attempts < maxAttempts {
 		attempts++
 		i := rng.Intn(len(t.order))
-		if _, dup := seen[i]; dup {
+		if t.sampleSeen[i] == t.sampleEpoch {
 			continue
 		}
-		seen[i] = struct{}{}
+		t.sampleSeen[i] = t.sampleEpoch
 		if t.order[i] == exclude {
 			continue
 		}

@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestRunOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := Run(workers, 25, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 25 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run(8, 0, func(int) (string, error) { return "", errors.New("never called") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Run over zero units: %v, %v", got, err)
+	}
+}
+
+func TestRunLowestIndexedError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Run(workers, 20, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, fmt.Errorf("unit body %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error chain lost: %v", workers, err)
+		}
+		if !strings.HasPrefix(err.Error(), "unit 7:") {
+			t.Fatalf("workers=%d: error %q does not name the lowest failed unit", workers, err)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Run(3, 64, func(i int) (struct{}, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent units, want <= 3", p)
+	}
+}

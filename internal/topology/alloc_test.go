@@ -1,0 +1,35 @@
+package topology
+
+import (
+	"testing"
+
+	"omcast/internal/xrand"
+)
+
+// TestDelayAllocCeiling pins the delay oracle at zero allocations per
+// lookup: Delay is pure table arithmetic (transit APSP plus per-domain
+// intra-stub tables), and the simulation calls it on every packet path, so
+// even one temporary per call would dominate the heap profile.
+func TestDelayAllocCeiling(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.TransitDomains = 2
+	cfg.TransitNodesPerDomain = 4
+	cfg.StubDomainsPerTransit = 2
+	cfg.StubNodesPerDomain = 8
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(2)
+	n := topo.Size()
+	allocs := testing.AllocsPerRun(500, func() {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if d := topo.Delay(u, v); d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Delay allocates %.1f times per lookup, want 0", allocs)
+	}
+}
