@@ -61,7 +61,7 @@ func run() int {
 	}()
 
 	var report strings.Builder
-	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
+	//lint:ignore no-wallclock reason: CLI progress timer; never feeds simulation state
 	start := time.Now()
 	for _, id := range experiments.IDs() {
 		var table experiments.Table
@@ -77,7 +77,7 @@ func run() int {
 		fmt.Print(block)
 		report.WriteString(block)
 	}
-	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
+	//lint:ignore no-wallclock reason: CLI progress timer; never feeds simulation state
 	fmt.Printf("all experiments completed in %.1fs\n", time.Since(start).Seconds())
 
 	if *metOut != "" {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"omcast/internal/bench"
+	"omcast/internal/lint"
 )
 
 func main() {
@@ -33,7 +34,7 @@ func run() int {
 	)
 	flag.Parse()
 
-	//lint:ignore no-wallclock report naming and metadata only; never feeds simulation state
+	//lint:ignore no-wallclock reason: report naming and metadata only; never feeds simulation state
 	date := time.Now().UTC().Format("2006-01-02")
 	path := *out
 	if path == "" {
@@ -47,6 +48,12 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", err)
 		return 1
+	}
+	if stats, err := analyzerStats(); err != nil {
+		// The analyzer riding along must not sink a perf run.
+		fmt.Fprintf(os.Stderr, "omcast-bench: analyzer stats skipped: %v\n", err)
+	} else {
+		rep.Analyzer = stats
 	}
 	if err := rep.WriteFile(path); err != nil {
 		fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", err)
@@ -82,4 +89,23 @@ func run() int {
 	}
 	fmt.Println("no regressions beyond threshold")
 	return 0
+}
+
+// analyzerStats runs the full typed lint suite over the module and returns
+// the omcast-lint -stats figures (per-rule findings, suppressions, wall time)
+// for the report's analyzer block.
+func analyzerStats() (map[string]float64, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		return nil, err
+	}
+	return lint.StatsMap(lint.RunAnalysis(pkgs, lint.DefaultConfig())), nil
 }

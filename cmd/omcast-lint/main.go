@@ -1,23 +1,42 @@
-// Command omcast-lint enforces the repository's determinism and
-// simulation-safety invariants (see internal/lint). It loads and type-checks
-// every package in the module using only the standard library, runs the rule
-// set, and prints file:line: rule: message diagnostics.
+// Command omcast-lint enforces the repository's determinism,
+// simulation-safety and input-hardening invariants (see internal/lint). It
+// loads and type-checks every package in the module using only the standard
+// library, builds the module call graph, runs the typed rule set — syntactic
+// scope rules plus taint tracking, transitive handler purity and lock
+// discipline — and reports diagnostics.
 //
 // Usage:
 //
-//	go run ./cmd/omcast-lint ./...            # lint the whole module
-//	go run ./cmd/omcast-lint ./internal/...   # lint a subtree
-//	go run ./cmd/omcast-lint -list            # describe the rules
+//	go run ./cmd/omcast-lint ./...              # lint the whole module
+//	go run ./cmd/omcast-lint ./internal/...     # lint a subtree
+//	go run ./cmd/omcast-lint -list              # describe the rules
+//	go run ./cmd/omcast-lint -enable wire-taint ./...
 //	go run ./cmd/omcast-lint -disable map-order ./...
+//	go run ./cmd/omcast-lint -format sarif -o lint.sarif ./...
+//	go run ./cmd/omcast-lint -stats ./...
+//
+// Flags:
+//
+//	-list            list the rules and exit
+//	-enable  names   run ONLY these comma-separated rules
+//	-disable names   skip these comma-separated rules
+//	-format  kind    output format: text (default), json, sarif
+//	-o       file    write findings to file instead of stdout
+//	-stats           print per-rule finding counts and wall time to stderr
+//	-stats-json file write the statistics as JSON to file
 //
 // Exit status: 0 when clean, 1 when findings were reported, 2 on load or
 // usage errors. Findings are suppressed in source with
-// //lint:ignore <rule> <reason> on the offending line or the line above.
+// //lint:ignore <rule> reason: <justification> on the offending line or the
+// line above; the stale-suppression audit (full-rule-set runs only) flags
+// directives that no longer silence anything.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +51,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("omcast-lint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the rules and exit")
+	enable := fs.String("enable", "", "comma-separated rule names to run exclusively")
 	disable := fs.String("disable", "", "comma-separated rule names to skip")
+	format := fs.String("format", "text", "output format: text, json, sarif")
+	outPath := fs.String("o", "", "write findings to this file instead of stdout")
+	stats := fs.Bool("stats", false, "print per-rule finding counts and wall time to stderr")
+	statsJSON := fs.String("stats-json", "", "write per-rule statistics as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -44,20 +68,20 @@ func run(args []string) int {
 	}
 
 	cfg := lint.DefaultConfig()
-	if *disable != "" {
-		known := make(map[string]bool)
-		for _, r := range lint.Rules() {
-			known[r.Name] = true
-		}
-		for _, name := range strings.Split(*disable, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				if !known[name] {
-					fmt.Fprintf(os.Stderr, "omcast-lint: unknown rule %q in -disable (see -list)\n", name)
-					return 2
-				}
-				cfg.Disabled = append(cfg.Disabled, name)
-			}
-		}
+	var err error
+	if cfg.Enabled, err = splitRules(*enable, "-enable"); err != nil {
+		fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+		return 2
+	}
+	if cfg.Disabled, err = splitRules(*disable, "-disable"); err != nil {
+		fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "omcast-lint: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
@@ -86,19 +110,86 @@ func run(args []string) int {
 		return 2
 	}
 
-	diags := lint.Run(selected, cfg)
-	for _, d := range diags {
-		file := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
+	res := lint.RunAnalysis(selected, cfg)
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+			return 2
 		}
-		fmt.Printf("%s:%d: %s: %s\n", file, d.Pos.Line, d.Rule, d.Message)
+		defer f.Close()
+		out = f
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "omcast-lint: %d finding(s)\n", len(diags))
+	switch *format {
+	case "json":
+		err = lint.WriteJSON(out, res.Diags, root)
+	case "sarif":
+		err = lint.WriteSARIF(out, res.Diags, root)
+	default:
+		for _, d := range res.Diags {
+			file := d.Pos.Filename
+			if rel, rerr := filepath.Rel(cwd, file); rerr == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Fprintf(out, "%s:%d: %s: %s\n", file, d.Pos.Line, d.Rule, d.Message)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+		return 2
+	}
+
+	if *stats {
+		lint.WriteStats(os.Stderr, res)
+	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, res); err != nil {
+			fmt.Fprintln(os.Stderr, "omcast-lint:", err)
+			return 2
+		}
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "omcast-lint: %d finding(s)\n", len(res.Diags))
 		return 1
 	}
 	return 0
+}
+
+// splitRules parses a comma-separated rule list, rejecting unknown names.
+func splitRules(s, flagName string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool)
+	for _, name := range lint.RuleNames() {
+		known[name] = true
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if !known[name] {
+				return nil, fmt.Errorf("unknown rule %q in %s (see -list)", name, flagName)
+			}
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+func writeStatsJSON(path string, res lint.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		TotalMillis float64         `json:"total_ms"`
+		Rules       []lint.RuleStat `json:"rules"`
+	}{res.TotalMillis, res.Stats})
 }
 
 // selectPackages filters loaded packages by go-tool-style patterns: "./..."

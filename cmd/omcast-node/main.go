@@ -152,7 +152,7 @@ func run() int {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	//lint:ignore no-wallclock live protocol node; real time is the correct clock here
+	//lint:ignore no-wallclock reason: live protocol node; real time is the correct clock here
 	ticker := time.NewTicker(*status)
 	defer ticker.Stop()
 	for {

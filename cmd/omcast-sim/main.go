@@ -86,7 +86,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", err)
 		return 1
 	}
-	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
+	//lint:ignore no-wallclock reason: CLI progress timer; never feeds simulation state
 	start := time.Now()
 	var table experiments.Table
 	profiling.Do(*fig, func() {
@@ -109,7 +109,7 @@ func run() int {
 		fmt.Print(table.CSV())
 	} else {
 		fmt.Print(table.Format())
-		//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
+		//lint:ignore no-wallclock reason: CLI progress timer; never feeds simulation state
 		fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
 	}
 	return 0

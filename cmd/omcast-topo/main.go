@@ -52,14 +52,14 @@ func run() int {
 		cfg.StubNodesPerDomain = *stubNodes
 	}
 
-	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
+	//lint:ignore no-wallclock reason: CLI progress timer; never feeds simulation state
 	start := time.Now()
 	topo, err := topology.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "omcast-topo: %v\n", err)
 		return 1
 	}
-	//lint:ignore no-wallclock CLI progress timer; never feeds simulation state
+	//lint:ignore no-wallclock reason: CLI progress timer; never feeds simulation state
 	fmt.Printf("generated in %.1fms\n", float64(time.Since(start).Microseconds())/1000)
 	fmt.Printf("routers: %d total = %d transit + %d stub\n", topo.Size(), topo.TransitCount(), topo.StubCount())
 	fmt.Printf("stub domains: %d of %d routers each, single-homed\n",

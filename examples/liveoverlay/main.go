@@ -63,14 +63,14 @@ func run() error {
 	}
 
 	waitFor := func(what string, cond func() bool) error {
-		//lint:ignore no-wallclock polls the real-time internal/node runtime, not the simulation
+		//lint:ignore no-wallclock reason: polls the real-time internal/node runtime, not the simulation
 		deadline := time.Now().Add(15 * time.Second)
-		//lint:ignore no-wallclock polls the real-time internal/node runtime, not the simulation
+		//lint:ignore no-wallclock reason: polls the real-time internal/node runtime, not the simulation
 		for time.Now().Before(deadline) {
 			if cond() {
 				return nil
 			}
-			//lint:ignore no-wallclock polls the real-time internal/node runtime, not the simulation
+			//lint:ignore no-wallclock reason: polls the real-time internal/node runtime, not the simulation
 			time.Sleep(20 * time.Millisecond)
 		}
 		return fmt.Errorf("timed out waiting for %s", what)

@@ -178,6 +178,11 @@ type Report struct {
 	// disruption averages at reduced scale) so output drift and perf drift
 	// land in the same artifact.
 	Headline map[string]float64 `json:"headline,omitempty"`
+	// Analyzer carries the static-analyzer statistics (per-rule finding and
+	// suppression counts plus analysis wall time, the omcast-lint -stats
+	// surface) so analyzer cost and tree health trend alongside the perf
+	// numbers. Populated by cmd/omcast-bench; Compare ignores it.
+	Analyzer map[string]float64 `json:"analyzer,omitempty"`
 }
 
 // Run executes the cases with testing.Benchmark and assembles a report.

@@ -264,7 +264,7 @@ func runUnits[T any](r *Runner, n int, fn func(o Options, i int) (T, error)) ([]
 
 // Run executes one experiment by ID.
 func (r *Runner) Run(id string) (Table, error) {
-	//lint:ignore no-wallclock Table.Elapsed is harness wall-clock cost, not simulation output
+	//lint:ignore no-wallclock reason: Table.Elapsed is harness wall-clock cost, not simulation output
 	start := time.Now()
 	var (
 		t   Table
@@ -310,7 +310,7 @@ func (r *Runner) Run(id string) (Table, error) {
 		return Table{}, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	t.ID = id
-	//lint:ignore no-wallclock Table.Elapsed is harness wall-clock cost, not simulation output
+	//lint:ignore no-wallclock reason: Table.Elapsed is harness wall-clock cost, not simulation output
 	t.Elapsed = time.Since(start)
 	return t, nil
 }

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Module is one analysis unit: every loaded package plus the lazily built
+// function index and conservative intra-module call graph the typed rules
+// share. All packages of one Module must come from a single Load/LoadDir call
+// (they share a FileSet).
+type Module struct {
+	// Pkgs are the loaded packages, sorted by import path.
+	Pkgs []*Package
+
+	g *callGraph
+}
+
+func newModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs}
+}
+
+func (m *Module) fset() *token.FileSet {
+	if len(m.Pkgs) == 0 {
+		return token.NewFileSet()
+	}
+	return m.Pkgs[0].Fset
+}
+
+// graph builds (once) and returns the module call graph.
+func (m *Module) graph() *callGraph {
+	if m.g == nil {
+		m.g = buildCallGraph(m)
+	}
+	return m.g
+}
+
+// atomKind classifies the impurity atoms the transitive handler-purity rule
+// looks for.
+type atomKind int
+
+const (
+	atomWallclock  atomKind = iota // time.Now / time.Since / timers
+	atomGo                         // go statement
+	atomGlobalRand                 // package-level math/rand call
+	atomCryptoRand                 // crypto/rand entropy
+)
+
+// atom is one impurity occurrence inside a function body.
+type atom struct {
+	kind atomKind
+	pos  token.Pos
+	// text names the offending construct for the diagnostic ("time.Now").
+	text string
+}
+
+// fnNode is one function in the call graph: a declared function or method, or
+// a handler-shaped function literal (which gets its own node because it is a
+// reachability root). Bodies of non-handler literals are attributed to their
+// enclosing function — a closure is almost always called by its creator, and
+// when it is instead stored and invoked elsewhere the attribution stays
+// conservative (reachable-from-creator), never unsound for the creator chain.
+type fnNode struct {
+	// obj is the declared function object; nil for literal roots.
+	obj *types.Func
+	pkg *Package
+	// name is the display name used in call-path diagnostics.
+	name string
+	pos  token.Pos
+	// handler marks reachability roots: the eventsim.Handler signature.
+	handler bool
+	atoms   []atom
+	calls   []*fnNode
+	callSet map[*fnNode]bool
+}
+
+func (f *fnNode) addCall(callee *fnNode) {
+	if callee == nil || callee == f || f.callSet[callee] {
+		return
+	}
+	if f.callSet == nil {
+		f.callSet = make(map[*fnNode]bool)
+	}
+	f.callSet[callee] = true
+	f.calls = append(f.calls, callee)
+}
+
+// callGraph is the conservative static call graph of one module.
+//
+// Edges come from three resolutions:
+//   - direct calls to module functions and methods (via Info.Uses);
+//   - interface method calls, resolved to every module method with the same
+//     name and an identical signature (supersets the true dynamic targets);
+//   - calls through non-handler function literals, folded into the enclosing
+//     function's node.
+//
+// Known false-negative edge: a function VALUE passed around and called via a
+// plain identifier (f := pick(); f()) produces no edge — tracking value flow
+// of function objects is out of scope. DESIGN.md §13 documents this.
+type callGraph struct {
+	nodes []*fnNode
+	byObj map[*types.Func]*fnNode
+	// methodsByName indexes module methods for interface-call resolution.
+	methodsByName map[string][]*fnNode
+}
+
+func buildCallGraph(m *Module) *callGraph {
+	g := &callGraph{
+		byObj:         make(map[*types.Func]*fnNode),
+		methodsByName: make(map[string][]*fnNode),
+	}
+	// Pass 1: a node per declared function/method with a body.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.ObjectOf(fd.Name).(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &fnNode{
+					obj:     obj,
+					pkg:     pkg,
+					name:    displayName(obj),
+					pos:     fd.Pos(),
+					handler: isHandlerSig(obj.Type()),
+				}
+				g.nodes = append(g.nodes, n)
+				g.byObj[obj] = n
+				if fd.Recv != nil {
+					g.methodsByName[obj.Name()] = append(g.methodsByName[obj.Name()], n)
+				}
+			}
+		}
+	}
+	// Pass 2: walk bodies collecting atoms and call edges; handler literals
+	// become their own root nodes.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					if obj, ok := pkg.Info.ObjectOf(d.Name).(*types.Func); ok {
+						g.walkBody(pkg, g.byObj[obj], d.Body)
+					}
+				case *ast.GenDecl:
+					// Package-level var initializers can hold handler
+					// literals (var onTick eventsim.Handler = func...).
+					ast.Inspect(d, func(n ast.Node) bool {
+						lit, ok := n.(*ast.FuncLit)
+						if !ok {
+							return true
+						}
+						if isHandlerSig(pkg.Info.TypeOf(lit)) {
+							root := g.newLiteralRoot(pkg, lit)
+							g.walkBody(pkg, root, lit.Body)
+							return false
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *callGraph) newLiteralRoot(pkg *Package, lit *ast.FuncLit) *fnNode {
+	pos := pkg.Fset.Position(lit.Pos())
+	n := &fnNode{
+		pkg:     pkg,
+		name:    fmt.Sprintf("handler literal at line %d", pos.Line),
+		pos:     lit.Pos(),
+		handler: true,
+	}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// walkBody attributes atoms and call edges inside body to owner. Handler
+// literals nested in the body become new roots; other literals fold into
+// owner.
+func (g *callGraph) walkBody(pkg *Package, owner *fnNode, body *ast.BlockStmt) {
+	if owner == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if isHandlerSig(pkg.Info.TypeOf(n)) {
+				root := g.newLiteralRoot(pkg, n)
+				g.walkBody(pkg, root, n.Body)
+				return false
+			}
+			return true // fold into owner
+		case *ast.GoStmt:
+			owner.atoms = append(owner.atoms, atom{kind: atomGo, pos: n.Pos(), text: "go statement"})
+		case *ast.SelectorExpr:
+			switch p := pkgNameUse(pkg, n.X); {
+			case p == "time" && wallclockFuncs[n.Sel.Name]:
+				owner.atoms = append(owner.atoms, atom{kind: atomWallclock, pos: n.Pos(), text: "time." + n.Sel.Name})
+			case (p == "math/rand" || p == "math/rand/v2") && globalRandFuncs[n.Sel.Name]:
+				owner.atoms = append(owner.atoms, atom{kind: atomGlobalRand, pos: n.Pos(), text: "rand." + n.Sel.Name})
+			case p == "crypto/rand":
+				owner.atoms = append(owner.atoms, atom{kind: atomCryptoRand, pos: n.Pos(), text: "crypto/rand." + n.Sel.Name})
+			}
+		case *ast.CallExpr:
+			for _, callee := range g.resolveCall(pkg, n) {
+				owner.addCall(callee)
+			}
+		}
+		return true
+	})
+}
+
+// resolveCall maps a call expression to its possible module-internal targets.
+func (g *callGraph) resolveCall(pkg *Package, call *ast.CallExpr) []*fnNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if n := g.byObj[fn]; n != nil {
+				return []*fnNode{n}
+			}
+		}
+	case *ast.SelectorExpr:
+		obj := pkg.Info.Uses[fun.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return nil
+		}
+		if n := g.byObj[fn]; n != nil {
+			return []*fnNode{n} // concrete method or qualified package func
+		}
+		// Interface method: any module method with the same name and an
+		// identical signature could be the dynamic target.
+		if sel, isSel := pkg.Info.Selections[fun]; isSel && sel.Kind() == types.MethodVal {
+			return g.matchingMethods(fn)
+		}
+	}
+	return nil
+}
+
+// matchingMethods returns module methods matching an interface method's name
+// and signature (receiver excluded from the comparison).
+func (g *callGraph) matchingMethods(iface *types.Func) []*fnNode {
+	want, ok := iface.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*fnNode
+	for _, cand := range g.methodsByName[iface.Name()] {
+		sig, ok := cand.obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if types.Identical(sig.Params(), want.Params()) && types.Identical(sig.Results(), want.Results()) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// displayName renders a function for call-path diagnostics: Name for
+// package-level functions, (*T).Name / T.Name for methods.
+func displayName(obj *types.Func) string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return obj.Name()
+	}
+	t := sig.Recv().Type()
+	star := ""
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+		star = "*"
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return fmt.Sprintf("(%s%s).%s", star, named.Obj().Name(), obj.Name())
+	}
+	return obj.Name()
+}

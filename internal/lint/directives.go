@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -8,71 +9,104 @@ import (
 
 // A suppression directive has the form
 //
-//	//lint:ignore <rule> <reason>
+//	//lint:ignore <rule> reason: <justification>
 //
 // and silences findings of <rule> on the directive's own line (trailing
-// comment) or on the line immediately below it (leading comment). The reason
-// is mandatory: a suppression without a recorded justification is reported as
-// a bad-directive finding instead.
+// comment) or on the line immediately below it (leading comment). The
+// "reason:" token and a non-empty justification are mandatory — a
+// suppression without a recorded why is reported as a bad-directive finding
+// instead, as is one naming a rule the analyzer doesn't have. Directives
+// that silence nothing are reported by the stale-suppression audit at the
+// end of every full-rule-set run.
 type directive struct {
-	file string
-	line int
+	pos  token.Position
 	rule string
+	// used counts how many diagnostics this directive silenced in the run.
+	used int
 }
 
 type suppressions struct {
-	directives []directive
+	directives []*directive
 	malformed  []Diagnostic
 }
 
 const directivePrefix = "lint:ignore"
 
-// collectDirectives scans every comment in the package for //lint:ignore
-// directives.
-func collectDirectives(pkg *Package) *suppressions {
+// collectDirectives scans every comment of every package for //lint:ignore
+// directives. The index is module-global so module-wide rules and the
+// staleness audit see one consistent picture.
+func collectDirectives(pkgs []*Package) *suppressions {
 	s := &suppressions{}
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				s.add(pkg.Fset, c)
+	known := make(map[string]bool)
+	for _, name := range RuleNames() {
+		known[name] = true
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					s.add(pkg.Fset, c, known)
+				}
 			}
 		}
 	}
 	return s
 }
 
-func (s *suppressions) add(fset *token.FileSet, c *ast.Comment) {
+func (s *suppressions) add(fset *token.FileSet, c *ast.Comment, known map[string]bool) {
 	text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
 	if !ok {
 		return
 	}
 	pos := fset.Position(c.Pos())
+	bad := func(format string, args ...any) {
+		s.malformed = append(s.malformed, Diagnostic{Pos: pos, Rule: RuleBadDirective,
+			Message: fmt.Sprintf(format, args...)})
+	}
 	fields := strings.Fields(text)
-	if len(fields) < 2 {
-		s.malformed = append(s.malformed, Diagnostic{
-			Pos:  pos,
-			Rule: "bad-directive",
-			Message: "malformed suppression: want //lint:ignore <rule> <reason>, " +
-				"the reason is mandatory",
-		})
+	if len(fields) < 3 || fields[1] != "reason:" {
+		bad("malformed suppression: want //lint:ignore <rule> reason: <justification>; " +
+			"the reason: token and a non-empty justification are mandatory")
 		return
 	}
-	s.directives = append(s.directives, directive{
-		file: pos.Filename,
-		line: pos.Line,
-		rule: fields[0],
-	})
+	if !known[fields[0]] {
+		bad("suppression names unknown rule %q; run omcast-lint -list for the rule set", fields[0])
+		return
+	}
+	s.directives = append(s.directives, &directive{pos: pos, rule: fields[0]})
 }
 
-// suppresses reports whether a directive covers the diagnostic.
+// suppresses reports whether a directive covers the diagnostic, marking the
+// match for the staleness audit.
 func (s *suppressions) suppresses(d Diagnostic) bool {
 	for _, dir := range s.directives {
-		if dir.file != d.Pos.Filename || dir.rule != d.Rule {
+		if dir.pos.Filename != d.Pos.Filename || dir.rule != d.Rule {
 			continue
 		}
-		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			dir.used++
 			return true
 		}
 	}
 	return false
+}
+
+// stale reports every directive that silenced nothing: either the underlying
+// code was fixed (delete the directive) or the directive drifted away from
+// the line it used to cover (it is now silently inert — worse than noise).
+func (s *suppressions) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.directives {
+		if dir.used > 0 {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  dir.pos,
+			Rule: RuleStaleSuppression,
+			Message: fmt.Sprintf("//lint:ignore %s suppressed nothing in this run; "+
+				"the finding it covered is gone (or the directive drifted off its line) — delete it",
+				dir.rule),
+		})
+	}
+	return out
 }

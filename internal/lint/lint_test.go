@@ -28,10 +28,13 @@ func collectWants(t *testing.T, pkg *Package) []*expectation {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "// want ")
-				if !ok {
+				// The marker may trail other comment text (for example a
+				// //lint:ignore directive that itself expects a diagnostic).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
 					continue
 				}
+				rest := c.Text[idx+len("// want "):]
 				pos := pkg.Fset.Position(c.Pos())
 				ms := wantRx.FindAllStringSubmatch(rest, -1)
 				if len(ms) == 0 {
@@ -50,9 +53,35 @@ func collectWants(t *testing.T, pkg *Package) []*expectation {
 	return wants
 }
 
-// TestFixtures checks that the analyzer reports exactly the expected
-// diagnostics over every fixture package: each // want must be matched, and
-// no unexpected diagnostic may appear.
+// checkExpectations matches reported diagnostics against the fixtures' // want
+// comments: each want must be matched on its line, and no unexpected
+// diagnostic may appear.
+func checkExpectations(t *testing.T, pkgs []*Package, diags []Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+nextDiag:
+	for _, d := range diags {
+		text := d.Rule + ": " + d.Message
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(text) {
+				w.matched = true
+				continue nextDiag
+			}
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// TestFixtures checks the analyzer over every standalone fixture package
+// under testdata/src.
 func TestFixtures(t *testing.T) {
 	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -70,25 +99,36 @@ func TestFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatalf("loading fixture: %v", err)
 			}
-			diags := Run([]*Package{pkg}, DefaultConfig())
-			wants := collectWants(t, pkg)
-		nextDiag:
-			for _, d := range diags {
-				text := d.Rule + ": " + d.Message
-				for _, w := range wants {
-					if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(text) {
-						w.matched = true
-						continue nextDiag
-					}
-				}
-				t.Errorf("unexpected diagnostic: %s", d)
-			}
-			for _, w := range wants {
-				if !w.matched {
-					t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
-				}
-			}
+			checkExpectations(t, []*Package{pkg}, Run([]*Package{pkg}, DefaultConfig()))
 		})
+	}
+}
+
+// TestModuleFixtures checks the analyzer over every multi-package fixture
+// MODULE under testdata (directories named mod_*, each with its own go.mod).
+// These exercise the interprocedural rules across package boundaries:
+// cross-package taint flow, derived sources, and protocol-package sinks.
+func TestModuleFixtures(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("reading testdata: %v", err)
+	}
+	ran := false
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "mod_") {
+			continue
+		}
+		ran = true
+		t.Run(e.Name(), func(t *testing.T) {
+			pkgs, err := Load(filepath.Join("testdata", e.Name()))
+			if err != nil {
+				t.Fatalf("loading fixture module: %v", err)
+			}
+			checkExpectations(t, pkgs, Run(pkgs, DefaultConfig()))
+		})
+	}
+	if !ran {
+		t.Fatal("no fixture modules found")
 	}
 }
 

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// ruleHandlerPurity enforces purity of eventsim.Handler callbacks
+// transitively: handlers execute on the virtual timeline inside the
+// single-threaded kernel, so a wall-clock read, goroutine spawn, or
+// non-seeded entropy draw breaks determinism no matter how many calls deep
+// it hides. The rule walks the module call graph from every handler root
+// (declared functions and function literals whose signature is
+// func(*eventsim.Simulator)) and reports each impurity atom reachable from
+// one, with the call path that reaches it.
+//
+// Approximations (see DESIGN.md §13): non-handler function literals fold
+// into their enclosing function; interface method calls fan out to every
+// module method with a matching name and signature; calls through plain
+// function values produce no edge (false negative, caught for sim packages
+// by the syntactic scope rules).
+func ruleHandlerPurity() *Rule {
+	return &Rule{
+		Name: "handler-purity",
+		Doc:  "forbid wall-clock reads, goroutine spawns and global entropy anywhere reachable from an eventsim.Handler",
+		check: func(m *Module, cfg *Config, rep *reporter) {
+			g := m.graph()
+			// BFS from all handler roots at once; pred reconstructs one
+			// shortest call path per reached function for the diagnostic.
+			pred := make(map[*fnNode]*fnNode)
+			var queue []*fnNode
+			seen := make(map[*fnNode]bool)
+			for _, n := range g.nodes {
+				if n.handler {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+			reported := make(map[atom]bool)
+			for len(queue) > 0 {
+				n := queue[0]
+				queue = queue[1:]
+				for _, a := range n.atoms {
+					if reported[a] {
+						continue
+					}
+					reported[a] = true
+					reportAtom(rep, n, a, pred)
+				}
+				for _, callee := range n.calls {
+					if !seen[callee] {
+						seen[callee] = true
+						pred[callee] = n
+						queue = append(queue, callee)
+					}
+				}
+			}
+		},
+	}
+}
+
+// reportAtom emits one impurity diagnostic at the atom's position. Atoms in
+// the handler itself keep the established direct message; atoms reached
+// through calls carry the call path from the root.
+func reportAtom(rep *reporter, in *fnNode, a atom, pred map[*fnNode]*fnNode) {
+	var advice string
+	switch a.kind {
+	case atomWallclock:
+		advice = "handlers run on the virtual timeline and must take time from the Simulator argument"
+	case atomGo:
+		advice = "handlers must complete synchronously on the simulation thread — schedule a follow-up event instead"
+	case atomGlobalRand:
+		advice = "the process-global source breaks seed replay; thread a seeded stream from internal/xrand"
+	case atomCryptoRand:
+		advice = "hardware entropy is unreproducible; thread a seeded stream from internal/xrand"
+	}
+	if pred[in] == nil {
+		// Depth 0: the atom sits in the handler body itself.
+		switch a.kind {
+		case atomGo:
+			rep.reportf(a.pos, "go statement inside an eventsim.Handler; %s", advice)
+		default:
+			rep.reportf(a.pos, "%s inside an eventsim.Handler; %s", a.text, advice)
+		}
+		return
+	}
+	rep.reportf(a.pos, "%s is reachable from an eventsim.Handler (via %s); %s",
+		a.text, callPath(in, pred), advice)
+}
+
+// callPath renders root → ... → fn for the diagnostic.
+func callPath(fn *fnNode, pred map[*fnNode]*fnNode) string {
+	var chain []string
+	for n := fn; n != nil; n = pred[n] {
+		chain = append(chain, n.name)
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return strings.Join(chain, " -> ")
+}
+
+// isHandlerSig reports whether t is the eventsim.Handler shape:
+// func(*eventsim.Simulator) with no results. Matching is by package name so
+// the rule holds for any kernel named eventsim (including test fixtures).
+func isHandlerSig(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Variadic() || sig.Results().Len() != 0 || sig.Params().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Simulator" && named.Obj().Pkg().Name() == "eventsim"
+}

@@ -26,6 +26,18 @@ func inspect(pkg *Package, fn func(ast.Node) bool) {
 	}
 }
 
+// perPackage adapts a package-scoped syntactic check to the module-wide Rule
+// shape: the check runs over every package the scope predicate admits.
+func perPackage(applies func(cfg *Config, path string) bool, check func(pkg *Package, rep *reporter)) func(*Module, *Config, *reporter) {
+	return func(m *Module, cfg *Config, rep *reporter) {
+		for _, pkg := range m.Pkgs {
+			if applies(cfg, pkg.Path) {
+				check(pkg, rep)
+			}
+		}
+	}
+}
+
 // ---- no-wallclock ----
 
 // wallclockFuncs are the time functions that read or observe the wall clock
@@ -41,23 +53,24 @@ func ruleNoWallclock() *Rule {
 	return &Rule{
 		Name: "no-wallclock",
 		Doc:  "forbid wall-clock reads (time.Now, time.Since, timers) in deterministic simulation code",
-		applies: func(cfg *Config, path string) bool {
-			return matchPackage(path, cfg.SimPackages) || matchPackage(path, cfg.WallclockExtra)
-		},
-		check: func(pkg *Package, rep *reporter) {
-			inspect(pkg, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
+		check: perPackage(
+			func(cfg *Config, path string) bool {
+				return matchPackage(path, cfg.SimPackages) || matchPackage(path, cfg.WallclockExtra)
+			},
+			func(pkg *Package, rep *reporter) {
+				inspect(pkg, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if pkgNameUse(pkg, sel.X) == "time" && wallclockFuncs[sel.Sel.Name] {
+						rep.reportf(sel.Pos(),
+							"time.%s reads the wall clock; deterministic code must take time from the virtual clock (eventsim.Simulator.Now)",
+							sel.Sel.Name)
+					}
 					return true
-				}
-				if pkgNameUse(pkg, sel.X) == "time" && wallclockFuncs[sel.Sel.Name] {
-					rep.reportf(sel.Pos(),
-						"time.%s reads the wall clock; deterministic code must take time from the virtual clock (eventsim.Simulator.Now)",
-						sel.Sel.Name)
-				}
-				return true
-			})
-		},
+				})
+			}),
 	}
 }
 
@@ -81,24 +94,25 @@ func ruleNoGlobalRand() *Rule {
 	return &Rule{
 		Name: "no-global-rand",
 		Doc:  "forbid package-level math/rand calls; thread seeded *rand.Rand streams from internal/xrand",
-		applies: func(cfg *Config, path string) bool {
-			return true // the whole module must stay replay-safe
-		},
-		check: func(pkg *Package, rep *reporter) {
-			inspect(pkg, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
+		check: perPackage(
+			func(cfg *Config, path string) bool {
+				return true // the whole module must stay replay-safe
+			},
+			func(pkg *Package, rep *reporter) {
+				inspect(pkg, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					p := pkgNameUse(pkg, sel.X)
+					if (p == "math/rand" || p == "math/rand/v2") && globalRandFuncs[sel.Sel.Name] {
+						rep.reportf(sel.Pos(),
+							"rand.%s draws from the process-global source and breaks seed replay; use a seeded stream from internal/xrand",
+							sel.Sel.Name)
+					}
 					return true
-				}
-				p := pkgNameUse(pkg, sel.X)
-				if (p == "math/rand" || p == "math/rand/v2") && globalRandFuncs[sel.Sel.Name] {
-					rep.reportf(sel.Pos(),
-						"rand.%s draws from the process-global source and breaks seed replay; use a seeded stream from internal/xrand",
-						sel.Sel.Name)
-				}
-				return true
-			})
-		},
+				})
+			}),
 	}
 }
 
@@ -108,10 +122,11 @@ func ruleMapOrder() *Rule {
 	return &Rule{
 		Name: "map-order",
 		Doc:  "flag map iteration whose body feeds simulation results (schedules, appends, RNG draws, state writes)",
-		applies: func(cfg *Config, path string) bool {
-			return matchPackage(path, cfg.SimPackages)
-		},
-		check: checkMapOrder,
+		check: perPackage(
+			func(cfg *Config, path string) bool {
+				return matchPackage(path, cfg.SimPackages)
+			},
+			checkMapOrder),
 	}
 }
 
@@ -133,7 +148,7 @@ func checkMapOrder(pkg *Package, rep *reporter) {
 		}
 		if why := orderSensitive(pkg, rs.Body); why != "" {
 			rep.reportf(rs.Pos(),
-				"map iteration order is nondeterministic and this body %s; iterate over sorted keys instead, or add //lint:ignore map-order <reason> if the effect is provably order-independent",
+				"map iteration order is nondeterministic and this body %s; iterate over sorted keys instead, or add //lint:ignore map-order reason: <why> if the effect is provably order-independent",
 				why)
 		}
 		return true
@@ -309,119 +324,34 @@ func ruleNoGoroutineInSim() *Rule {
 	return &Rule{
 		Name: "no-goroutine-in-sim",
 		Doc:  "forbid goroutines, channels and sync primitives inside the single-threaded simulation kernel",
-		applies: func(cfg *Config, path string) bool {
-			return matchPackage(path, cfg.SimPackages)
-		},
-		check: func(pkg *Package, rep *reporter) {
-			inspect(pkg, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.GoStmt:
-					rep.reportf(n.Pos(), "go statement in the simulation kernel; the kernel is single-threaded by design (concurrency belongs in internal/node and cmd)")
-				case *ast.SelectStmt:
-					rep.reportf(n.Pos(), "select statement in the simulation kernel; the kernel is single-threaded by design")
-				case *ast.SendStmt:
-					rep.reportf(n.Pos(), "channel send in the simulation kernel; the kernel is single-threaded by design")
-				case *ast.UnaryExpr:
-					if n.Op == token.ARROW {
-						rep.reportf(n.Pos(), "channel receive in the simulation kernel; the kernel is single-threaded by design")
-					}
-				case *ast.ChanType:
-					rep.reportf(n.Pos(), "channel type in the simulation kernel; the kernel is single-threaded by design")
-				case *ast.SelectorExpr:
-					if p := pkgNameUse(pkg, n.X); p == "sync" || p == "sync/atomic" {
-						rep.reportf(n.Pos(), "sync.%s in the simulation kernel; the kernel is single-threaded by design (concurrency belongs in internal/node and cmd)", n.Sel.Name)
-					}
-				}
-				return true
-			})
-		},
-	}
-}
-
-// ---- handler-purity ----
-
-// ruleHandlerPurity enforces purity of eventsim.Handler callbacks wherever
-// they are written, module-wide: a handler executes on the virtual timeline,
-// so reading the wall clock inside one desynchronises simulated time, and
-// spawning a goroutine escapes the single-threaded kernel entirely. The rule
-// is structural — any function literal or declaration whose signature is
-// func(*eventsim.Simulator) is treated as a handler body.
-func ruleHandlerPurity() *Rule {
-	return &Rule{
-		Name: "handler-purity",
-		Doc:  "forbid wall-clock reads and goroutine spawns inside eventsim.Handler callbacks",
-		applies: func(cfg *Config, path string) bool {
-			return true // handlers must be pure no matter which package defines them
-		},
-		check: func(pkg *Package, rep *reporter) {
-			inspect(pkg, func(n ast.Node) bool {
-				var body *ast.BlockStmt
-				switch n := n.(type) {
-				case *ast.FuncLit:
-					if isHandlerSig(pkg.Info.TypeOf(n)) {
-						body = n.Body
-					}
-				case *ast.FuncDecl:
-					if obj := pkg.Info.ObjectOf(n.Name); obj != nil {
-						if isHandlerSig(obj.Type()) {
-							body = n.Body
+		check: perPackage(
+			func(cfg *Config, path string) bool {
+				return matchPackage(path, cfg.SimPackages)
+			},
+			func(pkg *Package, rep *reporter) {
+				inspect(pkg, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						rep.reportf(n.Pos(), "go statement in the simulation kernel; the kernel is single-threaded by design (concurrency belongs in internal/node and cmd)")
+					case *ast.SelectStmt:
+						rep.reportf(n.Pos(), "select statement in the simulation kernel; the kernel is single-threaded by design")
+					case *ast.SendStmt:
+						rep.reportf(n.Pos(), "channel send in the simulation kernel; the kernel is single-threaded by design")
+					case *ast.UnaryExpr:
+						if n.Op == token.ARROW {
+							rep.reportf(n.Pos(), "channel receive in the simulation kernel; the kernel is single-threaded by design")
+						}
+					case *ast.ChanType:
+						rep.reportf(n.Pos(), "channel type in the simulation kernel; the kernel is single-threaded by design")
+					case *ast.SelectorExpr:
+						if p := pkgNameUse(pkg, n.X); p == "sync" || p == "sync/atomic" {
+							rep.reportf(n.Pos(), "sync.%s in the simulation kernel; the kernel is single-threaded by design (concurrency belongs in internal/node and cmd)", n.Sel.Name)
 						}
 					}
-				}
-				if body == nil {
 					return true
-				}
-				checkHandlerBody(pkg, rep, body)
-				return true
-			})
-		},
+				})
+			}),
 	}
-}
-
-// isHandlerSig reports whether t is the eventsim.Handler shape:
-// func(*eventsim.Simulator) with no results. Matching is by package name so
-// the rule holds for any kernel named eventsim (including test fixtures).
-func isHandlerSig(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	sig, ok := t.Underlying().(*types.Signature)
-	if !ok || sig.Variadic() || sig.Results().Len() != 0 || sig.Params().Len() != 1 {
-		return false
-	}
-	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
-	if !ok {
-		return false
-	}
-	named, ok := ptr.Elem().(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return false
-	}
-	return named.Obj().Name() == "Simulator" && named.Obj().Pkg().Name() == "eventsim"
-}
-
-// checkHandlerBody walks one handler body, skipping nested handler literals —
-// those are visited by the outer inspect in their own right, so descending
-// here would report their findings twice.
-func checkHandlerBody(pkg *Package, rep *reporter, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			if isHandlerSig(pkg.Info.TypeOf(n)) {
-				return false
-			}
-		case *ast.GoStmt:
-			rep.reportf(n.Pos(),
-				"go statement inside an eventsim.Handler; handlers must complete synchronously on the simulation thread — schedule a follow-up event instead")
-		case *ast.SelectorExpr:
-			if pkgNameUse(pkg, n.X) == "time" && wallclockFuncs[n.Sel.Name] {
-				rep.reportf(n.Pos(),
-					"time.%s inside an eventsim.Handler; handlers run on the virtual timeline and must take time from the Simulator argument",
-					n.Sel.Name)
-			}
-		}
-		return true
-	})
 }
 
 // ---- float-accum ----
@@ -430,30 +360,31 @@ func ruleFloatAccum() *Rule {
 	return &Rule{
 		Name: "float-accum",
 		Doc:  "flag ==/!= between floating-point expressions in metric/statistics code",
-		applies: func(cfg *Config, path string) bool {
-			return matchPackage(path, cfg.FloatPackages)
-		},
-		check: func(pkg *Package, rep *reporter) {
-			inspect(pkg, func(n ast.Node) bool {
-				be, ok := n.(*ast.BinaryExpr)
-				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		check: perPackage(
+			func(cfg *Config, path string) bool {
+				return matchPackage(path, cfg.FloatPackages)
+			},
+			func(pkg *Package, rep *reporter) {
+				inspect(pkg, func(n ast.Node) bool {
+					be, ok := n.(*ast.BinaryExpr)
+					if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+						return true
+					}
+					if !isFloatExpr(pkg, be.X) || !isFloatExpr(pkg, be.Y) {
+						return true
+					}
+					// Comparing against an exact constant (0, 1, math.Inf) is the
+					// conventional sentinel-check idiom and stays legal; only
+					// variable-to-variable equality is flagged.
+					if isConstExpr(pkg, be.X) || isConstExpr(pkg, be.Y) {
+						return true
+					}
+					rep.reportf(be.OpPos,
+						"%s between accumulated floating-point values rarely means exact equality; compare with a tolerance, or add //lint:ignore float-accum reason: <why> if exactness is intended",
+						be.Op)
 					return true
-				}
-				if !isFloatExpr(pkg, be.X) || !isFloatExpr(pkg, be.Y) {
-					return true
-				}
-				// Comparing against an exact constant (0, 1, math.Inf) is the
-				// conventional sentinel-check idiom and stays legal; only
-				// variable-to-variable equality is flagged.
-				if isConstExpr(pkg, be.X) || isConstExpr(pkg, be.Y) {
-					return true
-				}
-				rep.reportf(be.OpPos,
-					"%s between accumulated floating-point values rarely means exact equality; compare with a tolerance, or add //lint:ignore float-accum <reason> if exactness is intended",
-					be.Op)
-				return true
-			})
-		},
+				})
+			}),
 	}
 }
 

@@ -1,0 +1,12 @@
+// Package decode exercises the derived-source arm of the fixpoint: Loose
+// returns a raw decode result without validating it, so the analysis must
+// treat every Loose call in other packages as a taint source itself.
+package decode
+
+import "taintmod/wire"
+
+// Loose parses and swallows the error: the classic validation bypass.
+func Loose(data []byte) *wire.Envelope {
+	env, _ := wire.DecodeRaw(data)
+	return env
+}

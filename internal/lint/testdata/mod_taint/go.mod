@@ -1,0 +1,3 @@
+module taintmod
+
+go 1.22

@@ -31,10 +31,10 @@ func okVirtual(c *Clock) time.Duration {
 }
 
 func okSuppressed() time.Time {
-	//lint:ignore no-wallclock fixture: justified suppression on the next line
+	//lint:ignore no-wallclock reason: fixture: justified suppression on the next line
 	return time.Now()
 }
 
 func okSuppressedTrailing() time.Time {
-	return time.Now() //lint:ignore no-wallclock fixture: justified trailing suppression
+	return time.Now() //lint:ignore no-wallclock reason: fixture: justified trailing suppression
 }

@@ -1,0 +1,124 @@
+// Package locks exercises the lock-discipline rule: //guardedby:<mutex>
+// annotations on struct fields, the per-function lock-state walk, the
+// *Locked-method convention, constructor freshness, and annotation
+// validation. The directory is outside every scoped rule, so all diagnostics
+// here come from lock-discipline (plus its suppression cases).
+package locks
+
+import "sync"
+
+type counter struct {
+	mu    sync.Mutex
+	count int //guardedby:mu
+	name  string
+}
+
+// badBare reads the guarded field with no lock at all.
+func badBare(c *counter) int {
+	return c.count // want `lock-discipline: field count is //guardedby:mu but accessed in badBare without c\.mu held`
+}
+
+// badAfterUnlock releases the mutex before the second access.
+func badAfterUnlock(c *counter) int {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+	return c.count // want `lock-discipline: field count is //guardedby:mu but accessed in badAfterUnlock without c\.mu held`
+}
+
+// badBranchJoin holds the lock on only one branch: the join must drop it.
+func badBranchJoin(c *counter, cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.count++ // want `lock-discipline: field count is //guardedby:mu but accessed in badBranchJoin without c\.mu held`
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+// badClosure: function literals run on their own goroutine or schedule, so
+// the outer lock does not cover them.
+func badClosure(c *counter) func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.count // want `lock-discipline: field count is //guardedby:mu but accessed in badClosure without c\.mu held`
+	}
+}
+
+// okLocked brackets the access.
+func okLocked(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// okExplicitUnlock uses the non-deferred shape.
+func okExplicitUnlock(c *counter) int {
+	c.mu.Lock()
+	v := c.count
+	c.mu.Unlock()
+	return v
+}
+
+// okFresh builds the value locally: nothing else can see it yet.
+func okFresh() *counter {
+	c := &counter{name: "fresh"}
+	c.count = 1
+	return c
+}
+
+// okUnguarded touches only the unannotated field.
+func okUnguarded(c *counter) string {
+	return c.name
+}
+
+// bumpLocked assumes the caller holds c.mu (the Locked suffix): its body is
+// exempt, its call sites are checked instead.
+func (c *counter) bumpLocked() {
+	c.count++
+}
+
+// badLockedCall invokes a *Locked method without the guarding mutex.
+func badLockedCall(c *counter) {
+	c.bumpLocked() // want `lock-discipline: bumpLocked assumes c\.mu is held \(the Locked suffix\) but badLockedCall calls it without acquiring the lock`
+}
+
+// okLockedCall holds the mutex across the *Locked call.
+func okLockedCall(c *counter) {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// okSuppressed documents a justified exception.
+func okSuppressed(c *counter) int {
+	//lint:ignore lock-discipline reason: fixture: snapshot read, staleness is acceptable here
+	return c.count
+}
+
+// rwStats shows RWMutex support: RLock counts as held.
+type rwStats struct {
+	mu  sync.RWMutex
+	sum float64 //guardedby:mu
+}
+
+func okReadLocked(s *rwStats) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sum
+}
+
+func badReadBare(s *rwStats) float64 {
+	return s.sum // want `lock-discipline: field sum is //guardedby:mu but accessed in badReadBare without s\.mu held`
+}
+
+// badAnnotation names a field that is not a mutex: the annotation itself is
+// the defect.
+type badAnnotation struct {
+	gate  int
+	value int //guardedby:gate // want `lock-discipline: //guardedby:gate names no sync\.Mutex/sync\.RWMutex field of struct badAnnotation; fix the annotation`
+}
+
+func useBadAnnotation(b *badAnnotation) int { return b.value + b.gate }

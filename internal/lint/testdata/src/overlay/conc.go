@@ -32,6 +32,6 @@ func okSequential(xs []int) int {
 }
 
 func okSuppressed() {
-	//lint:ignore no-goroutine-in-sim fixture: justified suppression
+	//lint:ignore no-goroutine-in-sim reason: fixture: justified suppression
 	go func() {}()
 }

@@ -87,9 +87,20 @@ func okLocalReduce(m map[int]int) int {
 
 func okSuppressed(m map[int]string) []string {
 	var out []string
-	//lint:ignore map-order fixture: the caller sorts the result before use
+	//lint:ignore map-order reason: fixture: the caller sorts the result before use
 	for _, v := range m {
-		out = append(out, v)
+		out = append(out, v+"!")
 	}
 	return out
+}
+
+// okLocalReduceStale carries a directive over a loop the rule never flags —
+// the stale-suppression audit must call it out.
+func okLocalReduceStale(m map[int]int) int {
+	total := 0
+	//lint:ignore map-order reason: fixture: stale directive, loop below is clean // want `stale-suppression: //lint:ignore map-order suppressed nothing in this run`
+	for _, v := range m {
+		total += v
+	}
+	return total
 }

@@ -24,6 +24,6 @@ func okOrdering(a, b float64) bool {
 }
 
 func okSuppressed(a, b float64) bool {
-	//lint:ignore float-accum fixture: exactness intended
+	//lint:ignore float-accum reason: fixture: exactness intended
 	return a == b
 }

@@ -24,6 +24,6 @@ func okSeeded(seed int64) int {
 }
 
 func okSuppressed() float64 {
-	//lint:ignore no-global-rand fixture: justified suppression
+	//lint:ignore no-global-rand reason: fixture: justified suppression
 	return rand.ExpFloat64()
 }

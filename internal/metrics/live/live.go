@@ -81,9 +81,9 @@ const histShards = 8
 
 type histShard struct {
 	mu     sync.Mutex
-	counts []uint64
-	count  uint64
-	sum    float64
+	counts []uint64 //guardedby:mu
+	count  uint64   //guardedby:mu
+	sum    float64  //guardedby:mu
 	_      [24]byte // soften false sharing between adjacent shards
 }
 
@@ -150,8 +150,8 @@ type Registry struct {
 	start time.Time
 
 	mu      sync.Mutex
-	ordered []*entry
-	index   map[string]*entry
+	ordered []*entry          //guardedby:mu
+	index   map[string]*entry //guardedby:mu
 }
 
 // NewRegistry returns an empty live registry; snapshot timestamps count

@@ -50,7 +50,7 @@ func equalBounds(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		//lint:ignore float-accum bucket bounds are configured constants, not accumulations; merging requires structural identity
+		//lint:ignore float-accum reason: bucket bounds are configured constants, not accumulations; merging requires structural identity
 		if a[i] != b[i] {
 			return false
 		}

@@ -214,8 +214,15 @@ func (n *Node) guardAdmit(env wire.Envelope) bool {
 
 // noteWireReject attributes a failed decode/validation to its claimed sender
 // (when one parsed) and scores it. Quarantined senders are silently dropped.
+//
+// The sender address comes from the REJECTED envelope, so it is the one field
+// here that never passed validation: without the ValidAddr check below, a
+// forger could plant arbitrary ~64KB strings (or invalid UTF-8) as guard-table
+// keys — memory amplification via the very table that exists to punish it,
+// and quarantine entries no honest sender address can ever match. Found by
+// the wire-taint lint rule (param-sink flow into the n.guard map index).
 func (n *Node) noteWireReject(from wire.Addr) {
-	if n.cfg.DisableGuard || from == "" {
+	if n.cfg.DisableGuard || from == "" || !wire.ValidAddr(from) {
 		return
 	}
 	now := time.Now()

@@ -382,68 +382,71 @@ type Node struct {
 	transport Transport
 
 	mu         sync.Mutex
-	attached   bool
-	parent     wire.Addr
-	parentSeen time.Time
-	parentBTP  float64
-	parentBW   float64
-	depth      int
-	children   map[wire.Addr]*peer
-	ancestors  []wire.Addr
-	joinedAt   time.Time
-	switching  bool
+	attached   bool                //guardedby:mu
+	parent     wire.Addr           //guardedby:mu
+	parentSeen time.Time           //guardedby:mu
+	parentBTP  float64             //guardedby:mu
+	parentBW   float64             //guardedby:mu
+	depth      int                 //guardedby:mu
+	children   map[wire.Addr]*peer //guardedby:mu
+	ancestors  []wire.Addr         //guardedby:mu
+	joinedAt   time.Time           //guardedby:mu
+	switching  bool                //guardedby:mu
 
-	membership map[wire.Addr]memberRecord
+	membership map[wire.Addr]memberRecord //guardedby:mu
 	// guard holds the per-peer misbehavior state (see guard.go); jumpStreak
 	// counts consecutive parent packets rejected as implausible sequence
 	// jumps, so a genuine stream discontinuity resynchronises instead of
 	// starving forever.
-	guard      map[wire.Addr]*guardPeer
-	jumpStreak int
+	guard      map[wire.Addr]*guardPeer //guardedby:mu
+	jumpStreak int                      //guardedby:mu
 	// lastJoinTarget detects unanswered join attempts: a candidate that
 	// neither accepts nor rejects within one tick is presumed dead and
 	// dropped from the view (dead members never send Rejects).
-	lastJoinTarget wire.Addr
+	lastJoinTarget wire.Addr //guardedby:mu
 
 	// buffer holds recent packets for repair service and loss detection.
-	buffer  map[int64][]byte
-	highest int64
+	buffer  map[int64][]byte //guardedby:mu
+	highest int64            //guardedby:mu
 	// Playback clock: packet playFirst plays at playStart; the deadline of
 	// packet n is playStart + (n - playFirst)/rate. playChecked is the last
 	// sequence already scored.
-	playFirst   int64
-	playStart   time.Time
-	playChecked int64
-	// repairing marks ranges under upstream recovery (set by ELN).
-	upstreamRepair int64 // highest sequence covered by a received ELN
+	playFirst   int64     //guardedby:mu
+	playStart   time.Time //guardedby:mu
+	playChecked int64     //guardedby:mu
+	// upstreamRepair marks ranges under upstream recovery: the highest
+	// sequence covered by a received ELN.
+	upstreamRepair int64 //guardedby:mu
 
 	// Join backoff: joinStreak counts consecutive unanswered attempts (reset
 	// on attach and detach); joinRng draws the deterministic jitter.
-	joinStreak int
+	// The RNGs themselves are only touched from the single loop goroutine
+	// that owns them, so they carry no annotation.
+	joinStreak int //guardedby:mu
 	joinRng    *xrand.Source
 	// Repair backoff: detected gaps merge into [pendFirst, pendLast] and
 	// drain through a jittered gate — at most one striped request per
 	// interval. repairStreak widens the gate while repairs go unanswered and
 	// resets when repair data arrives.
-	pendFirst    int64
-	pendLast     int64
-	repairStreak int
-	repairNextAt time.Time
+	pendFirst    int64     //guardedby:mu
+	pendLast     int64     //guardedby:mu
+	repairStreak int       //guardedby:mu
+	repairNextAt time.Time //guardedby:mu
 	repairRng    *xrand.Source
 	// inStall tracks whether the playout clock is currently starved (for
 	// stall-transition counting).
-	inStall bool
+	inStall bool //guardedby:mu
 	// Stream-stall watchdog state: streamSeen arms it (never before the first
 	// accepted packet, so idle overlays don't churn); lastStream and
 	// attachedAt anchor the no-stream window.
-	streamSeen bool
-	lastStream time.Time
-	attachedAt time.Time
+	streamSeen bool      //guardedby:mu
+	lastStream time.Time //guardedby:mu
+	attachedAt time.Time //guardedby:mu
 
-	stats Stats
+	stats Stats //guardedby:mu
 	met   nodeMetrics
 
-	seq  uint64
+	seq  uint64 //guardedby:mu
 	done chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once

@@ -38,11 +38,13 @@ var ErrUnknownAddr = errors.New("node: unknown address")
 // endpoint is a registered mailbox, delivery happens on a per-endpoint
 // goroutine after a configurable latency.
 type MemNetwork struct {
-	mu      sync.Mutex
-	nodes   map[wire.Addr]*memEndpoint
+	mu    sync.Mutex
+	nodes map[wire.Addr]*memEndpoint //guardedby:mu
+	// latency is set once at construction and never mutated, so reads from
+	// Send goroutines need no lock (and no annotation).
 	latency func(from, to wire.Addr) time.Duration
 	wg      sync.WaitGroup
-	closed  bool
+	closed  bool //guardedby:mu
 
 	// mailboxDrops counts datagrams discarded because a destination mailbox
 	// was full — congestion that used to be invisible. dropMetric mirrors it
@@ -137,8 +139,8 @@ type memEndpoint struct {
 	addr wire.Addr
 
 	mu      sync.Mutex
-	handler func([]byte)
-	closed  bool
+	handler func([]byte) //guardedby:mu
+	closed  bool         //guardedby:mu
 
 	inCh chan []byte
 	done chan struct{}
@@ -226,8 +228,8 @@ type UDPTransport struct {
 	addr wire.Addr
 
 	mu      sync.Mutex
-	handler func([]byte)
-	closed  bool
+	handler func([]byte) //guardedby:mu
+	closed  bool         //guardedby:mu
 	wg      sync.WaitGroup
 }
 

@@ -115,7 +115,7 @@ func CDF(xs []float64) []CDFPoint {
 	n := float64(len(sorted))
 	for i := 0; i < len(sorted); i++ {
 		// Emit a point only at the last occurrence of each distinct value.
-		//lint:ignore float-accum exact duplicate collapse over sorted values is intended
+		//lint:ignore float-accum reason: exact duplicate collapse over sorted values is intended
 		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
 			continue
 		}

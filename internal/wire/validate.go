@@ -114,10 +114,10 @@ func finiteNonNeg(v, max float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 && v <= max
 }
 
-// validAddr bounds an address and requires valid UTF-8: JSON re-encoding
+// ValidAddr bounds an address and requires valid UTF-8: JSON re-encoding
 // replaces invalid sequences, so a non-UTF-8 address would not survive a
 // relay byte-identically (and real transports never produce one).
-func validAddr(a Addr) bool {
+func ValidAddr(a Addr) bool {
 	return a != "" && len(a) <= MaxAddrLen && utf8.ValidString(string(a))
 }
 
@@ -134,13 +134,13 @@ func Validate(env Envelope) error {
 	if env.From == "" {
 		return bad(t, ReasonSender, "missing sender")
 	}
-	if !validAddr(env.From) {
+	if !ValidAddr(env.From) {
 		return bad(t, ReasonAddr, "sender address %d bytes > %d", len(env.From), MaxAddrLen)
 	}
-	if env.Requester != "" && !validAddr(env.Requester) {
+	if env.Requester != "" && !ValidAddr(env.Requester) {
 		return bad(t, ReasonAddr, "requester address %d bytes > %d", len(env.Requester), MaxAddrLen)
 	}
-	if env.NewParent != "" && !validAddr(env.NewParent) {
+	if env.NewParent != "" && !ValidAddr(env.NewParent) {
 		return bad(t, ReasonAddr, "new_parent address %d bytes > %d", len(env.NewParent), MaxAddrLen)
 	}
 	if !finiteNonNeg(env.Bandwidth, MaxBandwidth) {
@@ -218,7 +218,7 @@ func validateChain(env Envelope) error {
 	}
 	seen := make(map[Addr]bool, len(env.Chain))
 	for _, a := range env.Chain {
-		if !validAddr(a) {
+		if !ValidAddr(a) {
 			return bad(t, ReasonChain, "empty or oversized chain entry")
 		}
 		if a == env.From {
@@ -246,7 +246,7 @@ func validateMembers(env Envelope) error {
 		return bad(t, ReasonMembers, "member list length %d > %d", len(env.Members), MaxMembers)
 	}
 	for _, m := range env.Members {
-		if !validAddr(m.Addr) {
+		if !ValidAddr(m.Addr) {
 			return bad(t, ReasonMembers, "empty or oversized member address")
 		}
 		if m.Depth < 0 || m.Depth > MaxDepth {
@@ -262,7 +262,7 @@ func validateMembers(env Envelope) error {
 			return bad(t, ReasonMembers, "member %s ancestor path %d > %d", m.Addr, len(m.Ancestors), MaxAncestors)
 		}
 		for _, a := range m.Ancestors {
-			if !validAddr(a) {
+			if !ValidAddr(a) {
 				return bad(t, ReasonMembers, "member %s has an empty or oversized ancestor", m.Addr)
 			}
 		}

@@ -156,6 +156,24 @@ func Encode(env Envelope) ([]byte, error) {
 	return b, nil
 }
 
+// DecodeRaw parses an envelope WITHOUT semantic validation: only the
+// datagram size cap and JSON well-formedness are enforced. Everything in the
+// result is attacker-controlled until Validate accepts it — which is exactly
+// how the wire-taint lint rule treats DecodeRaw results. Use Decode unless
+// you are a tool (fuzzer, adversary model, wire inspector) that needs the
+// pre-validation view.
+func DecodeRaw(b []byte) (Envelope, error) {
+	if len(b) > MaxDatagram {
+		return Envelope{}, &ValidationError{Reason: ReasonSize,
+			Detail: fmt.Sprintf("datagram %d bytes > %d", len(b), MaxDatagram)}
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return Envelope{}, fmt.Errorf("wire: decoding: %w", err)
+	}
+	return env, nil
+}
+
 // Decode parses an envelope and runs the full semantic validators (see
 // Validate): every envelope it returns with a nil error is one an honest
 // node could have sent. On a validation failure the partially decoded
@@ -164,13 +182,9 @@ func Encode(env Envelope) ([]byte, error) {
 // its misbehavior scores on this); on a JSON syntax failure the envelope is
 // zero. Classify errors with Reason.
 func Decode(b []byte) (Envelope, error) {
-	if len(b) > MaxDatagram {
-		return Envelope{}, &ValidationError{Reason: ReasonSize,
-			Detail: fmt.Sprintf("datagram %d bytes > %d", len(b), MaxDatagram)}
-	}
-	var env Envelope
-	if err := json.Unmarshal(b, &env); err != nil {
-		return Envelope{}, fmt.Errorf("wire: decoding: %w", err)
+	env, err := DecodeRaw(b)
+	if err != nil {
+		return env, err
 	}
 	if err := Validate(env); err != nil {
 		return env, err
