@@ -9,6 +9,12 @@
 //	omcast-chaos -scenario lossy-10 -log    # include the canonical fault log
 //	omcast-chaos -scenario lossy-10 -seed 7 # same faults, different dice
 //
+// With -trace-out the runs' causal spans (every node's flight-recorder
+// episodes plus fault-window annotations) are written as JSONL, ready for
+// `omcast-trace analyze` or `omcast-trace convert -format perfetto`:
+//
+//	omcast-chaos -scenario parent-crash -trace-out spans.jsonl
+//
 // Custom fault schedules (the JSON format of internal/faultnet) run against a
 // default overlay:
 //
@@ -25,6 +31,7 @@ import (
 
 	"omcast/internal/faultnet"
 	"omcast/internal/faultnet/live"
+	"omcast/internal/tracing"
 )
 
 func main() {
@@ -42,6 +49,7 @@ func run() int {
 		nodes    = flag.Int("nodes", 8, "member count for -schedule runs")
 		duration = flag.Duration("duration", 3*time.Second, "fault run length for -schedule runs")
 		warmup   = flag.Duration("warmup", 5*time.Second, "attach deadline before faults arm for -schedule runs (0 = faults from birth)")
+		traceOut = flag.String("trace-out", "", "write the runs' causal spans (recovery episodes + fault windows) as JSONL to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -89,6 +97,7 @@ func run() int {
 		return 2
 	}
 
+	var spans []tracing.Span
 	failed := false
 	for _, scn := range run {
 		if *seed != 0 {
@@ -118,12 +127,36 @@ func run() int {
 		if *showLog {
 			fmt.Printf("--- fault log\n%s--- link stats\n%s", rep.FaultLog, rep.FaultStats)
 		}
+		spans = append(spans, rep.Spans...)
 		if !rep.OK() {
 			failed = true
 		}
+	}
+	if *traceOut != "" {
+		if err := writeSpans(*traceOut, spans); err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-chaos: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "omcast-chaos: wrote %d spans to %s\n", len(spans), *traceOut)
 	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// writeSpans dumps spans as JSONL to path ("-" for stdout).
+func writeSpans(path string, spans []tracing.Span) error {
+	if path == "-" {
+		return tracing.WriteJSONL(os.Stdout, spans)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracing.WriteJSONL(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -17,8 +17,14 @@
 // With -http the node also serves its observability surface:
 //
 //	omcast-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -http 127.0.0.1:9090
-//	curl -s http://127.0.0.1:9090/metrics   # Prometheus text format
-//	curl -s http://127.0.0.1:9090/healthz   # 200 once attached, 503 before
+//	curl -s http://127.0.0.1:9090/metrics      # Prometheus text format
+//	curl -s http://127.0.0.1:9090/healthz      # 200 once attached, 503 before
+//	curl -s http://127.0.0.1:9090/debug/trace  # span flight recorder (JSONL)
+//
+// /debug/trace dumps the node's causal-span flight recorder: the last
+// -trace-buf completed recovery episodes (rejoins with per-attempt children,
+// CER repair round-trips, playback stalls), pipeable straight into
+// `omcast-trace analyze` or `omcast-trace convert -format perfetto`.
 //
 // For resilience drills, -faults injects a JSON fault schedule (the
 // internal/faultnet format: loss, latency, partitions, timed events) on this
@@ -33,32 +39,68 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
 
 	"omcast/internal/faultnet"
 	fnlive "omcast/internal/faultnet/live"
+	"omcast/internal/metrics"
 	"omcast/internal/metrics/live"
 	"omcast/internal/node"
+	"omcast/internal/tracing/flight"
 	"omcast/internal/wire"
 )
 
+// processStart anchors the uptime gauge and the /healthz uptime field.
+//
+//lint:ignore no-wallclock reason: live node uptime is wall-clock by definition
+var processStart = time.Now()
+
+// buildVersion reports the module version baked into the binary ("(devel)"
+// for plain `go build`, a tag or pseudo-version for `go install m@v`).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
 // newMux builds the node's HTTP surface: /metrics in the Prometheus text
-// exposition format and /healthz reporting tree attachment.
-func newMux(n *node.Node, reg *live.Registry) *http.ServeMux {
+// exposition format (with build info and a scrape-time uptime gauge),
+// /healthz reporting tree attachment, and /debug/trace dumping the span
+// flight recorder as JSONL (empty when tracing is disabled).
+func newMux(n *node.Node, reg *live.Registry, ring *flight.Ring) *http.ServeMux {
+	buildInfo := reg.Gauge("omcast_build_info",
+		"Build metadata carried in labels; the value is always 1.",
+		metrics.Label{Key: "version", Value: buildVersion()},
+		metrics.Label{Key: "goversion", Value: runtime.Version()})
+	buildInfo.Set(1)
+	uptime := reg.Gauge("omcast_node_uptime_seconds", "Seconds since process start.")
+	metricsHandler := live.Handler(reg)
+
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", live.Handler(reg))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		//lint:ignore no-wallclock reason: uptime gauge measures real elapsed time at scrape
+		uptime.Set(time.Since(processStart).Seconds())
+		metricsHandler.ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		s := n.Stats()
+		//lint:ignore no-wallclock reason: uptime field reports real elapsed time
+		up := time.Since(processStart).Round(time.Second)
 		if s.Attached {
 			w.WriteHeader(http.StatusOK)
-			fmt.Fprintf(w, "ok depth=%d children=%d\n", s.Depth, s.Children)
+			fmt.Fprintf(w, "ok depth=%d children=%d version=%s uptime=%s\n",
+				s.Depth, s.Children, buildVersion(), up)
 			return
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "joining")
+		fmt.Fprintf(w, "joining version=%s uptime=%s\n", buildVersion(), up)
 	})
+	mux.Handle("/debug/trace", flight.Handler(ring))
 	return mux
 }
 
@@ -83,6 +125,7 @@ func run() int {
 		noGuard    = flag.Bool("no-guard", false, "disable the per-peer misbehavior guard (rate limiting, quarantine, BTP audit)")
 		guardRate  = flag.Float64("guard-rate", 0, "per-peer request rate limit in requests/second (0 = default)")
 		guardScore = flag.Float64("guard-score", 0, "misbehavior score that triggers quarantine (0 = default)")
+		traceBuf   = flag.Int("trace-buf", flight.DefaultSize, "span flight-recorder capacity served on /debug/trace (0 = disable span tracing)")
 	)
 	flag.Parse()
 
@@ -120,7 +163,7 @@ func run() int {
 		fnet.Start()
 		fmt.Printf("omcast-node: injecting faults from %s (seed %d)\n", *faults, sch.Seed)
 	}
-	n := node.New(node.Config{
+	cfg := node.Config{
 		Source:               *source,
 		Bandwidth:            *bandwidth,
 		StreamRate:           *rate,
@@ -132,7 +175,13 @@ func run() int {
 		GuardRequestRate:     *guardRate,
 		GuardQuarantineScore: *guardScore,
 		Metrics:              reg,
-	}, tr)
+	}
+	var ring *flight.Ring
+	if *traceBuf > 0 {
+		ring = flight.NewRing(*traceBuf)
+		cfg.Trace = ring
+	}
+	n := node.New(cfg, tr)
 	n.Start()
 	role := "member"
 	if *source {
@@ -140,7 +189,7 @@ func run() int {
 	}
 	fmt.Printf("omcast-node: %s listening on %s\n", role, n.Addr())
 	if *httpAddr != "" {
-		srv := &http.Server{Addr: *httpAddr, Handler: newMux(n, reg)}
+		srv := &http.Server{Addr: *httpAddr, Handler: newMux(n, reg, ring)}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "omcast-node: http: %v\n", err)

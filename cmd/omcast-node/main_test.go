@@ -10,12 +10,14 @@ import (
 
 	"omcast/internal/metrics/live"
 	"omcast/internal/node"
+	"omcast/internal/tracing"
+	"omcast/internal/tracing/flight"
 	"omcast/internal/wire"
 )
 
 // bootPair starts a source and one member on an in-memory network and
-// returns them with their live registries.
-func bootPair(t *testing.T) (src, member *node.Node, srcReg, memReg *live.Registry) {
+// returns them with their live registries and the member's flight ring.
+func bootPair(t *testing.T) (src, member *node.Node, srcReg, memReg *live.Registry, memRing *flight.Ring) {
 	t.Helper()
 	network := node.NewMemNetwork(nil)
 	t.Cleanup(network.Close)
@@ -36,6 +38,7 @@ func bootPair(t *testing.T) (src, member *node.Node, srcReg, memReg *live.Regist
 	t.Cleanup(src.Kill)
 
 	memReg = live.NewRegistry()
+	memRing = flight.NewRing(0)
 	mep, err := network.Endpoint("member")
 	if err != nil {
 		t.Fatal(err)
@@ -45,10 +48,11 @@ func bootPair(t *testing.T) (src, member *node.Node, srcReg, memReg *live.Regist
 		Bootstrap:         []wire.Addr{"source"},
 		HeartbeatInterval: 20 * time.Millisecond,
 		Metrics:           memReg,
+		Trace:             memRing,
 	}, mep)
 	member.Start()
 	t.Cleanup(member.Kill)
-	return src, member, srcReg, memReg
+	return src, member, srcReg, memReg, memRing
 }
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
@@ -66,8 +70,8 @@ func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Hea
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	src, _, srcReg, _ := bootPair(t)
-	srv := httptest.NewServer(newMux(src, srcReg))
+	src, _, srcReg, _, _ := bootPair(t)
+	srv := httptest.NewServer(newMux(src, srcReg, nil))
 	defer srv.Close()
 
 	code, body, hdr := get(t, srv, "/metrics")
@@ -80,6 +84,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE omcast_node_heartbeats_sent_total counter",
 		"omcast_node_attached 1",
+		`omcast_build_info{goversion="`, // build metadata rides the registry
+		"# TYPE omcast_node_uptime_seconds gauge",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)
@@ -88,18 +94,24 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestHealthzLifecycle(t *testing.T) {
-	src, member, srcReg, memReg := bootPair(t)
+	src, member, srcReg, memReg, memRing := bootPair(t)
 
-	// The source is attached by definition: healthy immediately.
-	srcSrv := httptest.NewServer(newMux(src, srcReg))
+	// The source is attached by definition: healthy immediately, and the
+	// health line carries build identity and uptime.
+	srcSrv := httptest.NewServer(newMux(src, srcReg, nil))
 	defer srcSrv.Close()
 	code, body, _ := get(t, srcSrv, "/healthz")
 	if code != http.StatusOK || !strings.HasPrefix(body, "ok ") {
 		t.Fatalf("source /healthz = %d %q, want 200 ok", code, body)
 	}
+	for _, want := range []string{"version=", "uptime="} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("source /healthz %q missing %q", body, want)
+		}
+	}
 
 	// The member reports 503 until it attaches, then 200.
-	memSrv := httptest.NewServer(newMux(member, memReg))
+	memSrv := httptest.NewServer(newMux(member, memReg, memRing))
 	defer memSrv.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	sawJoining := false
@@ -121,4 +133,45 @@ func TestHealthzLifecycle(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	_ = sawJoining // racing the join is fine; 503-then-200 is asserted when observed
+}
+
+// TestDebugTraceEndpoint waits for the member's boot join episode to
+// complete and asserts /debug/trace serves it as parseable span JSONL.
+func TestDebugTraceEndpoint(t *testing.T) {
+	_, member, _, memReg, memRing := bootPair(t)
+	srv := httptest.NewServer(newMux(member, memReg, memRing))
+	defer srv.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !member.Stats().Attached {
+		if time.Now().After(deadline) {
+			t.Fatal("member never attached")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The join span is recorded under the node mutex before Attached flips,
+	// so it is visible as soon as the poll above succeeds.
+	code, body, hdr := get(t, srv, "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	spans, err := tracing.ReadSpans(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("parsing /debug/trace: %v", err)
+	}
+	var joined bool
+	for _, sp := range spans {
+		if sp.Kind == tracing.KindJoin && sp.Outcome == "attached" {
+			joined = true
+			if sp.Node != string(member.Addr()) {
+				t.Fatalf("join span node = %q, want %q", sp.Node, member.Addr())
+			}
+		}
+	}
+	if !joined {
+		t.Fatalf("no completed join span in /debug/trace:\n%s", body)
+	}
 }

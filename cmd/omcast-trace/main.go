@@ -1,25 +1,44 @@
-// Command omcast-trace runs one simulated session and streams its overlay
-// events (joins, rejoins, departures, failures, ROST switches — plus CER
-// repair outcomes with -stream and periodic metric snapshots with -sample)
-// as JSON lines — a machine-readable feed for offline analysis or
-// visualisation. The stream is deterministic in -seed.
+// Command omcast-trace produces and consumes the JSONL trace stream.
 //
-// Usage:
+// With no subcommand it runs one simulated session and streams its overlay
+// events (joins, rejoins, departures, failures, ROST switches — plus CER
+// repair outcomes with -stream, periodic metric snapshots with -sample, and
+// causal episode spans with -spans) as JSON lines — a machine-readable feed
+// for offline analysis or visualisation. The stream is deterministic in
+// -seed.
 //
 //	omcast-trace -alg rost -size 2000 > session.jsonl
 //	omcast-trace -alg min-depth -size 500 -measure 30m | jq .event | sort | uniq -c
 //	omcast-trace -size 500 -small -sample 5m | jq 'select(.event=="sample")'
 //	omcast-trace -size 500 -small -stream -group 3 | jq 'select(.event=="repair")'
+//	omcast-trace -size 500 -small -spans | jq 'select(.event=="span")'
+//
+// The analyze subcommand digests a span-bearing trace (from this command's
+// -spans mode, `omcast-chaos -trace-out`, or a live node's /debug/trace)
+// into episode statistics: per-kind counts and outcomes, duration
+// percentiles (the rejoin waterfall, repair round-trips, starving windows),
+// and stage offset/duration breakdowns within episodes.
+//
+//	omcast-trace -size 500 -small -stream -spans | omcast-trace analyze
+//	omcast-trace analyze session.jsonl
+//
+// The convert subcommand re-renders spans for other tools; -format perfetto
+// emits Chrome trace-event JSON (one track per member/node) loadable in
+// https://ui.perfetto.dev or chrome://tracing.
+//
+//	omcast-trace -size 500 -small -stream -spans | omcast-trace convert -format perfetto > trace.json
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"omcast"
+	"omcast/internal/tracing"
 )
 
 func main() {
@@ -27,6 +46,100 @@ func main() {
 }
 
 func run() int {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "analyze":
+			return runAnalyze(os.Args[2:])
+		case "convert":
+			return runConvert(os.Args[2:])
+		}
+	}
+	return runSim()
+}
+
+// openInput resolves a subcommand's trace source: the sole positional
+// argument as a file, or stdin when none is given.
+func openInput(fs *flag.FlagSet) (io.ReadCloser, error) {
+	switch fs.NArg() {
+	case 0:
+		return io.NopCloser(os.Stdin), nil
+	case 1:
+		return os.Open(fs.Arg(0))
+	default:
+		return nil, fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+}
+
+// runAnalyze digests a span trace into episode statistics.
+func runAnalyze(args []string) int {
+	fs := flag.NewFlagSet("omcast-trace analyze", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: omcast-trace analyze [trace.jsonl]  (stdin when omitted)")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	in, err := openInput(fs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 2
+	}
+	defer in.Close()
+	tr, err := tracing.Parse(bufio.NewReader(in))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 1
+	}
+	a := tracing.Analyze(tr)
+	if a.TotalSpans == 0 {
+		fmt.Fprintln(os.Stderr, "omcast-trace: no spans in input (produce them with -spans, -trace-out or /debug/trace)")
+	}
+	out := bufio.NewWriter(os.Stdout)
+	a.WriteText(out)
+	if err := out.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runConvert re-renders a span trace in another tool's format.
+func runConvert(args []string) int {
+	fs := flag.NewFlagSet("omcast-trace convert", flag.ExitOnError)
+	format := fs.String("format", "perfetto", "output format: perfetto (Chrome trace-event JSON)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: omcast-trace convert -format perfetto [trace.jsonl]  (stdin when omitted)")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *format != "perfetto" {
+		fmt.Fprintf(os.Stderr, "omcast-trace: unknown format %q (supported: perfetto)\n", *format)
+		return 2
+	}
+	in, err := openInput(fs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 2
+	}
+	defer in.Close()
+	spans, err := tracing.ReadSpans(bufio.NewReader(in))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 1
+	}
+	out := bufio.NewWriter(os.Stdout)
+	if err := tracing.WritePerfetto(out, spans); err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 1
+	}
+	if err := out.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runSim is the original mode: run one simulation, stream its trace.
+func runSim() int {
 	var (
 		algName = flag.String("alg", "rost", "algorithm: min-depth, longest-first, relaxed-bo, relaxed-to, rost")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -37,6 +150,7 @@ func run() int {
 		sample  = flag.Duration("sample", 0, "emit a metrics snapshot every interval of virtual time (0 = off)")
 		stream  = flag.Bool("stream", false, "run the packet-level CER layer too (adds repair events)")
 		group   = flag.Int("group", 3, "CER recovery group size (with -stream)")
+		spans   = flag.Bool("spans", false, "emit causal episode spans (rejoin/repair/switch/stall timelines)")
 	)
 	flag.Parse()
 
@@ -62,7 +176,7 @@ func run() int {
 		cfg.Topology = omcast.SmallTopology()
 	}
 	out := bufio.NewWriter(os.Stdout)
-	topts := omcast.TraceOptions{SampleEvery: *sample}
+	topts := omcast.TraceOptions{SampleEvery: *sample, Spans: *spans}
 	var res omcast.TreeResult
 	var err error
 	if *stream {

@@ -3,6 +3,7 @@ package omcast_test
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,5 +156,86 @@ func TestSampledStreamingTraceByteIdentical(t *testing.T) {
 	}
 	if first != second {
 		t.Fatal("same seed produced different sampled streaming trace streams")
+	}
+}
+
+// TestSpanTraceByteIdentical extends the determinism gate to the causal
+// span layer: a span-enabled trace must be byte-identical across reruns at
+// a fixed seed — span IDs derive from (seed, member, sequence) alone, so
+// nothing run-local (pointers, global counters, wall time) may leak in.
+func TestSpanTraceByteIdentical(t *testing.T) {
+	cfg := omcast.Config{
+		Seed:       11,
+		Algorithm:  omcast.ROST,
+		TargetSize: 200,
+		Topology:   omcast.SmallTopology(),
+		Warmup:     600 * time.Second,
+		Measure:    900 * time.Second,
+	}
+	opts := omcast.TraceOptions{Spans: true}
+	run := func() string {
+		var buf strings.Builder
+		if _, err := omcast.RunWithTraceOptions(cfg, &buf, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := run()
+	second := run()
+	for _, want := range []string{`"event":"span"`, `"kind":"rejoin"`} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("span-enabled run emitted no %s lines", want)
+		}
+	}
+	if first != second {
+		t.Fatal("same seed produced different span traces")
+	}
+}
+
+// TestSpanStreamingTraceByteIdentical covers the packet level (repair
+// episodes with fetch/stall stages) and additionally runs the two traced
+// simulations concurrently: if span IDs or sequences lived in any shared
+// state — the failure mode that would break byte-identity across the
+// experiment engine's -workers fan-out — the interleaved runs would
+// diverge from the serial baseline.
+func TestSpanStreamingTraceByteIdentical(t *testing.T) {
+	cfg := omcast.Config{
+		Seed:       13,
+		Algorithm:  omcast.ROST,
+		TargetSize: 150,
+		Topology:   omcast.SmallTopology(),
+		Warmup:     600 * time.Second,
+		Measure:    900 * time.Second,
+	}
+	scfg := omcast.StreamConfig{Recovery: omcast.CER, GroupSize: 3}
+	opts := omcast.TraceOptions{Spans: true}
+	run := func() string {
+		var buf strings.Builder
+		if _, err := omcast.RunStreamingWithTrace(cfg, scfg, &buf, opts); err != nil {
+			t.Error(err)
+			return ""
+		}
+		return buf.String()
+	}
+	serial := run()
+	for _, want := range []string{`"kind":"rejoin"`, `"kind":"repair"`, `"kind":"fetch"`} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("streaming span run emitted no %s spans", want)
+		}
+	}
+	results := make([]string, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if got != serial {
+			t.Fatalf("concurrent run %d diverged from the serial trace", i)
+		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"omcast/internal/experiments"
 	"omcast/internal/overlay"
 	"omcast/internal/topology"
+	"omcast/internal/tracing"
 	"omcast/internal/xrand"
 )
 
@@ -49,6 +50,7 @@ func Suite(quick bool) []Case {
 		{Name: "eventsim/cancel-churn", Bench: benchCancelChurn},
 		{Name: "overlay/sample-100", Bench: benchSample},
 		{Name: "topology/delay", Bench: benchDelay},
+		{Name: "tracing/span-emit", Bench: benchSpanEmit},
 		{Name: "experiments/fig11-tiny", Bench: benchFig11Tiny},
 	}
 }
@@ -114,6 +116,24 @@ func benchSample(b *testing.B) {
 		if got := tree.Sample(rng, 100, nil); len(got) != 100 {
 			b.Fatal("short sample")
 		}
+	}
+}
+
+// benchSpanEmit is the tracing hot path: open an episode, annotate it, end
+// a child stage and the episode itself — the per-repair cost the streaming
+// layer pays when span tracing is enabled (the disabled path is pinned to
+// zero allocations by the tracing package's own AllocsPerRun test).
+func benchSpanEmit(b *testing.B) {
+	sink := tracing.RecorderFunc(func(tracing.Span) {})
+	tr := tracing.New(1, sink)
+	at := time.Duration(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(tracing.KindRepair, int64(i%128), at).AttrInt("first", int64(i))
+		sp.Child(tracing.KindFetch, int64(i%128), at).End(at+time.Second, "striped")
+		sp.End(at+2*time.Second, "filled")
+		at += time.Millisecond
 	}
 }
 

@@ -431,6 +431,19 @@ type Episode struct {
 // requester; packets absent from the map are lost.
 type Plan map[int64]time.Duration
 
+// ServerPlan is one recovery server's share of a planned episode: the
+// per-peer fetch detail behind a repair span. Phase is "striped" for the
+// sequence-space slice a server supplies directly and "backlog" for the
+// group's post-resume catch-up (attributed to the lead server, whose
+// transfer path the backlog packets take).
+type ServerPlan struct {
+	Server  Server
+	Phase   string
+	Packets int
+	// First and Last bound the arrival times of this share's packets.
+	First, Last time.Duration
+}
+
 // PlanRecovery computes repair arrivals for an episode.
 //
 // Striped phase: the missing-sequence space is partitioned by (n mod 100)
@@ -444,9 +457,21 @@ type Plan map[int64]time.Duration
 // linearly with queue position. Whether they beat their playback deadlines
 // is the buffer-size trade-off of Figure 13.
 func PlanRecovery(ep Episode, servers []Server) Plan {
+	plan, _ := planRecovery(ep, servers, false)
+	return plan
+}
+
+// PlanRecoveryDetail is PlanRecovery returning, additionally, the
+// per-server breakdown (tracing only — the hot path calls PlanRecovery and
+// pays nothing for the detail).
+func PlanRecoveryDetail(ep Episode, servers []Server) (Plan, []ServerPlan) {
+	return planRecovery(ep, servers, true)
+}
+
+func planRecovery(ep Episode, servers []Server, detail bool) (Plan, []ServerPlan) {
 	plan := make(Plan, ep.LastMissing-ep.FirstMissing+1)
 	if len(servers) == 0 || ep.Rate <= 0 {
-		return plan
+		return plan, nil
 	}
 	usable := servers
 	if !ep.Striped {
@@ -461,7 +486,7 @@ func PlanRecovery(ep Episode, servers []Server) Plan {
 			}
 		}
 		if len(usable) == 0 {
-			return plan
+			return plan, nil
 		}
 	}
 	// Striped ranges over [0,1) of the (n mod 100)/100 space.
@@ -479,17 +504,36 @@ func PlanRecovery(ep Episode, servers []Server) Plan {
 		slices = append(slices, slice{lo: cum, hi: hi, srv: s})
 		cum = hi
 	}
+	var det []ServerPlan
+	if detail {
+		det = make([]ServerPlan, len(slices))
+		for i := range slices {
+			det[i] = ServerPlan{Server: slices[i].srv, Phase: "striped"}
+		}
+	}
+	record := func(sp *ServerPlan, at time.Duration) {
+		if sp.Packets == 0 || at < sp.First {
+			sp.First = at
+		}
+		if at > sp.Last {
+			sp.Last = at
+		}
+		sp.Packets++
+	}
 	var backlog []int64
 	for n := ep.FirstMissing; n <= ep.LastMissing; n++ {
 		frac := float64(n%100) / 100
 		covered := false
-		for _, sl := range slices {
+		for i, sl := range slices {
 			if frac >= sl.lo && frac < sl.hi {
 				at := ep.RequestAt + sl.srv.ChainDelay
 				if g := ep.Gen(n); g > at {
 					at = g // live forwarding of not-yet-generated packets
 				}
 				plan[n] = at + sl.srv.Transfer
+				if detail {
+					record(&det[i], plan[n])
+				}
 				covered = true
 				break
 			}
@@ -506,12 +550,37 @@ func PlanRecovery(ep Episode, servers []Server) Plan {
 		}
 	}
 	if aggregate <= 0 {
-		return plan
+		return plan, compactDetail(det)
 	}
 	rate := aggregate * ep.Rate // packets per second
+	var back ServerPlan
+	if detail {
+		back = ServerPlan{Server: usable[0], Phase: "backlog"}
+	}
 	for k, n := range backlog {
 		service := time.Duration(float64(k+1) / rate * float64(time.Second))
 		plan[n] = ep.ResumeAt + service + usable[0].Transfer
+		if detail {
+			record(&back, plan[n])
+		}
 	}
-	return plan
+	if detail && back.Packets > 0 {
+		det = append(det, back)
+	}
+	return plan, compactDetail(det)
+}
+
+// compactDetail drops servers whose slice covered no packets (an episode
+// narrower than the stripe layout).
+func compactDetail(det []ServerPlan) []ServerPlan {
+	if det == nil {
+		return nil
+	}
+	out := det[:0]
+	for _, d := range det {
+		if d.Packets > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
 }

@@ -153,6 +153,10 @@ type Hooks struct {
 	OnDepart func(sim *eventsim.Simulator, id overlay.MemberID)
 	// OnRejoin fires when an orphan re-attaches after a parent failure.
 	OnRejoin func(sim *eventsim.Simulator, m *overlay.Member)
+	// OnRejoinBlocked fires when an orphan's rejoin attempt finds the
+	// overlay saturated and must back off (one firing per failed attempt),
+	// so tracing can record per-attempt sub-spans of the rejoin episode.
+	OnRejoinBlocked func(sim *eventsim.Simulator, id overlay.MemberID)
 }
 
 // Driver owns the churn process over one tree.
@@ -506,6 +510,9 @@ func (d *Driver) rejoin(sim *eventsim.Simulator, id overlay.MemberID) {
 	case errors.Is(err, construct.ErrNoParent):
 		d.JoinFailures++
 		d.met.joinFailures.Inc()
+		if d.hooks.OnRejoinBlocked != nil {
+			d.hooks.OnRejoinBlocked(sim, id)
+		}
 		sim.ScheduleAfter(d.cfg.RejoinRetry, func(s *eventsim.Simulator) {
 			d.rejoin(s, id)
 		})

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"omcast/internal/faultnet"
+	"omcast/internal/tracing"
 )
 
 // TestChaosScenarios runs the whole resilience suite. Each subtest is one
@@ -99,6 +100,62 @@ func TestChaosRunReproducible(t *testing.T) {
 	}
 	if r1.FaultLog == "" {
 		t.Error("empty fault log from a crash scenario")
+	}
+}
+
+// TestChaosReportSpans runs a crash scenario and asserts the report carries
+// the causal span record: every member's boot join episode from its flight
+// recorder, and the injected fault window as an annotation span on the
+// synthetic faultnet track.
+func TestChaosReportSpans(t *testing.T) {
+	scn := Scenario{
+		Name:     "spans-crash",
+		Nodes:    4,
+		Seed:     778,
+		Warmup:   3 * time.Second,
+		Duration: 1300 * time.Millisecond,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(300 * time.Millisecond), Until: d(800 * time.Millisecond),
+					Action: faultnet.ActionCrash, Node: "n01"},
+			},
+		},
+		Bounds: Bounds{RequireAllAttached: true, RecoverWithin: 2 * time.Second},
+	}
+	rep, err := Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("%s\n--- fault log\n%s", rep.Summary(), rep.FaultLog)
+	}
+	joins := make(map[string]bool)
+	var crashSpan *tracing.Span
+	for i, sp := range rep.Spans {
+		if sp.Kind == tracing.KindJoin && sp.Outcome == "attached" {
+			joins[sp.Node] = true
+		}
+		if sp.Kind == tracing.KindFault {
+			if sp.Node != "faultnet" {
+				t.Fatalf("fault span on node %q, want faultnet", sp.Node)
+			}
+			if sp.Outcome == "crash" {
+				crashSpan = &rep.Spans[i]
+			}
+		}
+	}
+	// Four members plus the restarted incarnation of n01 all complete boot
+	// joins; at minimum each member address appears once.
+	for _, addr := range []string{"n00", "n01", "n02", "n03"} {
+		if !joins[addr] {
+			t.Errorf("no completed join span for %s", addr)
+		}
+	}
+	if crashSpan == nil {
+		t.Fatal("no crash fault-window span in report")
+	}
+	if got, want := crashSpan.Duration(), sc(500*time.Millisecond).Seconds(); got != want {
+		t.Errorf("crash window duration = %v, want %v", got, want)
 	}
 }
 

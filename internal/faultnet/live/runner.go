@@ -8,6 +8,8 @@ import (
 
 	"omcast/internal/faultnet"
 	"omcast/internal/node"
+	"omcast/internal/tracing"
+	"omcast/internal/tracing/flight"
 	"omcast/internal/wire"
 )
 
@@ -149,6 +151,13 @@ type Report struct {
 	RecoveryTime time.Duration
 	// Nodes holds final member stats sorted by address (source first).
 	Nodes []NodeReport
+	// Spans holds every causal span the run produced: per-node flight
+	// recorder snapshots (source first, then members by address — rings
+	// survive crash/restart, so a crashed node's pre-crash episodes are
+	// kept) followed by fault-window annotation spans on a synthetic
+	// "faultnet" track, so a timeline view shows which episodes overlap
+	// which injected faults.
+	Spans []tracing.Span
 	// Failures lists violated bounds; empty means the scenario passed.
 	Failures []string
 }
@@ -177,6 +186,10 @@ type Harness struct {
 	source *node.Node
 	nodes  map[wire.Addr]*node.Node
 	cfgs   map[wire.Addr]node.Config
+	// rings are the per-address span flight recorders. A restarted node
+	// reuses its address's ring, so one timeline spans its whole history
+	// across crashes.
+	rings  map[wire.Addr]*flight.Ring
 	closed bool
 }
 
@@ -197,6 +210,7 @@ func NewHarness(scn Scenario) (*Harness, error) {
 		mem:   node.NewMemNetwork(nil),
 		nodes: make(map[wire.Addr]*node.Node),
 		cfgs:  make(map[wire.Addr]node.Config),
+		rings: make(map[wire.Addr]*flight.Ring),
 		hbInt: sc(20 * time.Millisecond),
 		rate:  100,
 	}
@@ -247,6 +261,14 @@ func (h *Harness) boot(addr wire.Addr, cfg node.Config) error {
 	if err != nil {
 		return fmt.Errorf("faultnet: endpoint %s: %w", addr, err)
 	}
+	h.mu.Lock()
+	ring := h.rings[addr]
+	if ring == nil {
+		ring = flight.NewRing(0)
+		h.rings[addr] = ring
+	}
+	h.mu.Unlock()
+	cfg.Trace = ring
 	nd := node.New(cfg, h.Net.Wrap(ep))
 	h.mu.Lock()
 	if cfg.Source {
@@ -306,6 +328,62 @@ func (h *Harness) Members() []NodeReport {
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, a := range addrs {
 		out = append(out, NodeReport{Addr: a, Stats: nodes[a].Stats(), Byzantine: h.sc.byzantine(a)})
+	}
+	return out
+}
+
+// Spans drains every flight recorder: the source's ring first, then the
+// members' rings sorted by address — the stable order the determinism and
+// export layers rely on.
+func (h *Harness) Spans() []tracing.Span {
+	h.mu.Lock()
+	addrs := make([]wire.Addr, 0, len(h.rings))
+	for a := range h.rings {
+		if a != "source" {
+			addrs = append(addrs, a)
+		}
+	}
+	rings := make(map[wire.Addr]*flight.Ring, len(h.rings))
+	for a, r := range h.rings {
+		rings[a] = r
+	}
+	h.mu.Unlock()
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var out []tracing.Span
+	out = append(out, rings["source"].Snapshot()...)
+	for _, a := range addrs {
+		out = append(out, rings[a].Snapshot()...)
+	}
+	return out
+}
+
+// faultSpans renders the scenario's scaled fault schedule as annotation
+// spans on a synthetic "faultnet" track: one span per timed event, covering
+// [At, Until] for windowed faults (a partition, a crash with restart) and
+// instantaneous for one-shot changes. Overlaying them on the node tracks
+// shows which recovery episodes ran under which injected fault.
+func faultSpans(scn Scenario) []tracing.Span {
+	sch := scn.scaledSchedule()
+	if len(sch.Events) == 0 {
+		return nil
+	}
+	var out []tracing.Span
+	tr := tracing.NewNode(scn.Seed, "faultnet", tracing.RecorderFunc(func(sp tracing.Span) {
+		out = append(out, sp)
+	}))
+	for _, ev := range sch.Events {
+		end := ev.At.D()
+		if ev.Until.D() > end {
+			end = ev.Until.D()
+		}
+		sp := tr.Start(tracing.KindFault, 0, ev.At.D())
+		if ev.Node != "" {
+			sp.Attr("node", ev.Node)
+		}
+		if ev.From != "" || ev.To != "" {
+			sp.Attr("link", ev.From+">"+ev.To)
+		}
+		sp.End(end, string(ev.Action))
 	}
 	return out
 }
@@ -448,6 +526,7 @@ func Run(scn Scenario) (*Report, error) {
 		h.WaitAttached(sc(time.Second))
 	}
 	rep.Nodes = h.Members()
+	rep.Spans = append(h.Spans(), faultSpans(scn)...)
 	rep.FaultLog = h.Net.FormatLog()
 	rep.FaultStats = h.Net.FormatStats()
 	evaluate(rep, scn, h, time.Since(start))

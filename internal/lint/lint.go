@@ -118,6 +118,11 @@ func DefaultConfig() *Config {
 			// The wire codec (envelope validation included) is pure parsing:
 			// no clocks, no goroutines, no map-order leaks.
 			"wire",
+			// The causal span layer mints deterministic IDs inside traced
+			// simulations; its flight-recorder sibling tracing/flight (the
+			// mutex ring live nodes dump over HTTP) stays outside, mirroring
+			// the metrics / metrics/live split.
+			"tracing",
 		},
 		WallclockExtra: []string{"omcast/cmd/...", "omcast/examples/..."},
 		FloatPackages:  []string{"stats", "experiments", "stream", "multitree", "metrics"},

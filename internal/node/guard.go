@@ -207,7 +207,7 @@ func (n *Node) guardAdmit(env wire.Envelope) bool {
 	}
 	n.mu.Unlock()
 	if lostParent {
-		n.onParentFailure()
+		n.onParentFailure("quarantine")
 	}
 	return admit
 }
@@ -235,7 +235,7 @@ func (n *Node) noteWireReject(from wire.Addr) {
 	}
 	n.mu.Unlock()
 	if lostParent {
-		n.onParentFailure()
+		n.onParentFailure("quarantine")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"omcast/internal/metrics"
 	"omcast/internal/metrics/live"
+	"omcast/internal/tracing"
 	"omcast/internal/wire"
 	"omcast/internal/xrand"
 )
@@ -92,6 +93,13 @@ type Config struct {
 	// Metrics, if non-nil, receives the node's instruments (the concurrent
 	// wall-clock backend; serve it over HTTP with live.Handler).
 	Metrics *live.Registry
+	// Trace, if non-nil, receives completed causal spans: join/rejoin
+	// episodes with per-attempt children, repair round-trips, and playback
+	// starvation windows (see internal/tracing). Point it at a
+	// tracing/flight ring to get a crash-forensics recorder served over
+	// /debug/trace. Span timestamps count seconds since node creation. Nil
+	// costs one pointer check per hook.
+	Trace tracing.Recorder
 
 	// DisableGuard switches the per-peer misbehavior guard off (validation
 	// still applies; rejects just go unattributed). Test/ablation knob.
@@ -446,6 +454,20 @@ type Node struct {
 	stats Stats //guardedby:mu
 	met   nodeMetrics
 
+	// Causal span tracing. The tracer is not concurrency-safe, so every
+	// span operation happens under mu — the same serialisation discipline
+	// the stats counters follow. traceStart anchors the span clock (span
+	// times are seconds since node creation). The builders track the open
+	// episodes; unfinished ones are simply never recorded (flight-recorder
+	// semantics: an episode still open at crash leaves no span).
+	trace       *tracing.Tracer
+	traceStart  time.Time
+	joinSpan    *tracing.SpanBuilder //guardedby:mu — open join/rejoin episode
+	attemptSpan *tracing.SpanBuilder //guardedby:mu — open attempt within it
+	repairSpan  *tracing.SpanBuilder //guardedby:mu — open repair round-trip
+	stallSpan   *tracing.SpanBuilder //guardedby:mu — open starvation window
+	stallBase   int64                //guardedby:mu — StarvedSlots at stall open
+
 	seq  uint64 //guardedby:mu
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -471,6 +493,10 @@ func New(cfg Config, tr Transport) *Node {
 	n.repairRng = xrand.NewNamed(n.cfg.Seed, "node:repair:"+string(tr.Addr()))
 	if n.cfg.Metrics != nil {
 		n.met = newNodeMetrics(n.cfg.Metrics)
+	}
+	if n.cfg.Trace != nil {
+		n.trace = tracing.NewNode(n.cfg.Seed, string(tr.Addr()), n.cfg.Trace)
+		n.traceStart = time.Now()
 	}
 	tr.SetHandler(n.onDatagram)
 	return n
@@ -584,6 +610,26 @@ func (n *Node) btpLocked() float64 {
 	return n.cfg.Bandwidth * time.Since(n.joinedAt).Seconds()
 }
 
+// ---- span tracing ----
+
+// traceAt converts a wall instant to the node's span clock.
+func (n *Node) traceAt(now time.Time) time.Duration { return now.Sub(n.traceStart) }
+
+// openEpisodeLocked opens a join/rejoin episode span if tracing is on and
+// none is already open: kind "join" before the first successful attach,
+// "rejoin" after. cause records why the node is hunting for a parent
+// (boot, timeout, stall, leave). Requires mu.
+func (n *Node) openEpisodeLocked(now time.Time, cause string) {
+	if n.trace == nil || n.joinSpan != nil {
+		return
+	}
+	kind := tracing.KindRejoin
+	if n.joinedAt.IsZero() {
+		kind = tracing.KindJoin
+	}
+	n.joinSpan = n.trace.Start(kind, 0, n.traceAt(now)).Attr("cause", cause)
+}
+
 // ---- joining ----
 
 // joinLoop keeps the node attached: it discovers members, picks the highest
@@ -678,6 +724,18 @@ func (n *Node) tryJoin() {
 	n.lastJoinTarget = cands[0].Addr
 	n.stats.JoinAttempts++
 	n.met.joinAttempts.Inc()
+	now := time.Now()
+	n.openEpisodeLocked(now, "boot")
+	if n.attemptSpan != nil {
+		// The previous attempt got neither Accept nor Reject before we moved
+		// on — the candidate is presumed dead.
+		n.attemptSpan.End(n.traceAt(now), "unanswered")
+		n.attemptSpan = nil
+	}
+	if n.joinSpan != nil {
+		n.attemptSpan = n.joinSpan.Child(tracing.KindAttempt, 0, n.traceAt(now)).
+			Attr("target", string(cands[0].Addr))
+	}
 	n.mu.Unlock()
 	n.send(cands[0].Addr, wire.Envelope{Type: wire.TypeJoin, Bandwidth: n.cfg.Bandwidth})
 }
@@ -709,6 +767,10 @@ func (n *Node) handleReject(env wire.Envelope) {
 	}
 	if n.lastJoinTarget == env.From {
 		n.lastJoinTarget = "" // answered: alive, just full
+		if n.attemptSpan != nil {
+			n.attemptSpan.End(n.traceAt(time.Now()), "rejected")
+			n.attemptSpan = nil
+		}
 	}
 }
 
@@ -730,6 +792,20 @@ func (n *Node) handleAccept(env wire.Envelope) {
 	n.lastJoinTarget = ""
 	n.joinStreak = 0
 	n.met.joinBackoff.Set(0)
+	at := n.traceAt(n.parentSeen)
+	if n.attemptSpan != nil {
+		n.attemptSpan.End(at, "accepted")
+		n.attemptSpan = nil
+	}
+	if n.joinSpan != nil {
+		outcome := "reattached"
+		if n.joinedAt.IsZero() {
+			outcome = "attached"
+		}
+		n.joinSpan.AttrInt("depth", int64(n.depth)).Attr("parent", string(env.From)).
+			End(at, outcome)
+		n.joinSpan = nil
+	}
 	if n.joinedAt.IsZero() {
 		n.joinedAt = time.Now()
 	}
@@ -799,10 +875,10 @@ func (n *Node) beat() {
 
 	if parentDead {
 		n.met.parentTimeouts.Inc()
-		n.onParentFailure()
+		n.onParentFailure("timeout")
 		parent = ""
 	} else if streamStalled {
-		n.onParentFailure()
+		n.onParentFailure("stall")
 		parent = ""
 	}
 	n.flushRepairs(now)
@@ -842,6 +918,11 @@ func (n *Node) advancePlaybackLocked(now time.Time) {
 			n.met.playedSlots.Inc()
 			// A present slot ends any stall: playback resumed.
 			n.inStall = false
+			if n.stallSpan != nil {
+				n.stallSpan.AttrInt("slots", n.stats.StarvedSlots-n.stallBase).
+					End(n.traceAt(now), "resumed")
+				n.stallSpan = nil
+			}
 		} else {
 			n.stats.StarvedSlots++
 			n.met.starvedSlots.Inc()
@@ -851,6 +932,10 @@ func (n *Node) advancePlaybackLocked(now time.Time) {
 				n.inStall = true
 				n.stats.Stalls++
 				n.met.stalls.Inc()
+				if n.trace != nil && n.stallSpan == nil {
+					n.stallSpan = n.trace.Start(tracing.KindStall, 0, n.traceAt(now))
+					n.stallBase = n.stats.StarvedSlots - 1
+				}
 			}
 			n.stats.StallSeconds += 1 / n.cfg.StreamRate
 			n.met.stallSeconds.Set(n.stats.StallSeconds)
@@ -877,8 +962,9 @@ func (n *Node) handleHeartbeat(env wire.Envelope) {
 }
 
 // onParentFailure detaches, launches CER recovery for the in-flight gap and
-// lets joinLoop find a new parent.
-func (n *Node) onParentFailure() {
+// lets joinLoop find a new parent. cause labels the rejoin episode span
+// ("timeout" for missed heartbeats, "stall" for the stream watchdog).
+func (n *Node) onParentFailure(cause string) {
 	n.mu.Lock()
 	n.attached = false
 	n.parent = ""
@@ -888,6 +974,7 @@ func (n *Node) onParentFailure() {
 	// A fresh detachment restarts the join backoff so recovery begins at
 	// base cadence rather than wherever the last outage left the streak.
 	n.joinStreak = 0
+	n.openEpisodeLocked(time.Now(), cause)
 	first := n.highest + 1
 	n.mu.Unlock()
 	// Ask the recovery group for everything from the gap start; the range
@@ -907,6 +994,7 @@ func (n *Node) handleLeave(env wire.Envelope) {
 		n.met.rejoins.Inc()
 		n.met.attached.Set(0)
 		n.joinStreak = 0
+		n.openEpisodeLocked(time.Now(), "leave")
 	}
 	n.mu.Unlock()
 	// A graceful leave needs no loss recovery: the stream stops cleanly and
@@ -1027,6 +1115,11 @@ func (n *Node) acceptPacket(env wire.Envelope, repaired bool) {
 		n.met.packetsRepaired.Inc()
 		// Repair data flowing again: relax the backoff gate.
 		n.repairStreak = 0
+		if n.repairSpan != nil {
+			n.repairSpan.AttrInt("packet", env.Packet).
+				End(n.traceAt(n.lastStream), "repaired")
+			n.repairSpan = nil
+		}
 	}
 	if n.playFirst < 0 {
 		// Playback starts one buffering interval after the first packet.
@@ -1121,6 +1214,15 @@ func (n *Node) takeRepairLocked(now time.Time) (int64, int64, bool) {
 	n.stats.RepairRequests++
 	n.met.repairRequests.Inc()
 	n.met.repairBackoff.Set(d.Seconds())
+	if n.trace != nil {
+		// The span measures request → first repair data (the live repair
+		// round-trip). A re-request superseding an unanswered one closes it.
+		if n.repairSpan != nil {
+			n.repairSpan.End(n.traceAt(now), "unanswered")
+		}
+		n.repairSpan = n.trace.Start(tracing.KindRepair, 0, n.traceAt(now)).
+			AttrInt("first", first).AttrInt("last", last)
+	}
 	return first, last, true
 }
 

@@ -29,6 +29,7 @@ import (
 	"omcast/internal/eventsim"
 	"omcast/internal/metrics"
 	"omcast/internal/overlay"
+	"omcast/internal/tracing"
 )
 
 // Defaults from the paper.
@@ -93,6 +94,7 @@ type Protocol struct {
 	join construct.Strategy
 
 	nextOp int64
+	trace  *tracing.Tracer
 
 	// Switches counts completed switch operations.
 	Switches int
@@ -152,6 +154,14 @@ func (p *Protocol) Name() string { return "ROST" }
 // SetOnSwitch installs a completed-switch observer (tracing hook).
 func (p *Protocol) SetOnSwitch(fn func(now time.Duration, promoted, demoted overlay.MemberID)) {
 	p.cfg.OnSwitch = fn
+}
+
+// SetTrace installs a span tracer: every switch decision becomes a
+// "switch" span — initiation to commit for started switches (outcomes
+// "switched"/"aborted"), instantaneous spans for refused claims
+// ("rejected") and lock back-offs ("lock-backoff").
+func (p *Protocol) SetTrace(t *tracing.Tracer) {
+	p.trace = t
 }
 
 var _ construct.Strategy = (*Protocol)(nil)
@@ -258,6 +268,8 @@ func (p *Protocol) tryInitiateSwitch(sim *eventsim.Simulator, m *overlay.Member)
 		if !r.VerifyBTP(m, p.claimedBTP(m, now), now) {
 			p.Rejected++
 			p.met.rejected.Inc()
+			p.trace.Start(tracing.KindSwitch, int64(m.ID), now).
+				AttrInt("parent", int64(parent.ID)).End(now, "rejected")
 			return switchNotNeeded
 		}
 	}
@@ -269,11 +281,15 @@ func (p *Protocol) tryInitiateSwitch(sim *eventsim.Simulator, m *overlay.Member)
 	p.nextOp++
 	op := p.nextOp
 	if !p.tree.Lock(op, lockSet...) {
+		p.trace.Start(tracing.KindSwitch, int64(m.ID), now).
+			AttrInt("parent", int64(parent.ID)).End(now, "lock-backoff")
 		return switchBlocked
 	}
 	mID, parentID := m.ID, parent.ID
+	sp := p.trace.Start(tracing.KindSwitch, int64(m.ID), now).
+		AttrInt("parent", int64(parentID)).AttrInt("depth", int64(m.Depth()))
 	sim.ScheduleAfter(p.cfg.SwitchLatency, func(s *eventsim.Simulator) {
-		p.completeSwitch(s, op, mID, parentID, lockSet)
+		p.completeSwitch(s, op, mID, parentID, lockSet, sp)
 	})
 	return switchStarted
 }
@@ -295,7 +311,7 @@ func (p *Protocol) lockSet(m, parent, grand *overlay.Member) []*overlay.Member {
 // completeSwitch performs the structural exchange once the coordination
 // latency has elapsed, re-validating that the locked neighbourhood is still
 // what the initiator saw (members may have failed in the meantime).
-func (p *Protocol) completeSwitch(sim *eventsim.Simulator, op int64, mID, parentID overlay.MemberID, lockSet []*overlay.Member) {
+func (p *Protocol) completeSwitch(sim *eventsim.Simulator, op int64, mID, parentID overlay.MemberID, lockSet []*overlay.Member, sp *tracing.SpanBuilder) {
 	defer p.tree.Unlock(op, lockSet...)
 	m := p.tree.Member(mID)
 	parent := p.tree.Member(parentID)
@@ -307,6 +323,7 @@ func (p *Protocol) completeSwitch(sim *eventsim.Simulator, op int64, mID, parent
 	if !valid {
 		p.Aborted++
 		p.met.aborts.Inc()
+		sp.End(sim.Now(), "aborted")
 		if m != nil {
 			p.scheduleCheck(sim, m, p.cfg.SwitchInterval)
 		}
@@ -320,6 +337,7 @@ func (p *Protocol) completeSwitch(sim *eventsim.Simulator, op int64, mID, parent
 	p.Switches++
 	p.met.switches.Inc()
 	p.met.promDepth.Observe(float64(m.Depth()))
+	sp.End(sim.Now(), "switched")
 	if p.cfg.OnSwitch != nil {
 		p.cfg.OnSwitch(sim.Now(), m.ID, parent.ID)
 	}

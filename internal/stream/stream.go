@@ -21,6 +21,7 @@ import (
 	"omcast/internal/overlay"
 	"omcast/internal/stats"
 	"omcast/internal/topology"
+	"omcast/internal/tracing"
 	"omcast/internal/xrand"
 )
 
@@ -64,6 +65,10 @@ type Config struct {
 	// OnEpisode, if non-nil, fires after each outage episode with the
 	// orphan that planned recovery and its per-packet outcome (tracing).
 	OnEpisode func(orphan *overlay.Member, failedAt time.Duration, repaired, lost int)
+	// Trace, if non-nil, records each outage as a causal "repair" span
+	// with detect/fetch/stall children (see internal/tracing). The nil
+	// default adds one pointer check to the episode path and nothing else.
+	Trace *tracing.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -272,7 +277,27 @@ func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration)
 		return
 	}
 	requestAt := failedAt + m.cfg.DetectDelay
-	plan := m.planFor(c, first, last, requestAt, outageEnd)
+	// The episode span covers the service-interruption window (the paper's
+	// resilience metric); its children decompose it causally.
+	var sp *tracing.SpanBuilder
+	if m.cfg.Trace != nil {
+		sp = m.cfg.Trace.Start(tracing.KindRepair, int64(c.ID), failedAt).
+			AttrInt("first", first).AttrInt("last", last)
+		sp.Child(tracing.KindDetect, int64(c.ID), failedAt).End(requestAt, "gap-detected")
+	}
+	plan, detail := m.planFor(c, first, last, requestAt, outageEnd)
+	for _, fd := range detail {
+		start := requestAt + fd.Server.ChainDelay
+		if fd.Phase == "backlog" {
+			start = outageEnd
+		}
+		sp.Child(tracing.KindFetch, int64(c.ID), start).
+			AttrInt("server", int64(fd.Server.Member.ID)).
+			AttrInt("packets", int64(fd.Packets)).
+			End(fd.Last, fd.Phase)
+	}
+	var stallFirst, stallLast time.Duration
+	stallSlots := 0
 	// Fold into the subtree. ELN: c's loss notifications walk the subtree
 	// edges so descendants wait for upstream repair instead of re-requesting.
 	m.tree.VisitSubtree(c, func(d *overlay.Member) {
@@ -303,6 +328,13 @@ func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration)
 					m.PacketsRepaired++
 				} else {
 					m.PacketsLost++
+					if sp != nil {
+						if stallSlots == 0 {
+							stallFirst = deadline
+						}
+						stallLast = deadline
+						stallSlots++
+					}
 				}
 			}
 		}
@@ -314,13 +346,31 @@ func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration)
 	lost := m.PacketsLost - lostBefore
 	m.met.repaired.Add(float64(repaired))
 	m.met.lost.Add(float64(lost))
+	if sp != nil {
+		if stallSlots > 0 {
+			slot := time.Duration(float64(time.Second) / m.cfg.Rate)
+			sp.Child(tracing.KindStall, int64(c.ID), stallFirst).
+				AttrInt("slots", int64(stallSlots)).
+				End(stallLast+slot, "starved")
+		}
+		outcome := "filled"
+		switch {
+		case lost > 0 && repaired > 0:
+			outcome = "partial"
+		case lost > 0:
+			outcome = "abandoned"
+		}
+		sp.AttrInt("repaired", int64(repaired)).AttrInt("lost", int64(lost)).
+			End(outageEnd, outcome)
+	}
 	if m.cfg.OnEpisode != nil {
 		m.cfg.OnEpisode(c, failedAt, repaired, lost)
 	}
 }
 
 // planFor selects the recovery group for orphan c and plans the repairs.
-func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeAt time.Duration) cer.Plan {
+// The per-server detail is computed only when tracing is on.
+func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeAt time.Duration) (cer.Plan, []cer.ServerPlan) {
 	group := m.selector.Select(c, m.cfg.GroupSize)
 	m.RepairRequests++
 	m.met.requests.Inc()
@@ -342,7 +392,7 @@ func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeA
 			Transfer:   m.delay(g.Attach, c.Attach),
 		})
 	}
-	return cer.PlanRecovery(cer.Episode{
+	ep := cer.Episode{
 		FirstMissing: first,
 		LastMissing:  last,
 		RequestAt:    requestAt,
@@ -350,7 +400,11 @@ func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeA
 		Rate:         m.cfg.Rate,
 		Gen:          m.gen,
 		Striped:      m.cfg.Striped,
-	}, servers)
+	}
+	if m.cfg.Trace == nil {
+		return cer.PlanRecovery(ep, servers), nil
+	}
+	return cer.PlanRecoveryDetail(ep, servers)
 }
 
 // Result summarises playback quality.

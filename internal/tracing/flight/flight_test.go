@@ -1,0 +1,108 @@
+package flight
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"omcast/internal/tracing"
+)
+
+func span(i int) tracing.Span {
+	return tracing.Span{
+		ID:      fmt.Sprintf("%016x", i),
+		Kind:    tracing.KindRejoin,
+		Member:  int64(i),
+		Start:   float64(i),
+		End:     float64(i) + 1,
+		Outcome: "reattached",
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(span(i))
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, sp := range got {
+		if want := int64(6 + i); sp.Member != want {
+			t.Errorf("slot %d holds member %d, want %d (oldest-first)", i, sp.Member, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total %d, want 10", r.Total())
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	r.Record(span(1))
+	r.Record(span(2))
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].Member != 1 || got[1].Member != 2 {
+		t.Fatalf("partial snapshot wrong: %+v", got)
+	}
+}
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *Ring
+	r.Record(span(1))
+	if r.Snapshot() != nil || r.Total() != 0 {
+		t.Fatal("nil ring should be inert")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(span(g*1000 + i))
+				if i%10 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total %d, want 800", r.Total())
+	}
+}
+
+func TestHandlerDumpsJSONL(t *testing.T) {
+	r := NewRing(4)
+	tr := tracing.NewNode(1, "127.0.0.1:7000", r)
+	tr.Start(tracing.KindRejoin, 0, 0).Attr("cause", "timeout").End(time.Second, "reattached")
+	tr.Start(tracing.KindRepair, 0, 2*time.Second).End(3*time.Second, "filled")
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Trace-Total"); got != "2" {
+		t.Errorf("X-Trace-Total %q, want 2", got)
+	}
+	body := rec.Body.String()
+	spans, err := tracing.ReadSpans(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("dump is not a parseable trace: %v\n%s", err, body)
+	}
+	if len(spans) != 2 || spans[0].Kind != tracing.KindRejoin || spans[1].Kind != tracing.KindRepair {
+		t.Fatalf("dump spans: %+v", spans)
+	}
+	if !strings.Contains(body, `"v":1`) {
+		t.Errorf("dump missing schema version: %s", body)
+	}
+}

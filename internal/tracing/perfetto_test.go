@@ -1,0 +1,95 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestPerfettoStructure validates the export structurally, per the
+// acceptance criteria: required ph/ts/pid/tid fields on every event and
+// monotonic per-track timestamps.
+func TestPerfettoStructure(t *testing.T) {
+	var c collect
+	tr := New(11, &c)
+	// Two sim members plus one live-node span, out of time order on
+	// purpose: the exporter must sort within each track.
+	ep := tr.Start(KindRejoin, 2, 5*time.Second)
+	ep.Child(KindAttempt, 2, 6*time.Second).End(7*time.Second, "accepted")
+	ep.End(7*time.Second, "reattached")
+	tr.Start(KindRepair, 1, 3*time.Second).AttrInt("first", 10).End(4*time.Second, "filled")
+	tr.Start(KindStall, 2, time.Second).End(2*time.Second, "recovered")
+	ln := NewNode(11, "127.0.0.1:9000", &c)
+	ln.Start(KindJoin, 0, 0).End(time.Second, "accepted")
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, c.spans); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	lastTs := map[float64]float64{} // tid -> last ts
+	names := map[string]bool{}
+	var slices int
+	for i, ev := range file.TraceEvents {
+		for _, req := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[req]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, req, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		tid := ev["tid"].(float64)
+		ts := ev["ts"].(float64)
+		switch ph {
+		case "M":
+			args := ev["args"].(map[string]any)
+			names[args["name"].(string)] = true
+		case "X":
+			slices++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("slice %d missing dur: %v", i, ev)
+			}
+			if prev, ok := lastTs[tid]; ok && ts < prev {
+				t.Fatalf("track %v timestamps not monotonic: %v after %v", tid, ts, prev)
+			}
+			lastTs[tid] = ts
+		default:
+			t.Fatalf("unexpected ph %q", ph)
+		}
+	}
+	if slices != len(c.spans) {
+		t.Fatalf("%d slices for %d spans", slices, len(c.spans))
+	}
+	for _, want := range []string{"member 1", "member 2", "127.0.0.1:9000"} {
+		if !names[want] {
+			t.Errorf("missing thread_name track %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestPerfettoDeterministic pins byte-identical output for identical input.
+func TestPerfettoDeterministic(t *testing.T) {
+	mint := func() []byte {
+		var c collect
+		tr := New(7, &c)
+		ep := tr.Start(KindRepair, 3, time.Second)
+		ep.Child(KindFetch, 3, time.Second).AttrInt("server", 5).End(2*time.Second, "arrived")
+		ep.End(2*time.Second, "filled")
+		var buf bytes.Buffer
+		if err := WritePerfetto(&buf, c.spans); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(mint(), mint()) {
+		t.Fatal("perfetto export differs across identical runs")
+	}
+}

@@ -12,8 +12,14 @@ import (
 	"omcast/internal/metrics"
 	"omcast/internal/overlay"
 	"omcast/internal/stream"
+	"omcast/internal/tracing"
 	"omcast/internal/xrand"
 )
+
+// TraceSchemaVersion is the JSONL schema version stamped into every trace
+// line as "v" (see tracing.SchemaVersion for the envelope the span layer
+// shares with it). Consumers should reject lines with a larger version.
+const TraceSchemaVersion = tracing.SchemaVersion
 
 // TraceEvent is one line of the JSONL event stream a run can emit (see
 // RunWithTrace and RunStreamingWithTrace). Events describe overlay dynamics
@@ -37,10 +43,12 @@ import (
 // event defines them and omitted otherwise, so consumers can distinguish
 // "zero" from "not applicable" without knowing the event vocabulary.
 type TraceEvent struct {
+	// V is the schema version (TraceSchemaVersion), stamped on every line.
+	V int `json:"v"`
 	// T is the virtual time in seconds.
 	T float64 `json:"t"`
 	// Event is one of "join", "rejoin", "depart", "failure", "switch",
-	// "repair", "sample".
+	// "repair", "sample", "span".
 	Event string `json:"event"`
 	// Member is the subject member ID (absent on sample events).
 	Member int64 `json:"member,omitempty"`
@@ -59,6 +67,9 @@ type TraceEvent struct {
 	Lost     *int `json:"lost,omitempty"`
 	// Metrics is the registry snapshot carried by sample events.
 	Metrics []metrics.Metric `json:"metrics,omitempty"`
+	// Span is the completed causal span carried by "span" events (see
+	// TraceOptions.Spans and internal/tracing).
+	Span *tracing.Span `json:"span,omitempty"`
 }
 
 // TraceOptions tunes the trace stream beyond the default event vocabulary.
@@ -68,6 +79,12 @@ type TraceOptions struct {
 	// disables sampling. When sampling is on and Config.Metrics is nil, a
 	// registry is created internally.
 	SampleEvery time.Duration
+	// Spans interleaves "span" events: causal episode records (rejoin
+	// episodes with per-attempt children, CER repair episodes with
+	// detect/fetch/stall stages, ROST switch decisions). Span IDs derive
+	// from (Config.Seed, member, per-member sequence), so the stream stays
+	// byte-identical across reruns and worker counts.
+	Spans bool
 }
 
 // intPtr and int64Ptr build the presence-carrying pointer fields.
@@ -88,7 +105,69 @@ func (tr *tracer) emit(ev TraceEvent) {
 	if tr.err != nil {
 		return
 	}
+	ev.V = TraceSchemaVersion
 	tr.err = tr.enc.Encode(ev)
+}
+
+// spanTrace manages the causal span layer of a traced run: a deterministic
+// tracer whose completed spans re-enter the JSONL stream as "span" events,
+// plus the rejoin episodes still open (keyed by orphan; opened at parent
+// failure, closed at reattachment or departure). Episodes still open when
+// the run ends are simply never emitted.
+type spanTrace struct {
+	t    *tracing.Tracer
+	open map[overlay.MemberID]*tracing.SpanBuilder
+}
+
+func newSpanTrace(tr *tracer, seed int64) *spanTrace {
+	st := &spanTrace{open: make(map[overlay.MemberID]*tracing.SpanBuilder)}
+	st.t = tracing.New(seed, tracing.RecorderFunc(func(sp tracing.Span) {
+		s := sp
+		tr.emit(TraceEvent{T: sp.End, Event: "span", Member: sp.Member, Span: &s})
+	}))
+	return st
+}
+
+// onFailure opens one rejoin episode per orphaned child of the failed
+// member. Call before the tree removes it.
+func (st *spanTrace) onFailure(now time.Duration, failed *overlay.Member) {
+	for _, c := range failed.Children() {
+		if _, ok := st.open[c.ID]; ok {
+			continue // already orphaned by an overlapping failure
+		}
+		st.open[c.ID] = st.t.Start(tracing.KindRejoin, int64(c.ID), now).
+			AttrInt("failed_parent", int64(failed.ID))
+	}
+}
+
+// onBlocked records one saturated rejoin attempt as an instantaneous
+// child of the orphan's episode.
+func (st *spanTrace) onBlocked(now time.Duration, id overlay.MemberID) {
+	if sp, ok := st.open[id]; ok {
+		sp.Child(tracing.KindAttempt, int64(id), now).End(now, "saturated")
+	}
+}
+
+// onRejoin closes the orphan's episode as reattached.
+func (st *spanTrace) onRejoin(now time.Duration, m *overlay.Member) {
+	sp, ok := st.open[m.ID]
+	if !ok {
+		return
+	}
+	delete(st.open, m.ID)
+	sp.AttrInt("depth", int64(m.Depth()))
+	if p := m.Parent(); p != nil {
+		sp.AttrInt("parent", int64(p.ID))
+	}
+	sp.End(now, "reattached")
+}
+
+// onDepart closes the orphan's episode when it leaves mid-rejoin.
+func (st *spanTrace) onDepart(now time.Duration, id overlay.MemberID) {
+	if sp, ok := st.open[id]; ok {
+		delete(st.open, id)
+		sp.End(now, "departed")
+	}
 }
 
 // RunWithTrace executes a tree-level run like Run while streaming overlay
@@ -108,13 +187,17 @@ func RunWithTraceOptions(cfg Config, w io.Writer, opts TraceOptions) (TreeResult
 	if opts.SampleEvery > 0 && cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	var st *spanTrace
+	if opts.Spans {
+		st = newSpanTrace(tr, cfg.Seed)
+	}
 	var s *session
 	var err error
-	s, err = newSession(cfg, tracedHooks(tr, &s))
+	s, err = newSession(cfg, tracedHooks(tr, &s, st))
 	if err != nil {
 		return TreeResult{}, err
 	}
-	attachSwitchTrace(s, tr)
+	attachSwitchTrace(s, tr, st)
 	if opts.SampleEvery > 0 {
 		scheduleSampling(s, tr, cfg.Metrics, opts.SampleEvery)
 	}
@@ -139,27 +222,43 @@ func RunStreamingWithTrace(cfg Config, scfg StreamConfig, w io.Writer, opts Trac
 
 // tracedHooks builds churn hooks that emit join/rejoin/failure/depart
 // events. sp dereferences to the session once newSession returns (the
-// failure hook needs the tree for the disrupted-descendant count).
-func tracedHooks(tr *tracer, sp **session) churn.Hooks {
-	return churn.Hooks{
+// failure hook needs the tree for the disrupted-descendant count). st is
+// the optional span layer (nil when TraceOptions.Spans is off).
+func tracedHooks(tr *tracer, sp **session, st *spanTrace) churn.Hooks {
+	h := churn.Hooks{
 		OnJoin: func(sim *eventsim.Simulator, m *overlay.Member) {
 			tr.emit(joinEvent("join", sim.Now(), m))
 		},
 		OnRejoin: func(sim *eventsim.Simulator, m *overlay.Member) {
 			tr.emit(joinEvent("rejoin", sim.Now(), m))
+			if st != nil {
+				st.onRejoin(sim.Now(), m)
+			}
 		},
 		OnFailure: func(sim *eventsim.Simulator, failed *overlay.Member) {
 			tr.emit(failureEvent(sim.Now(), *sp, failed))
+			if st != nil {
+				st.onFailure(sim.Now(), failed)
+			}
 		},
 		OnDepart: func(sim *eventsim.Simulator, id overlay.MemberID) {
 			tr.emit(TraceEvent{T: sim.Now().Seconds(), Event: "depart", Member: int64(id)})
+			if st != nil {
+				st.onDepart(sim.Now(), id)
+			}
 		},
 	}
+	if st != nil {
+		h.OnRejoinBlocked = func(sim *eventsim.Simulator, id overlay.MemberID) {
+			st.onBlocked(sim.Now(), id)
+		}
+	}
+	return h
 }
 
 // attachSwitchTrace emits "switch" events from the ROST protocol, when the
-// session runs one.
-func attachSwitchTrace(s *session, tr *tracer) {
+// session runs one, and (with spans on) switch-decision spans.
+func attachSwitchTrace(s *session, tr *tracer, st *spanTrace) {
 	if s.protocol == nil {
 		return
 	}
@@ -171,6 +270,9 @@ func attachSwitchTrace(s *session, tr *tracer) {
 			Demoted: int64(demoted),
 		})
 	})
+	if st != nil {
+		s.protocol.SetTrace(st.t)
+	}
 }
 
 // scheduleSampling interleaves "sample" events into the trace: a full
@@ -224,6 +326,10 @@ func runStreaming(cfg Config, scfg StreamConfig, tr *tracer, opts TraceOptions) 
 	if tr != nil && opts.SampleEvery > 0 && cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	var st *spanTrace
+	if tr != nil && opts.Spans {
+		st = newSpanTrace(tr, cfg.Seed)
+	}
 	var model *stream.Model
 	var s *session
 	hooks := churn.Hooks{
@@ -237,12 +343,18 @@ func runStreaming(cfg Config, scfg StreamConfig, tr *tracer, opts TraceOptions) 
 			if tr != nil {
 				tr.emit(joinEvent("rejoin", sim.Now(), m))
 			}
+			if st != nil {
+				st.onRejoin(sim.Now(), m)
+			}
 		},
 		OnFailure: func(sim *eventsim.Simulator, failed *overlay.Member) {
 			// Emit before the model folds the episode so the failure line
 			// precedes its repair line in the stream.
 			if tr != nil {
 				tr.emit(failureEvent(sim.Now(), s, failed))
+			}
+			if st != nil {
+				st.onFailure(sim.Now(), failed)
 			}
 			model.OnFailure(failed, sim.Now())
 		},
@@ -251,7 +363,15 @@ func runStreaming(cfg Config, scfg StreamConfig, tr *tracer, opts TraceOptions) 
 			if tr != nil {
 				tr.emit(TraceEvent{T: sim.Now().Seconds(), Event: "depart", Member: int64(id)})
 			}
+			if st != nil {
+				st.onDepart(sim.Now(), id)
+			}
 		},
+	}
+	if st != nil {
+		hooks.OnRejoinBlocked = func(sim *eventsim.Simulator, id overlay.MemberID) {
+			st.onBlocked(sim.Now(), id)
+		}
 	}
 	var err error
 	s, err = newSession(cfg, hooks)
@@ -287,12 +407,15 @@ func runStreaming(cfg Config, scfg StreamConfig, tr *tracer, opts TraceOptions) 
 			})
 		}
 	}
+	if st != nil {
+		streamCfg.Trace = st.t
+	}
 	model = stream.NewModel(s.tree, s.topo.Delay, selector, xrand.NewNamed(cfg.Seed, "stream.residual"), streamCfg)
 	if cfg.Metrics != nil {
 		model.Instrument(cfg.Metrics)
 	}
 	if tr != nil {
-		attachSwitchTrace(s, tr)
+		attachSwitchTrace(s, tr, st)
 		if opts.SampleEvery > 0 {
 			scheduleSampling(s, tr, cfg.Metrics, opts.SampleEvery)
 		}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"omcast"
+	"omcast/internal/metrics"
+	"omcast/internal/tracing"
 )
 
 func TestRunWithTrace(t *testing.T) {
@@ -95,6 +97,18 @@ func TestRunWithTraceWriteError(t *testing.T) {
 	_, err := omcast.RunWithTrace(quickConfig(43, omcast.MinimumDepth), &failingWriter{left: 1024})
 	if err == nil || !strings.Contains(err.Error(), "trace") {
 		t.Fatalf("write failure not surfaced: %v", err)
+	}
+}
+
+// TestRunStreamingWithTraceWriteError pins the streaming path's encoding
+// error propagation: a writer that fails mid-run must surface from
+// RunStreamingWithTrace just as it does from RunWithTrace.
+func TestRunStreamingWithTraceWriteError(t *testing.T) {
+	cfg := quickConfig(46, omcast.MinimumDepth)
+	_, err := omcast.RunStreamingWithTrace(cfg, omcast.StreamConfig{GroupSize: 3},
+		&failingWriter{left: 1024}, omcast.TraceOptions{})
+	if err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Fatalf("streaming write failure not surfaced: %v", err)
 	}
 }
 
@@ -188,5 +202,110 @@ func TestRunStreamingWithTraceRepairs(t *testing.T) {
 	}
 	if repairs == 0 {
 		t.Fatal("trace has no repair events despite episodes > 0")
+	}
+}
+
+// TestTraceEventSchemaGolden pins the exact JSON field names of every event
+// kind (satellite of the v1 schema): a renamed or re-typed field breaks
+// downstream consumers silently, so it must break this test loudly instead.
+func TestTraceEventSchemaGolden(t *testing.T) {
+	i := func(v int) *int { return &v }
+	i64 := func(v int64) *int64 { return &v }
+	golden := []struct {
+		kind string
+		ev   omcast.TraceEvent
+		want string
+	}{
+		{"join", omcast.TraceEvent{V: 1, T: 1.5, Event: "join", Member: 3, Parent: i64(1), Depth: i(2), Bandwidth: 2.5},
+			`{"v":1,"t":1.5,"event":"join","member":3,"parent":1,"depth":2,"bandwidth":2.5}`},
+		{"rejoin", omcast.TraceEvent{V: 1, T: 2.5, Event: "rejoin", Member: 3, Parent: i64(0), Depth: i(1)},
+			`{"v":1,"t":2.5,"event":"rejoin","member":3,"parent":0,"depth":1}`},
+		{"depart", omcast.TraceEvent{V: 1, T: 3, Event: "depart", Member: 4},
+			`{"v":1,"t":3,"event":"depart","member":4}`},
+		{"failure", omcast.TraceEvent{V: 1, T: 4, Event: "failure", Member: 5, Disrupted: i(0)},
+			`{"v":1,"t":4,"event":"failure","member":5,"disrupted":0}`},
+		{"switch", omcast.TraceEvent{V: 1, T: 5, Event: "switch", Member: 6, Demoted: 2},
+			`{"v":1,"t":5,"event":"switch","member":6,"demoted":2}`},
+		{"repair", omcast.TraceEvent{V: 1, T: 6, Event: "repair", Member: 7, Repaired: i(10), Lost: i(0)},
+			`{"v":1,"t":6,"event":"repair","member":7,"repaired":10,"lost":0}`},
+		{"sample", omcast.TraceEvent{V: 1, T: 7, Event: "sample",
+			Metrics: []metrics.Metric{{Name: "omcast_x_total", Kind: metrics.KindCounter, Value: 3}}},
+			`{"v":1,"t":7,"event":"sample","metrics":[{"name":"omcast_x_total","kind":"counter","value":3}]}`},
+		{"span", omcast.TraceEvent{V: 1, T: 8, Event: "span", Member: 9,
+			Span: &tracing.Span{ID: "00000000deadbeef", Parent: "00000000cafef00d", Kind: "rejoin",
+				Member: 9, Start: 6, End: 8, Outcome: "reattached",
+				Attrs: []tracing.Attr{{K: "depth", V: "2"}}}},
+			`{"v":1,"t":8,"event":"span","member":9,"span":{"id":"00000000deadbeef","parent":"00000000cafef00d","kind":"rejoin","member":9,"start":6,"end":8,"outcome":"reattached","attrs":[{"k":"depth","v":"2"}]}}`},
+	}
+	for _, g := range golden {
+		data, err := json.Marshal(g.ev)
+		if err != nil {
+			t.Fatalf("%s: %v", g.kind, err)
+		}
+		if string(data) != g.want {
+			t.Errorf("%s schema drifted:\n got  %s\n want %s", g.kind, data, g.want)
+		}
+	}
+}
+
+// TestRunStreamingWithTraceSpans exercises the full span vocabulary end to
+// end: rejoin episodes with attempts, repair episodes with
+// detect/fetch/stall stages, and closes the loop through the analyzer.
+func TestRunStreamingWithTraceSpans(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickConfig(47, omcast.ROST)
+	_, err := omcast.RunStreamingWithTrace(cfg, omcast.StreamConfig{GroupSize: 3}, &buf,
+		omcast.TraceOptions{Spans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := tracing.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Spans) == 0 {
+		t.Fatal("span-enabled run emitted no spans")
+	}
+	kinds := map[string]int{}
+	ids := map[string]bool{}
+	for _, sp := range parsed.Spans {
+		kinds[sp.Kind]++
+		if ids[sp.ID] {
+			t.Fatalf("duplicate span ID %s", sp.ID)
+		}
+		ids[sp.ID] = true
+		if sp.End < sp.Start {
+			t.Fatalf("span ends before it starts: %+v", sp)
+		}
+	}
+	for _, want := range []string{tracing.KindRejoin, tracing.KindRepair, tracing.KindDetect, tracing.KindFetch} {
+		if kinds[want] == 0 {
+			t.Fatalf("no %q spans (kinds: %v)", want, kinds)
+		}
+	}
+	a := tracing.Analyze(parsed)
+	var sawRejoin, sawRepair bool
+	for _, ks := range a.Kinds {
+		switch ks.Kind {
+		case tracing.KindRejoin:
+			// Tree-level rejoin is synchronous unless the overlay is
+			// saturated, so durations may legitimately be zero here (the
+			// live node's rejoins carry the real latencies).
+			sawRejoin = true
+			if ks.Outcomes["reattached"] == 0 {
+				t.Fatalf("no reattached rejoin episodes: %+v", ks.Outcomes)
+			}
+		case tracing.KindRepair:
+			sawRepair = true
+			if len(ks.Stages) == 0 {
+				t.Fatal("repair episodes lost their stages")
+			}
+			if tracing.Percentile(ks.Durations, 0.5) <= 0 {
+				t.Fatal("repair episodes have zero p50 duration")
+			}
+		}
+	}
+	if !sawRejoin || !sawRepair {
+		t.Fatalf("analysis lacks episode kinds: %+v", a.Kinds)
 	}
 }
