@@ -212,9 +212,9 @@ func run() int {
 			return 0
 		case <-ticker.C:
 			s := n.Stats()
-			fmt.Printf("attached=%-5v depth=%d parent=%-22s children=%d packet=%d repaired=%d rejoins=%d switches=%d known=%d starving=%.2f%% quarantined=%d rejects=%d\n",
+			fmt.Printf("attached=%-5v depth=%d parent=%-22s children=%d packet=%d repaired=%d rejoins=%d failovers=%d switches=%d known=%d starving=%.2f%% quarantined=%d rejects=%d\n",
 				s.Attached, s.Depth, s.Parent, s.Children, s.HighestPacket,
-				s.PacketsRepaired, s.Rejoins, s.Switches, s.KnownMembers,
+				s.PacketsRepaired, s.Rejoins, s.Failovers, s.Switches, s.KnownMembers,
 				s.StarvingRatio()*100, s.QuarantinedPeers, s.WireRejects)
 		}
 	}

@@ -13,6 +13,13 @@
 //	omcast-trace -size 500 -small -stream -group 3 | jq 'select(.event=="repair")'
 //	omcast-trace -size 500 -small -spans | jq 'select(.event=="span")'
 //
+// With -fleet it instead runs a federated multi-source fleet session in
+// which one source is killed mid-stream, and emits the failover spans
+// (detect + assignment-attempt children); piping them into analyze yields
+// p50/p99 failover latency broken down by cause.
+//
+//	omcast-trace -fleet -size 500 -measure 5m | omcast-trace analyze
+//
 // The analyze subcommand digests a span-bearing trace (from this command's
 // -spans mode, `omcast-chaos -trace-out`, or a live node's /debug/trace)
 // into episode statistics: per-kind counts and outcomes, duration
@@ -151,8 +158,13 @@ func runSim() int {
 		stream  = flag.Bool("stream", false, "run the packet-level CER layer too (adds repair events)")
 		group   = flag.Int("group", 3, "CER recovery group size (with -stream)")
 		spans   = flag.Bool("spans", false, "emit causal episode spans (rejoin/repair/switch/stall timelines)")
+		fleetMd = flag.Bool("fleet", false, "run a federated multi-source session with a source kill instead; emits failover spans")
 	)
 	flag.Parse()
+
+	if *fleetMd {
+		return runFleetSim(*seed, *size, *measure)
+	}
 
 	alg, ok := map[string]omcast.Algorithm{
 		"min-depth":     omcast.MinimumDepth,
@@ -196,5 +208,44 @@ func runSim() int {
 	}
 	fmt.Fprintf(os.Stderr, "%s: %.2f disruptions/node, %.0fms delay, %d switches\n",
 		res.Algorithm, res.AvgDisruptions, res.AvgServiceDelayMS, res.Switches)
+	return 0
+}
+
+// runFleetSim runs a federated multi-source session in which one source is
+// killed a third of the way through the horizon, streaming the resulting
+// failover spans (with their detect and assignment-attempt children) as
+// JSONL — ready to pipe into `omcast-trace analyze` for p50/p99 failover
+// latency.
+func runFleetSim(seed int64, viewers int, horizon time.Duration) int {
+	out := bufio.NewWriter(os.Stdout)
+	var spans []tracing.Span
+	cfg := omcast.FleetConfig{
+		Seed:           seed,
+		Sources:        3,
+		TreesPerSource: 2,
+		TreeCapacity:   (viewers + 3) / 4,
+		Viewers:        viewers,
+		Horizon:        horizon,
+		Kills:          []omcast.FleetEvent{{At: horizon / 3, Source: 0}},
+		Trace: tracing.RecorderFunc(func(sp tracing.Span) {
+			spans = append(spans, sp)
+		}),
+	}
+	res, err := omcast.RunFleet(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 1
+	}
+	if err := tracing.WriteJSONL(out, spans); err == nil {
+		err = out.Flush()
+	} else {
+		_ = out.Flush()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-trace: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "fleet: %d viewers, %d failovers, %d reassigned, p99 reassign %.3fs, outage ratio %.4f\n",
+		res.Viewers, res.Failovers, res.Reassigned, res.P99Reassign.Seconds(), res.OutageRatio)
 	return 0
 }

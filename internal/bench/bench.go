@@ -25,6 +25,7 @@ import (
 
 	"omcast/internal/eventsim"
 	"omcast/internal/experiments"
+	"omcast/internal/fleet"
 	"omcast/internal/overlay"
 	"omcast/internal/topology"
 	"omcast/internal/tracing"
@@ -51,6 +52,7 @@ func Suite(quick bool) []Case {
 		{Name: "overlay/sample-100", Bench: benchSample},
 		{Name: "topology/delay", Bench: benchDelay},
 		{Name: "tracing/span-emit", Bench: benchSpanEmit},
+		{Name: "fleet/assign", Bench: benchFleetAssign},
 		{Name: "experiments/fig11-tiny", Bench: benchFig11Tiny},
 	}
 }
@@ -157,6 +159,30 @@ func benchDelay(b *testing.B) {
 		if d := topo.Delay(u, v); d < 0 {
 			b.Fatal("negative delay")
 		}
+	}
+}
+
+// benchFleetAssign is the federation control plane's hot path: one
+// capacity-aware assignment plus the matching release against a 16-source,
+// 64-tree fleet. The scan is pinned allocation-free by the fleet package's
+// own AllocsPerRun test; this case keeps its latency on the trend line.
+func benchFleetAssign(b *testing.B) {
+	ctrl := fleet.NewController(16, 4, 32)
+	// Half-load the fleet so the best-headroom scan works against a
+	// non-trivial load vector rather than an all-zero one.
+	for i := 0; i < 16*4*16; i++ {
+		if _, ok := ctrl.Assign(); !ok {
+			b.Fatal("fleet full during warmup")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref, ok := ctrl.Assign()
+		if !ok {
+			b.Fatal("fleet full")
+		}
+		ctrl.Release(ref)
 	}
 }
 

@@ -200,7 +200,7 @@ func IDs() []string {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14",
 		"ablation-recovery", "ablation-rejoin", "ablation-priority", "ablation-guard",
-		"extension-multitree",
+		"extension-multitree", "fig-fleet",
 	}
 }
 
@@ -303,6 +303,8 @@ func (r *Runner) Run(id string) (Table, error) {
 		t, err = r.ablationGuard()
 	case "extension-multitree":
 		t, err = r.extensionMultiTree()
+	case "fig-fleet":
+		t, err = r.figFleet()
 	default:
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
@@ -939,6 +941,109 @@ func (r *Runner) extensionMultiTree() (Table, error) {
 			fmt.Sprintf("%.3f%%", res.OutageRatio*100),
 			fmt.Sprintf("%.2f%%", res.FullQualityRatio*100),
 			fmt.Sprintf("%d", res.Episodes),
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// figFleet exercises the federation control plane (internal/fleet): N
+// trees x M viewers under steady churn, hotspot skew with rebalancing, a
+// flash crowd, a source kill, a cascading double kill, and a graceful
+// drain. Every scenario checks the configured reassignment-time and
+// outage-ratio bounds; the "bounds" column must read "ok" on every row.
+func (r *Runner) figFleet() (Table, error) {
+	viewers := 240
+	if r.opts.Quick {
+		viewers = 80
+	}
+	base := func(o Options, seed int64) omcast.FleetConfig {
+		return omcast.FleetConfig{
+			Seed:              seed,
+			Sources:           3,
+			TreesPerSource:    2,
+			TreeCapacity:      viewers / 3,
+			Viewers:           viewers,
+			Horizon:           2 * time.Minute,
+			HeartbeatInterval: 500 * time.Millisecond,
+			SuspectMisses:     2,
+			DownMisses:        4,
+			RejoinBackoffBase: 100 * time.Millisecond,
+			RejoinBackoffMax:  2 * time.Second,
+			AdmitPerInterval:  viewers / 10,
+			MaxReassignTime:   15 * time.Second,
+			Metrics:           o.Metrics,
+		}
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Fleet federation: bounded source failover (%d viewers, 3 sources x 2 trees)", viewers),
+		Header: []string{"scenario", "viewers", "failovers", "reassigned", "p99 reassign", "outage ratio", "migrations", "bounds"},
+		Notes: []string{
+			"failover bound: every viewer orphaned by a source death re-admitted within MaxReassignTime,",
+			"paced by per-source admission tokens and the node layer's jittered exponential backoff",
+		},
+	}
+	type variant struct {
+		label string
+		mut   func(*omcast.FleetConfig)
+	}
+	variants := []variant{
+		{"steady churn", func(c *omcast.FleetConfig) {
+			c.MeanLifetime = 90 * time.Second
+			c.MaxOutageRatio = 0 // churned departures can strand an episode mid-backoff
+		}},
+		{"load skew + rebalance", func(c *omcast.FleetConfig) {
+			c.LoadSkew = 0.7
+			c.RebalanceEvery = 2 * time.Second
+			c.RebalanceSlack = 2
+		}},
+		{"flash crowd", func(c *omcast.FleetConfig) {
+			c.Viewers = viewers / 4
+			c.Arrivals = []omcast.FleetBurst{{At: 10 * time.Second, Count: viewers - viewers/4}}
+		}},
+		{"source kill", func(c *omcast.FleetConfig) {
+			c.Kills = []omcast.FleetEvent{{At: 20 * time.Second, Source: 0}}
+			c.MaxOutageRatio = 0.25
+		}},
+		{"cascading kill (10 s apart)", func(c *omcast.FleetConfig) {
+			c.TreeCapacity = viewers // the last source standing holds everyone
+			c.Kills = []omcast.FleetEvent{
+				{At: 20 * time.Second, Source: 0},
+				{At: 30 * time.Second, Source: 1},
+			}
+			c.MaxOutageRatio = 0.5
+		}},
+		{"graceful drain", func(c *omcast.FleetConfig) {
+			c.Drains = []omcast.FleetEvent{{At: 20 * time.Second, Source: 0}}
+			c.MaxOutageRatio = 0.001 // make-before-break: zero outage expected
+		}},
+	}
+	rows, err := runUnits(r, len(variants), func(o Options, i int) ([]string, error) {
+		v := variants[i]
+		cfg := base(o, o.Seed+int64(i))
+		v.mut(&cfg)
+		res, err := omcast.RunFleet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		bounds := "ok"
+		if n := len(res.BoundViolations); n > 0 {
+			bounds = fmt.Sprintf("%d violated: %s", n, res.BoundViolations[0])
+		}
+		o.progress("fleet %-28s failovers=%d p99=%.2fs outage=%.4f", v.label,
+			res.Failovers, res.P99Reassign.Seconds(), res.OutageRatio)
+		return []string{
+			v.label,
+			fmt.Sprintf("%d", res.Viewers),
+			fmt.Sprintf("%d", res.Failovers),
+			fmt.Sprintf("%d", res.Reassigned),
+			fmt.Sprintf("%.2fs", res.P99Reassign.Seconds()),
+			fmt.Sprintf("%.4f", res.OutageRatio),
+			fmt.Sprintf("%d", res.DrainMigrations+res.Rebalanced),
+			bounds,
 		}, nil
 	})
 	if err != nil {

@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,6 +63,16 @@ type Bounds struct {
 	// MinAuditFailsTotal demands the BTP delta audit caught inflated claims,
 	// summed across all nodes.
 	MinAuditFailsTotal int64
+	// MaxReassignTime, measured from the schedule's last source crash,
+	// demands every honest member is re-attached within the window — the
+	// fleet failover bound: orphans of a dead source must find a surviving
+	// source's tree, not just eventually converge.
+	MaxReassignTime time.Duration
+	// MaxOutageRatio caps the mean starved-slot fraction across honest
+	// members — the fleet continuity bound. Unlike MaxStarvingRatio (a
+	// per-node cap) it bounds the aggregate outage a source failure is
+	// allowed to inflict on the viewer population.
+	MaxOutageRatio float64
 }
 
 // Scenario is one table-driven chaos run: an overlay size, a fault schedule
@@ -70,12 +81,17 @@ type Bounds struct {
 type Scenario struct {
 	Name  string
 	About string
-	// Nodes is the member count (the source is extra). SourceBW/NodeBW
+	// Nodes is the member count (sources are extra). SourceBW/NodeBW
 	// shape the tree (defaults 3 and 3: forces interior nodes at 8+ members).
 	Nodes    int
 	SourceBW float64
 	NodeBW   float64
-	Seed     int64
+	// Sources is the source count (default 1). The first source is named
+	// "source"; extras are "source1", "source2", … Every member bootstraps
+	// against all of them, so the overlay federates into one membership pool
+	// and orphans of a killed source can fail over to a survivor's tree.
+	Sources int
+	Seed    int64
 	// Warmup is the attach deadline before faults arm; zero arms the
 	// schedule at birth (join-under-fault scenarios).
 	Warmup time.Duration
@@ -95,6 +111,21 @@ type Scenario struct {
 	// quarantine them, so per-node bounds and attachment checks exclude
 	// them: the scenario asserts the *honest* overlay's continuity.
 	Byzantine []string
+}
+
+// isSource reports whether an address names a source ("source", "source1",
+// …). Member addresses are "nXX", so a prefix check is unambiguous.
+func isSource(addr wire.Addr) bool { return strings.HasPrefix(string(addr), "source") }
+
+// sourceAddrs returns the ordered source address list for a source count:
+// "source" first (the historical single-source name), then "source1", …
+func sourceAddrs(n int) []wire.Addr {
+	out := make([]wire.Addr, n)
+	out[0] = "source"
+	for i := 1; i < n; i++ {
+		out[i] = wire.Addr(fmt.Sprintf("source%d", i))
+	}
+	return out
 }
 
 // byzantine reports whether an address is in the scenario's byzantine set.
@@ -149,6 +180,10 @@ type Report struct {
 	// RecoveryTime is how long re-attachment took after the last schedule
 	// change (when measured).
 	RecoveryTime time.Duration
+	// ReassignTime is how long every honest member took to re-attach after
+	// the schedule's last source crash (when MaxReassignTime is set) — the
+	// fleet failover latency.
+	ReassignTime time.Duration
 	// Nodes holds final member stats sorted by address (source first).
 	Nodes []NodeReport
 	// Spans holds every causal span the run produced: per-node flight
@@ -168,7 +203,13 @@ func (r *Report) OK() bool { return len(r.Failures) == 0 }
 // Summary renders a one-line verdict.
 func (r *Report) Summary() string {
 	if r.OK() {
-		return fmt.Sprintf("%s seed=%d ok (%d nodes)", r.Scenario, r.Seed, len(r.Nodes)-1)
+		members := 0
+		for _, nr := range r.Nodes {
+			if !isSource(nr.Addr) {
+				members++
+			}
+		}
+		return fmt.Sprintf("%s seed=%d ok (%d nodes)", r.Scenario, r.Seed, members)
 	}
 	return fmt.Sprintf("%s seed=%d FAIL: %v", r.Scenario, r.Seed, r.Failures)
 }
@@ -182,10 +223,10 @@ type Harness struct {
 	rate  float64
 	hbInt time.Duration
 
-	mu     sync.Mutex
-	source *node.Node
-	nodes  map[wire.Addr]*node.Node
-	cfgs   map[wire.Addr]node.Config
+	mu      sync.Mutex
+	sources map[wire.Addr]*node.Node
+	nodes   map[wire.Addr]*node.Node
+	cfgs    map[wire.Addr]node.Config
 	// rings are the per-address span flight recorders. A restarted node
 	// reuses its address's ring, so one timeline spans its whole history
 	// across crashes.
@@ -205,14 +246,18 @@ func NewHarness(scn Scenario) (*Harness, error) {
 	if scn.NodeBW <= 0 {
 		scn.NodeBW = 3
 	}
+	if scn.Sources <= 0 {
+		scn.Sources = 1
+	}
 	h := &Harness{
-		sc:    scn,
-		mem:   node.NewMemNetwork(nil),
-		nodes: make(map[wire.Addr]*node.Node),
-		cfgs:  make(map[wire.Addr]node.Config),
-		rings: make(map[wire.Addr]*flight.Ring),
-		hbInt: sc(20 * time.Millisecond),
-		rate:  100,
+		sc:      scn,
+		mem:     node.NewMemNetwork(nil),
+		sources: make(map[wire.Addr]*node.Node),
+		nodes:   make(map[wire.Addr]*node.Node),
+		cfgs:    make(map[wire.Addr]node.Config),
+		rings:   make(map[wire.Addr]*flight.Ring),
+		hbInt:   sc(20 * time.Millisecond),
+		rate:    100,
 	}
 	if raceEnabled {
 		h.rate = 25 // heartbeats stretched 4x; cut packet load to match
@@ -233,17 +278,20 @@ func NewHarness(scn Scenario) (*Harness, error) {
 		Seed:              scn.Seed,
 	}
 
-	srcCfg := base
-	srcCfg.Source = true
-	srcCfg.Bandwidth = scn.SourceBW
-	if err := h.boot("source", srcCfg); err != nil {
-		h.Close()
-		return nil, err
+	srcs := sourceAddrs(scn.Sources)
+	for _, a := range srcs {
+		srcCfg := base
+		srcCfg.Source = true
+		srcCfg.Bandwidth = scn.SourceBW
+		if err := h.boot(a, srcCfg); err != nil {
+			h.Close()
+			return nil, err
+		}
 	}
 	for i := 0; i < scn.Nodes; i++ {
 		cfg := base
 		cfg.Bandwidth = scn.NodeBW
-		cfg.Bootstrap = []wire.Addr{"source"}
+		cfg.Bootstrap = append([]wire.Addr(nil), srcs...)
 		if err := h.boot(wire.Addr(fmt.Sprintf("n%02d", i)), cfg); err != nil {
 			h.Close()
 			return nil, err
@@ -272,7 +320,7 @@ func (h *Harness) boot(addr wire.Addr, cfg node.Config) error {
 	nd := node.New(cfg, h.Net.Wrap(ep))
 	h.mu.Lock()
 	if cfg.Source {
-		h.source = nd
+		h.sources[addr] = nd
 	} else {
 		h.nodes[addr] = nd
 	}
@@ -284,6 +332,8 @@ func (h *Harness) boot(addr wire.Addr, cfg node.Config) error {
 
 // nodeHook implements crash/restart: down kills the node process (its
 // endpoint frees the address), up boots a fresh node with the same config.
+// Sources are killable too — a crash event naming a source address takes the
+// stream down with it, which is the fleet source-failover scenario.
 func (h *Harness) nodeHook(addr string, up bool) {
 	a := wire.Addr(addr)
 	h.mu.Lock()
@@ -292,9 +342,13 @@ func (h *Harness) nodeHook(addr string, up bool) {
 		return
 	}
 	nd := h.nodes[a]
+	if nd == nil {
+		nd = h.sources[a]
+	}
 	cfg, known := h.cfgs[a]
 	if !up {
 		delete(h.nodes, a)
+		delete(h.sources, a)
 	}
 	h.mu.Unlock()
 	if !up {
@@ -308,18 +362,28 @@ func (h *Harness) nodeHook(addr string, up bool) {
 	}
 }
 
-// Members snapshots the current live member set sorted by address.
+// Members snapshots the current live node set sorted by address: surviving
+// sources first (sorted), then members. A crashed source is absent, exactly
+// like a crashed member.
 func (h *Harness) Members() []NodeReport {
 	h.mu.Lock()
 	nodes := make(map[wire.Addr]*node.Node, len(h.nodes))
 	for a, nd := range h.nodes {
 		nodes[a] = nd
 	}
-	src := h.source
+	srcs := make(map[wire.Addr]*node.Node, len(h.sources))
+	for a, nd := range h.sources {
+		srcs[a] = nd
+	}
 	h.mu.Unlock()
-	out := make([]NodeReport, 0, len(nodes)+1)
-	if src != nil {
-		out = append(out, NodeReport{Addr: "source", Stats: src.Stats()})
+	out := make([]NodeReport, 0, len(nodes)+len(srcs))
+	srcAddrs := make([]wire.Addr, 0, len(srcs))
+	for a := range srcs {
+		srcAddrs = append(srcAddrs, a)
+	}
+	sort.Slice(srcAddrs, func(i, j int) bool { return srcAddrs[i] < srcAddrs[j] })
+	for _, a := range srcAddrs {
+		out = append(out, NodeReport{Addr: a, Stats: srcs[a].Stats()})
 	}
 	addrs := make([]wire.Addr, 0, len(nodes))
 	for a := range nodes {
@@ -332,14 +396,18 @@ func (h *Harness) Members() []NodeReport {
 	return out
 }
 
-// Spans drains every flight recorder: the source's ring first, then the
-// members' rings sorted by address — the stable order the determinism and
-// export layers rely on.
+// Spans drains every flight recorder: source rings first (sorted), then
+// member rings sorted by address — the stable order the determinism and
+// export layers rely on. Rings survive crashes, so a killed source's
+// pre-crash episodes are kept.
 func (h *Harness) Spans() []tracing.Span {
 	h.mu.Lock()
+	srcAddrs := make([]wire.Addr, 0, 1)
 	addrs := make([]wire.Addr, 0, len(h.rings))
 	for a := range h.rings {
-		if a != "source" {
+		if isSource(a) {
+			srcAddrs = append(srcAddrs, a)
+		} else {
 			addrs = append(addrs, a)
 		}
 	}
@@ -348,9 +416,12 @@ func (h *Harness) Spans() []tracing.Span {
 		rings[a] = r
 	}
 	h.mu.Unlock()
+	sort.Slice(srcAddrs, func(i, j int) bool { return srcAddrs[i] < srcAddrs[j] })
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var out []tracing.Span
-	out = append(out, rings["source"].Snapshot()...)
+	for _, a := range srcAddrs {
+		out = append(out, rings[a].Snapshot()...)
+	}
 	for _, a := range addrs {
 		out = append(out, rings[a].Snapshot()...)
 	}
@@ -435,9 +506,9 @@ func (h *Harness) StartFaults() { h.Net.Start() }
 func (h *Harness) Close() {
 	h.mu.Lock()
 	h.closed = true
-	nodes := make([]*node.Node, 0, len(h.nodes)+1)
-	if h.source != nil {
-		nodes = append(nodes, h.source)
+	nodes := make([]*node.Node, 0, len(h.nodes)+len(h.sources))
+	for _, nd := range h.sources {
+		nodes = append(nodes, nd)
 	}
 	for _, nd := range h.nodes {
 		nodes = append(nodes, nd)
@@ -456,6 +527,19 @@ func lastChangeAt(sch *faultnet.Schedule) time.Duration {
 	for _, c := range sch.Expand() {
 		if c.T > last {
 			last = c.T
+		}
+	}
+	return last
+}
+
+// lastSourceCrashAt returns the scaled offset of the schedule's final crash
+// event that names a source address — the instant the fleet failover clock
+// starts from.
+func lastSourceCrashAt(sch *faultnet.Schedule) time.Duration {
+	var last time.Duration
+	for _, ev := range sch.Events {
+		if ev.Action == faultnet.ActionCrash && isSource(wire.Addr(ev.Node)) && ev.At.D() > last {
+			last = ev.At.D()
 		}
 	}
 	return last
@@ -501,6 +585,23 @@ func Run(scn Scenario) (*Report, error) {
 		time.Sleep(remaining)
 	}
 
+	if scn.Bounds.MaxReassignTime > 0 {
+		// The failover clock starts at the last source kill; whatever the
+		// main sleep already burned past it counts against the bound.
+		base := start.Add(lastSourceCrashAt(sch))
+		budget := sc(scn.Bounds.MaxReassignTime) - time.Since(base)
+		if budget < 0 {
+			budget = 0
+		}
+		_, ok := h.WaitAttached(budget)
+		rep.ReassignTime = time.Since(base)
+		if !ok {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("members not all re-assigned within %s of last source kill (took %s)",
+					sc(scn.Bounds.MaxReassignTime), rep.ReassignTime))
+		}
+	}
+
 	if scn.Bounds.RecoverWithin > 0 {
 		// The recovery clock starts at the schedule's last change (the final
 		// heal/restart); anything burned past it during the main sleep counts.
@@ -536,21 +637,29 @@ func Run(scn Scenario) (*Report, error) {
 // evaluate applies the scenario bounds to the collected stats.
 func evaluate(rep *Report, scn Scenario, h *Harness, ran time.Duration) {
 	b := scn.Bounds
-	if b.RequireAllAttached && len(rep.Nodes)-1 < scn.Nodes {
+	alive := 0
+	for _, nr := range rep.Nodes {
+		if !isSource(nr.Addr) {
+			alive++
+		}
+	}
+	if b.RequireAllAttached && alive < scn.Nodes {
 		rep.Failures = append(rep.Failures,
-			fmt.Sprintf("only %d of %d members alive at end", len(rep.Nodes)-1, scn.Nodes))
+			fmt.Sprintf("only %d of %d members alive at end", alive, scn.Nodes))
 	}
 	var suppressed, rejoins int64
 	var quarantines, wireRejects, auditFails int64
+	var starveSum float64
+	honest := 0
 	sourcePackets := int64(ran.Seconds() * h.rate)
 	for _, nr := range rep.Nodes {
 		s := nr.Stats
-		// Guard totals sum over every node, source included: any honest
+		// Guard totals sum over every node, sources included: any honest
 		// participant convicting a byzantine peer is evidence.
 		quarantines += s.GuardQuarantines
 		wireRejects += s.WireRejects
 		auditFails += s.GuardAuditFails
-		if nr.Addr == "source" {
+		if isSource(nr.Addr) {
 			continue
 		}
 		if nr.Byzantine {
@@ -561,6 +670,8 @@ func evaluate(rep *Report, scn Scenario, h *Harness, ran time.Duration) {
 		}
 		suppressed += s.RepairsSuppressed
 		rejoins += s.Rejoins + s.StallRejoins
+		starveSum += s.StarvingRatio()
+		honest++
 		if b.RequireAllAttached && !s.Attached {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("%s detached at end", nr.Addr))
 		}
@@ -606,5 +717,13 @@ func evaluate(rep *Report, scn Scenario, h *Harness, ran time.Duration) {
 		rep.Failures = append(rep.Failures,
 			fmt.Sprintf("nodes failed %d BTP audits, want >= %d (forged claims never caught)",
 				auditFails, b.MinAuditFailsTotal))
+	}
+	if b.MaxOutageRatio > 0 && honest > 0 {
+		mean := starveSum / float64(honest)
+		if mean > b.MaxOutageRatio {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("mean starving ratio %.3f across %d honest members > outage bound %.3f",
+					mean, honest, b.MaxOutageRatio))
+		}
 	}
 }

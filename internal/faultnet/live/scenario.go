@@ -300,6 +300,59 @@ var Scenarios = []Scenario{
 			AttachWithin: 8 * time.Second,
 		},
 	},
+	{
+		Name:    "source-kill",
+		About:   "a fleet of two sources; one is killed mid-stream and never returns — every orphaned viewer must be re-assigned to the survivor's tree within the failover bound",
+		Nodes:   10,
+		Sources: 2,
+		Seed:    1013,
+		Warmup:  5 * time.Second,
+		// Both sources sit at depth 0 with three slots each, so the join
+		// ranking (min depth, then spare) reliably parks members under
+		// source1 before the kill.
+		Duration: 3500 * time.Millisecond,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(500 * time.Millisecond), Action: faultnet.ActionCrash, Node: "source1"},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			// Heartbeat timeout (3x20 ms) + one unanswered join to the dead
+			// source's stale membership record + backoff-paced retries to a
+			// live candidate: 2.5 s of post-kill budget.
+			MaxReassignTime:  2500 * time.Millisecond,
+			MaxStarvingRatio: 0.7,
+			MaxOutageRatio:   0.4,
+			MinRejoinsTotal:  1, // the kill must orphan someone
+		},
+	},
+	{
+		Name:    "source-kill-cascade",
+		About:   "three sources; two die in sequence (the gap models the paper's 10 s cascade at the harness's ~30x compressed timescale) — the fleet must drain onto the last survivor without a rejoin storm",
+		Nodes:   12,
+		Sources: 3,
+		Seed:    1014,
+		Warmup:  5 * time.Second,
+		// The second kill lands while source1's orphans are mid-failover, so
+		// re-assignment must cope with a shrinking candidate set.
+		Duration: 4 * time.Second,
+		Schedule: faultnet.Schedule{
+			Events: []faultnet.Event{
+				{At: d(500 * time.Millisecond), Action: faultnet.ActionCrash, Node: "source1"},
+				{At: d(800 * time.Millisecond), Action: faultnet.ActionCrash, Node: "source2"},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			// Clock starts at the second kill; orphans of the first have a
+			// head start but may have landed on source2 and be orphaned twice.
+			MaxReassignTime:  2500 * time.Millisecond,
+			MaxStarvingRatio: 0.7,
+			MaxOutageRatio:   0.5,
+			MinRejoinsTotal:  2, // both kills must orphan someone
+		},
+	},
 }
 
 // Scenario looks a scenario up by name (nil if unknown).

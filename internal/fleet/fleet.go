@@ -1,0 +1,944 @@
+// Package fleet is the federation control plane over the multi-tree
+// delivery layer: the piece a production deployment of the paper's system
+// needs once "the source" becomes "a fleet of sources". The paper proves
+// single-tree resilience (ROST + CER) and internal/multitree extends it to
+// striped trees under one source; fleet models the layer above — many
+// sources, each serving several stripe trees, with a controller that
+//
+//   - tracks per-source health by heartbeat (Healthy → Suspect → Down on
+//     consecutive misses, so one late beat never triggers a failover),
+//   - assigns joining viewers to the source+tree with the most capacity
+//     headroom, admission-paced per source so a flash crowd fills the fleet
+//     over several heartbeat intervals instead of one stampede,
+//   - re-assigns every viewer orphaned by a source death to surviving
+//     sources with paced, jittered rejoin (the node layer's capped
+//     exponential backoff policy), bounding the failover completion time
+//     without a thundering herd,
+//   - drains a source gracefully on planned shutdown: viewers migrate
+//     tree-by-tree, make-before-break, with zero outage, and
+//   - rebalances load by migrating members from the fullest tree to the
+//     emptiest whenever the spread exceeds a slack.
+//
+// Everything runs on the deterministic event simulator with named RNG
+// streams, so a session is byte-identical across reruns and `-workers`
+// counts. Failover episodes are emitted as tracing spans (kind "failover",
+// cause "source-down" or "drain", with per-attempt "assign" children), and
+// per-tree occupancy/health lands in the metrics registry.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"omcast/internal/eventsim"
+	"omcast/internal/metrics"
+	"omcast/internal/tracing"
+	"omcast/internal/xrand"
+)
+
+// SourceState is the controller's view of one source, not ground truth: a
+// dead source stays Healthy until enough heartbeats go missing.
+type SourceState int
+
+// Source states. Healthy→Suspect→Down is the failure-detection ladder;
+// Draining→Drained is the planned-shutdown path.
+const (
+	SourceHealthy SourceState = iota
+	SourceSuspect
+	SourceDown
+	SourceDraining
+	SourceDrained
+)
+
+// String names the state.
+func (s SourceState) String() string {
+	switch s {
+	case SourceHealthy:
+		return "healthy"
+	case SourceSuspect:
+		return "suspect"
+	case SourceDown:
+		return "down"
+	case SourceDraining:
+		return "draining"
+	case SourceDrained:
+		return "drained"
+	default:
+		return fmt.Sprintf("SourceState(%d)", int(s))
+	}
+}
+
+// TimedEvent schedules a source kill or drain at a virtual time.
+type TimedEvent struct {
+	At     time.Duration
+	Source int
+}
+
+// Burst is a flash-crowd arrival: Count viewers join at once at At.
+type Burst struct {
+	At    time.Duration
+	Count int
+}
+
+// Config parameterises a fleet session.
+type Config struct {
+	Seed int64
+	// Fleet shape.
+	Sources        int
+	TreesPerSource int
+	TreeCapacity   int
+	// Viewers joined (unpaced) at time zero — the pre-populated steady state.
+	Viewers int
+	Horizon time.Duration
+	// Failure detection: a source is Suspect after SuspectMisses consecutive
+	// missed heartbeats and Down after DownMisses.
+	HeartbeatInterval time.Duration
+	SuspectMisses     int
+	DownMisses        int
+	// Rejoin pacing: orphaned viewers retry with the node layer's capped
+	// exponential backoff (base doubled per failed attempt, capped at max,
+	// jittered to [d/2, d)), and each source admits at most AdmitPerInterval
+	// viewers per heartbeat interval.
+	RejoinBackoffBase time.Duration
+	RejoinBackoffMax  time.Duration
+	AdmitPerInterval  int
+	// Bounds checked into Result.BoundViolations (zero disables a check).
+	MaxReassignTime time.Duration
+	MaxOutageRatio  float64
+	// Scripted events.
+	Kills    []TimedEvent
+	Drains   []TimedEvent
+	Arrivals []Burst
+	// Churn: when MeanLifetime > 0 every viewer departs after an exponential
+	// lifetime and Poisson arrivals replenish the population.
+	MeanLifetime time.Duration
+	// LoadSkew is the probability a joining viewer insists on source 0,
+	// tree 0 (hotspot pressure for the rebalancer).
+	LoadSkew float64
+	// Rebalancing: every RebalanceEvery, migrate viewers from the fullest
+	// tree to the emptiest while their load difference exceeds
+	// RebalanceSlack. Zero disables.
+	RebalanceEvery time.Duration
+	RebalanceSlack int
+	// Instrumentation (both optional).
+	Metrics *metrics.Registry
+	Trace   tracing.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.TreesPerSource <= 0 {
+		c.TreesPerSource = 2
+	}
+	if c.TreeCapacity <= 0 {
+		c.TreeCapacity = 64
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 60 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.SuspectMisses <= 0 {
+		c.SuspectMisses = 2
+	}
+	if c.DownMisses <= c.SuspectMisses {
+		c.DownMisses = c.SuspectMisses + 2
+	}
+	if c.RejoinBackoffBase <= 0 {
+		c.RejoinBackoffBase = 200 * time.Millisecond
+	}
+	if c.RejoinBackoffMax <= 0 {
+		c.RejoinBackoffMax = 5 * time.Second
+	}
+	if c.AdmitPerInterval <= 0 {
+		c.AdmitPerInterval = 8
+	}
+	if c.RebalanceSlack <= 0 {
+		c.RebalanceSlack = 2
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sources <= 0 {
+		return fmt.Errorf("fleet: Sources = %d, want >= 1", c.Sources)
+	}
+	for _, k := range c.Kills {
+		if k.Source < 0 || k.Source >= c.Sources {
+			return fmt.Errorf("fleet: kill targets source %d of %d", k.Source, c.Sources)
+		}
+	}
+	for _, d := range c.Drains {
+		if d.Source < 0 || d.Source >= c.Sources {
+			return fmt.Errorf("fleet: drain targets source %d of %d", d.Source, c.Sources)
+		}
+	}
+	return nil
+}
+
+// TreeRef names one stripe tree within the fleet.
+type TreeRef struct {
+	Source int
+	Tree   int
+}
+
+// Controller is the assignment hot path: per-tree occupancy, per-source
+// admission tokens and availability, and a zero-allocation best-fit scan.
+// It is deliberately free of simulator state so the bench suite can measure
+// Assign/Release in isolation.
+type Controller struct {
+	treesPer int
+	capacity int
+	load     []int  // flattened source*treesPer+tree
+	blocked  []bool // per source: down, draining or drained
+	tokens   []int  // per source admissions left this interval; -1 = unpaced
+}
+
+// NewController builds a controller with every tree empty, every source
+// assignable, and admission unpaced until the first Replenish.
+func NewController(sources, treesPer, capacity int) *Controller {
+	c := &Controller{
+		treesPer: treesPer,
+		capacity: capacity,
+		load:     make([]int, sources*treesPer),
+		blocked:  make([]bool, sources),
+		tokens:   make([]int, sources),
+	}
+	for i := range c.tokens {
+		c.tokens[i] = -1
+	}
+	return c
+}
+
+// Assign takes one slot in the assignable tree with the most headroom
+// (ties broken toward the lowest source, then tree index), honouring
+// per-source admission tokens. Zero allocations.
+func (c *Controller) Assign() (TreeRef, bool) {
+	best, bestRoom := -1, 0
+	for i, l := range c.load {
+		src := i / c.treesPer
+		if c.blocked[src] || c.tokens[src] == 0 {
+			continue
+		}
+		if room := c.capacity - l; room > bestRoom {
+			best, bestRoom = i, room
+		}
+	}
+	if best < 0 {
+		return TreeRef{}, false
+	}
+	c.load[best]++
+	if src := best / c.treesPer; c.tokens[src] > 0 {
+		c.tokens[src]--
+	}
+	return TreeRef{Source: best / c.treesPer, Tree: best % c.treesPer}, true
+}
+
+// Take claims one slot in a specific tree if its source is assignable and
+// the tree has room (the sticky-viewer and rebalance placement path).
+func (c *Controller) Take(r TreeRef) bool {
+	if c.blocked[r.Source] || c.tokens[r.Source] == 0 {
+		return false
+	}
+	i := r.Source*c.treesPer + r.Tree
+	if c.load[i] >= c.capacity {
+		return false
+	}
+	c.load[i]++
+	if c.tokens[r.Source] > 0 {
+		c.tokens[r.Source]--
+	}
+	return true
+}
+
+// Release frees one slot.
+func (c *Controller) Release(r TreeRef) {
+	c.load[r.Source*c.treesPer+r.Tree]--
+}
+
+// SetBlocked marks a source (un)assignable.
+func (c *Controller) SetBlocked(source int, blocked bool) { c.blocked[source] = blocked }
+
+// Blocked reports whether a source is assignable.
+func (c *Controller) Blocked(source int) bool { return c.blocked[source] }
+
+// Replenish resets every source's admission tokens for a new interval.
+func (c *Controller) Replenish(n int) {
+	for i := range c.tokens {
+		c.tokens[i] = n
+	}
+}
+
+// Load returns a tree's occupancy.
+func (c *Controller) Load(r TreeRef) int { return c.load[r.Source*c.treesPer+r.Tree] }
+
+// Headroom returns the total free capacity across assignable sources,
+// ignoring admission tokens — "is the fleet full" as opposed to "is the
+// fleet admitting right now".
+func (c *Controller) Headroom() int {
+	total := 0
+	for i, l := range c.load {
+		if c.blocked[i/c.treesPer] {
+			continue
+		}
+		total += c.capacity - l
+	}
+	return total
+}
+
+// viewer is one member of the fleet's audience.
+type viewer struct {
+	id         int64
+	alive      bool
+	assigned   bool
+	joining    bool // first admission, not a failover: no outage charged
+	ref        TreeRef
+	streak     int
+	joinedAt   time.Duration
+	assignedAt time.Duration
+	orphanedAt time.Duration // outage start (source death or join start)
+	departedAt time.Duration
+	outage     time.Duration
+	span       *tracing.SpanBuilder
+}
+
+// source is the ground truth plus the controller's belief about one source.
+type source struct {
+	idx       int
+	state     SourceState
+	dead      bool
+	deadAt    time.Duration
+	missed    int
+	drainTree int
+}
+
+// TreeLoad is one tree's final accounting, exported in Result and mirrored
+// onto the metrics registry as labelled gauges.
+type TreeLoad struct {
+	Source    int
+	Tree      int
+	Viewers   int
+	Capacity  int
+	Failovers int
+	State     string // the owning source's final state
+}
+
+// Result summarises a fleet session.
+type Result struct {
+	// Viewers is every viewer that ever joined; Assigned is how many were
+	// admitted at least once.
+	Viewers  int
+	Assigned int
+	// Failovers counts failover episodes (source-down and drain causes);
+	// Orphaned/Reassigned/Unassigned break down the source-down ones.
+	Failovers  int
+	Orphaned   int
+	Reassigned int
+	Unassigned int // still orphaned at the horizon
+	Attempts   int
+	// Reassignment latency (source death through re-admission).
+	MaxReassign time.Duration
+	P50Reassign time.Duration
+	P99Reassign time.Duration
+	// OutageRatio is total viewer outage time over total viewer view time.
+	OutageRatio float64
+	// Draining.
+	DrainMigrations int
+	DrainOutage     time.Duration // always zero: drains are make-before-break
+	Drained         int           // sources fully drained
+	// Rebalancing.
+	Rebalanced int
+	TreeLoads  []TreeLoad
+	// BoundViolations lists every configured bound the run broke.
+	BoundViolations []string
+}
+
+// Session is a running fleet simulation.
+type Session struct {
+	cfg     Config
+	sim     *eventsim.Simulator
+	ctrl    *Controller
+	sources []*source
+	viewers []*viewer
+	tracer  *tracing.Tracer
+
+	backoffRng *xrand.Source
+	arriveRng  *xrand.Source
+	lifeRng    *xrand.Source
+	skewRng    *xrand.Source
+
+	treeFailovers []int
+	reassignSecs  []float64
+	maxReassign   time.Duration
+	failovers     int
+	orphaned      int
+	reassigned    int
+	attempts      int
+	drainMoves    int
+	rebalanced    int
+	assignedEver  int
+
+	met struct {
+		failovers    *metrics.Counter
+		reassigned   *metrics.Counter
+		attempts     *metrics.Counter
+		drainMoves   *metrics.Counter
+		rebalanced   *metrics.Counter
+		reassignSecs *metrics.Histogram
+	}
+}
+
+// NewSession builds a fleet session.
+func NewSession(cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:           cfg,
+		sim:           eventsim.New(),
+		ctrl:          NewController(cfg.Sources, cfg.TreesPerSource, cfg.TreeCapacity),
+		tracer:        tracing.New(cfg.Seed, cfg.Trace),
+		backoffRng:    xrand.NewNamed(cfg.Seed, "fleet.backoff"),
+		arriveRng:     xrand.NewNamed(cfg.Seed, "fleet.arrive"),
+		lifeRng:       xrand.NewNamed(cfg.Seed, "fleet.lifetime"),
+		skewRng:       xrand.NewNamed(cfg.Seed, "fleet.skew"),
+		treeFailovers: make([]int, cfg.Sources*cfg.TreesPerSource),
+	}
+	for i := 0; i < cfg.Sources; i++ {
+		s.sources = append(s.sources, &source{idx: i})
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.met.failovers = reg.Counter("omcast_fleet_failovers_total",
+			"Failover episodes started (source-down and drain causes).")
+		s.met.reassigned = reg.Counter("omcast_fleet_reassigned_total",
+			"Orphaned viewers re-admitted by a surviving source.")
+		s.met.attempts = reg.Counter("omcast_fleet_assign_attempts_total",
+			"Assignment attempts, including paced and fleet-full rejections.")
+		s.met.drainMoves = reg.Counter("omcast_fleet_drain_migrations_total",
+			"Viewers migrated make-before-break off a draining source.")
+		s.met.rebalanced = reg.Counter("omcast_fleet_rebalance_migrations_total",
+			"Viewers migrated from the fullest tree to the emptiest.")
+		s.met.reassignSecs = reg.Histogram("omcast_fleet_reassign_seconds",
+			"Reassignment latency from source death to re-admission.",
+			metrics.LatencyBuckets())
+	}
+	return s, nil
+}
+
+// Controller exposes the assignment state (testing hook).
+func (s *Session) Controller() *Controller { return s.ctrl }
+
+// Run executes the session to the horizon and returns its results.
+func (s *Session) Run() (Result, error) {
+	now := time.Duration(0)
+	for i := 0; i < s.cfg.Viewers; i++ {
+		v := s.newViewer(now)
+		// Steady-state pre-population: admit directly, unpaced (tokens are
+		// unlimited until the first monitor tick).
+		s.admitJoin(v, now)
+	}
+	s.sim.ScheduleAfter(s.cfg.HeartbeatInterval, s.monitorTick)
+	for _, k := range s.cfg.Kills {
+		src := s.sources[k.Source]
+		s.sim.Schedule(k.At, func(sim *eventsim.Simulator) {
+			if !src.dead && src.state != SourceDrained {
+				src.dead = true
+				src.deadAt = sim.Now()
+			}
+		})
+	}
+	for _, d := range s.cfg.Drains {
+		src := s.sources[d.Source]
+		s.sim.Schedule(d.At, func(sim *eventsim.Simulator) {
+			s.startDrain(sim, src)
+		})
+	}
+	for _, b := range s.cfg.Arrivals {
+		count := b.Count
+		s.sim.Schedule(b.At, func(sim *eventsim.Simulator) {
+			for i := 0; i < count; i++ {
+				s.joinViewer(sim, s.newViewer(sim.Now()))
+			}
+		})
+	}
+	if s.cfg.MeanLifetime > 0 {
+		for _, v := range s.viewers {
+			s.scheduleDeparture(v)
+		}
+		s.scheduleNextArrival()
+	}
+	if s.cfg.RebalanceEvery > 0 {
+		s.sim.ScheduleAfter(s.cfg.RebalanceEvery, s.rebalanceTick)
+	}
+	if err := s.sim.Run(s.cfg.Horizon); err != nil {
+		return Result{}, fmt.Errorf("fleet: simulation failed: %w", err)
+	}
+	return s.result(), nil
+}
+
+func (s *Session) newViewer(now time.Duration) *viewer {
+	v := &viewer{
+		id:         int64(len(s.viewers)),
+		alive:      true,
+		joining:    true,
+		joinedAt:   now,
+		orphanedAt: now,
+		departedAt: -1,
+	}
+	s.viewers = append(s.viewers, v)
+	return v
+}
+
+// joinViewer admits a new arrival through the paced assignment path.
+func (s *Session) joinViewer(sim *eventsim.Simulator, v *viewer) {
+	if s.cfg.MeanLifetime > 0 {
+		s.scheduleDeparture(v)
+	}
+	s.admitJoin(v, sim.Now())
+}
+
+// admitJoin is one join attempt: sticky placement under load skew, best-fit
+// otherwise, capped exponential retry when paced out.
+func (s *Session) admitJoin(v *viewer, now time.Duration) {
+	if !v.alive {
+		return
+	}
+	s.noteAttempt()
+	if s.cfg.LoadSkew > 0 && v.streak == 0 && s.skewRng.Float64() < s.cfg.LoadSkew {
+		if s.ctrl.Take(TreeRef{}) {
+			s.assign(v, TreeRef{}, now)
+			return
+		}
+	}
+	if ref, ok := s.ctrl.Assign(); ok {
+		s.assign(v, ref, now)
+		return
+	}
+	s.retryLater(v, func(sim *eventsim.Simulator) { s.admitJoin(v, sim.Now()) })
+}
+
+func (s *Session) noteAttempt() {
+	s.attempts++
+	if s.met.attempts != nil {
+		s.met.attempts.Inc()
+	}
+}
+
+// retryLater schedules the next attempt with the node layer's jittered
+// capped-exponential backoff.
+func (s *Session) retryLater(v *viewer, h eventsim.Handler) {
+	d := backoffDelay(s.cfg.RejoinBackoffBase, s.cfg.RejoinBackoffMax, v.streak, s.backoffRng)
+	v.streak++
+	s.sim.ScheduleAfter(d, h)
+}
+
+// backoffDelay mirrors internal/node's policy: base doubled streak times,
+// capped at max, then jittered to [d/2, d).
+func backoffDelay(base, max time.Duration, streak int, rng *xrand.Source) time.Duration {
+	d := base
+	for i := 0; i < streak && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + rng.UniformDuration(0, d/2)
+}
+
+func (s *Session) assign(v *viewer, ref TreeRef, now time.Duration) {
+	v.assigned = true
+	v.ref = ref
+	v.assignedAt = now
+	v.streak = 0
+	if v.joining {
+		v.joining = false
+		s.assignedEver++
+		return
+	}
+	// Completing a failover: charge the outage and close the episode.
+	lat := now - v.orphanedAt
+	v.outage += lat
+	s.reassigned++
+	s.reassignSecs = append(s.reassignSecs, lat.Seconds())
+	if lat > s.maxReassign {
+		s.maxReassign = lat
+	}
+	if s.met.reassigned != nil {
+		s.met.reassigned.Inc()
+	}
+	if s.met.reassignSecs != nil {
+		s.met.reassignSecs.Observe(lat.Seconds())
+	}
+	if v.span != nil {
+		v.span.AttrDuration("latency", lat)
+		v.span.End(now, "reassigned")
+		v.span = nil
+	}
+}
+
+// monitorTick is the heartbeat monitor: advance every source's detection
+// ladder, then replenish admission tokens for the next interval.
+func (s *Session) monitorTick(sim *eventsim.Simulator) {
+	now := sim.Now()
+	for _, src := range s.sources {
+		switch src.state {
+		case SourceHealthy, SourceSuspect:
+			if !src.dead {
+				src.missed = 0
+				src.state = SourceHealthy
+				continue
+			}
+			src.missed++
+			if src.missed >= s.cfg.DownMisses {
+				s.declareDown(src, now)
+			} else if src.missed >= s.cfg.SuspectMisses {
+				src.state = SourceSuspect
+			}
+		case SourceDraining:
+			if src.dead {
+				// A source can die mid-drain; the remaining viewers fail
+				// over like any other orphans.
+				s.declareDown(src, now)
+			}
+		}
+	}
+	s.ctrl.Replenish(s.cfg.AdmitPerInterval)
+	sim.ScheduleAfter(s.cfg.HeartbeatInterval, s.monitorTick)
+}
+
+// declareDown flips the controller's belief to Down and orphans every
+// viewer the source was serving. Outage is charged from the actual death,
+// not the detection — the viewers stopped receiving packets at deadAt.
+func (s *Session) declareDown(src *source, now time.Duration) {
+	src.state = SourceDown
+	s.ctrl.SetBlocked(src.idx, true)
+	for _, v := range s.viewers {
+		if !v.alive || !v.assigned || v.ref.Source != src.idx {
+			continue
+		}
+		s.ctrl.Release(v.ref)
+		v.assigned = false
+		v.streak = 0
+		v.orphanedAt = src.deadAt
+		if v.assignedAt > v.orphanedAt {
+			v.orphanedAt = v.assignedAt // admitted into the dead window
+		}
+		s.orphaned++
+		s.noteFailover(v.ref)
+		v.span = s.tracer.Start(tracing.KindFailover, v.id, v.orphanedAt).
+			Attr("cause", "source-down").
+			AttrInt("source", int64(src.idx)).
+			AttrInt("tree", int64(v.ref.Tree))
+		v.span.Child(tracing.KindDetect, v.id, v.orphanedAt).End(now, "detected")
+		s.scheduleFailoverAttempt(v)
+	}
+}
+
+func (s *Session) noteFailover(ref TreeRef) {
+	s.failovers++
+	s.treeFailovers[ref.Source*s.cfg.TreesPerSource+ref.Tree]++
+	if s.met.failovers != nil {
+		s.met.failovers.Inc()
+	}
+}
+
+// scheduleFailoverAttempt paces one orphan's next rejoin attempt.
+func (s *Session) scheduleFailoverAttempt(v *viewer) {
+	s.retryLater(v, func(sim *eventsim.Simulator) { s.failoverAttempt(v, sim.Now()) })
+}
+
+func (s *Session) failoverAttempt(v *viewer, now time.Duration) {
+	if !v.alive || v.assigned {
+		return
+	}
+	s.noteAttempt()
+	att := v.span.Child(tracing.KindAssign, v.id, now)
+	if ref, ok := s.ctrl.Assign(); ok {
+		att.AttrInt("source", int64(ref.Source)).AttrInt("tree", int64(ref.Tree))
+		att.End(now, "assigned")
+		s.assign(v, ref, now)
+		return
+	}
+	outcome := "paced"
+	if s.ctrl.Headroom() == 0 {
+		outcome = "full"
+	}
+	att.End(now, outcome)
+	s.scheduleFailoverAttempt(v)
+}
+
+// startDrain begins a graceful shutdown: stop admitting, then migrate the
+// source's viewers tree-by-tree.
+func (s *Session) startDrain(sim *eventsim.Simulator, src *source) {
+	if src.dead || src.state == SourceDown || src.state == SourceDraining || src.state == SourceDrained {
+		return
+	}
+	src.state = SourceDraining
+	src.drainTree = 0
+	s.ctrl.SetBlocked(src.idx, true)
+	s.drainStep(sim, src)
+}
+
+// drainStep migrates up to AdmitPerInterval viewers off the current drain
+// tree, make-before-break: the viewer takes its new slot before the old one
+// is released, so a drain never causes an outage. Trees drain strictly in
+// order; when the fleet is momentarily full or paced out, the step retries
+// next interval with the remaining viewers still served by the old source.
+func (s *Session) drainStep(sim *eventsim.Simulator, src *source) {
+	if src.state != SourceDraining {
+		return
+	}
+	now := sim.Now()
+	moved := 0
+	for src.drainTree < s.cfg.TreesPerSource {
+		tr := TreeRef{Source: src.idx, Tree: src.drainTree}
+		emptied := true
+		for _, v := range s.viewers {
+			if !v.alive || !v.assigned || v.ref != tr {
+				continue
+			}
+			if moved >= s.cfg.AdmitPerInterval {
+				emptied = false
+				break
+			}
+			ref, ok := s.ctrl.Assign()
+			if !ok {
+				emptied = false
+				break
+			}
+			sp := s.tracer.Start(tracing.KindFailover, v.id, now).
+				Attr("cause", "drain").
+				AttrInt("source", int64(src.idx)).
+				AttrInt("tree", int64(v.ref.Tree))
+			sp.Child(tracing.KindAssign, v.id, now).
+				AttrInt("source", int64(ref.Source)).
+				AttrInt("tree", int64(ref.Tree)).
+				End(now, "assigned")
+			sp.End(now, "migrated")
+			s.noteFailover(v.ref)
+			s.ctrl.Release(v.ref)
+			v.ref = ref
+			v.assignedAt = now
+			s.drainMoves++
+			if s.met.drainMoves != nil {
+				s.met.drainMoves.Inc()
+			}
+			moved++
+		}
+		if !emptied {
+			break
+		}
+		src.drainTree++
+	}
+	if src.drainTree >= s.cfg.TreesPerSource {
+		src.state = SourceDrained
+		return
+	}
+	sim.ScheduleAfter(s.cfg.HeartbeatInterval, func(next *eventsim.Simulator) {
+		s.drainStep(next, src)
+	})
+}
+
+// rebalanceTick migrates viewers from the fullest assignable tree to the
+// emptiest while the spread exceeds the slack. Migration is
+// make-before-break, so rebalancing never causes an outage.
+func (s *Session) rebalanceTick(sim *eventsim.Simulator) {
+	now := sim.Now()
+	for guard := 0; guard < len(s.viewers); guard++ {
+		maxRef, minRef, ok := s.spread()
+		if !ok || s.ctrl.Load(maxRef)-s.ctrl.Load(minRef) <= s.cfg.RebalanceSlack {
+			break
+		}
+		moved := false
+		for _, v := range s.viewers {
+			if !v.alive || !v.assigned || v.ref != maxRef {
+				continue
+			}
+			if !s.ctrl.Take(minRef) {
+				break
+			}
+			s.ctrl.Release(v.ref)
+			v.ref = minRef
+			v.assignedAt = now
+			s.rebalanced++
+			if s.met.rebalanced != nil {
+				s.met.rebalanced.Inc()
+			}
+			moved = true
+			break
+		}
+		if !moved {
+			break
+		}
+	}
+	sim.ScheduleAfter(s.cfg.RebalanceEvery, s.rebalanceTick)
+}
+
+// spread returns the fullest and emptiest assignable trees.
+func (s *Session) spread() (maxRef, minRef TreeRef, ok bool) {
+	maxLoad, minLoad := -1, s.cfg.TreeCapacity+1
+	for i := 0; i < s.cfg.Sources; i++ {
+		if s.ctrl.Blocked(i) {
+			continue
+		}
+		for t := 0; t < s.cfg.TreesPerSource; t++ {
+			r := TreeRef{Source: i, Tree: t}
+			l := s.ctrl.Load(r)
+			if l > maxLoad {
+				maxLoad, maxRef = l, r
+			}
+			if l < minLoad {
+				minLoad, minRef = l, r
+			}
+		}
+	}
+	return maxRef, minRef, maxLoad >= 0 && maxRef != minRef
+}
+
+func (s *Session) scheduleDeparture(v *viewer) {
+	life := xrand.Exponential{Rate: 1 / s.cfg.MeanLifetime.Seconds()}.SampleDuration(s.lifeRng)
+	s.sim.ScheduleAfter(life, func(sim *eventsim.Simulator) {
+		s.depart(sim, v)
+	})
+}
+
+func (s *Session) depart(sim *eventsim.Simulator, v *viewer) {
+	if !v.alive {
+		return
+	}
+	now := sim.Now()
+	v.alive = false
+	v.departedAt = now
+	if v.assigned {
+		s.ctrl.Release(v.ref)
+		v.assigned = false
+		return
+	}
+	if v.span != nil {
+		v.span.End(now, "departed")
+		v.span = nil
+	}
+	if !v.joining {
+		v.outage += now - v.orphanedAt // orphaned until the viewer gave up
+	}
+}
+
+func (s *Session) scheduleNextArrival() {
+	rate := float64(s.cfg.Viewers) / s.cfg.MeanLifetime.Seconds()
+	gap := xrand.Exponential{Rate: rate}.SampleDuration(s.arriveRng)
+	s.sim.ScheduleAfter(gap, func(sim *eventsim.Simulator) {
+		s.joinViewer(sim, s.newViewer(sim.Now()))
+		s.scheduleNextArrival()
+	})
+}
+
+func (s *Session) result() Result {
+	horizon := s.cfg.Horizon
+	res := Result{
+		Viewers:         len(s.viewers),
+		Assigned:        s.assignedEver,
+		Failovers:       s.failovers,
+		Orphaned:        s.orphaned,
+		Reassigned:      s.reassigned,
+		Attempts:        s.attempts,
+		MaxReassign:     s.maxReassign,
+		DrainMigrations: s.drainMoves,
+		Rebalanced:      s.rebalanced,
+	}
+	var totalOutage, totalView time.Duration
+	for _, v := range s.viewers {
+		end := v.departedAt
+		if end < 0 {
+			end = horizon
+		}
+		outage := v.outage
+		if v.alive && !v.assigned && !v.joining {
+			outage += horizon - v.orphanedAt // still dark at the horizon
+			res.Unassigned++
+			if v.span != nil {
+				v.span.End(horizon, "unassigned")
+				v.span = nil
+			}
+		}
+		totalOutage += outage
+		totalView += end - v.joinedAt
+	}
+	if totalView > 0 {
+		res.OutageRatio = totalOutage.Seconds() / totalView.Seconds()
+	}
+	sorted := append([]float64(nil), s.reassignSecs...)
+	sort.Float64s(sorted)
+	res.P50Reassign = time.Duration(tracing.Percentile(sorted, 0.50) * float64(time.Second))
+	res.P99Reassign = time.Duration(tracing.Percentile(sorted, 0.99) * float64(time.Second))
+	for _, src := range s.sources {
+		if src.state == SourceDrained {
+			res.Drained++
+		}
+		for t := 0; t < s.cfg.TreesPerSource; t++ {
+			r := TreeRef{Source: src.idx, Tree: t}
+			res.TreeLoads = append(res.TreeLoads, TreeLoad{
+				Source:    src.idx,
+				Tree:      t,
+				Viewers:   s.ctrl.Load(r),
+				Capacity:  s.cfg.TreeCapacity,
+				Failovers: s.treeFailovers[src.idx*s.cfg.TreesPerSource+t],
+				State:     src.state.String(),
+			})
+		}
+	}
+	if s.cfg.MaxReassignTime > 0 && res.MaxReassign > s.cfg.MaxReassignTime {
+		res.BoundViolations = append(res.BoundViolations, fmt.Sprintf(
+			"max reassignment %.3fs exceeds bound %.3fs",
+			res.MaxReassign.Seconds(), s.cfg.MaxReassignTime.Seconds()))
+	}
+	if res.Unassigned > 0 {
+		res.BoundViolations = append(res.BoundViolations, fmt.Sprintf(
+			"%d orphaned viewers never reassigned", res.Unassigned))
+	}
+	if s.cfg.MaxOutageRatio > 0 && res.OutageRatio > s.cfg.MaxOutageRatio {
+		res.BoundViolations = append(res.BoundViolations, fmt.Sprintf(
+			"outage ratio %.4f exceeds bound %.4f", res.OutageRatio, s.cfg.MaxOutageRatio))
+	}
+	s.publishGauges()
+	return res
+}
+
+// publishGauges mirrors the final per-tree state onto the metrics registry
+// as labelled gauges (the /metrics shape for fleet occupancy).
+func (s *Session) publishGauges() {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	for _, src := range s.sources {
+		srcLabel := metrics.Label{Key: "source", Value: fmt.Sprintf("s%d", src.idx)}
+		reg.Gauge("omcast_fleet_source_state",
+			"Source state: 0 healthy, 1 suspect, 2 down, 3 draining, 4 drained.",
+			srcLabel).Set(float64(src.state))
+		for t := 0; t < s.cfg.TreesPerSource; t++ {
+			r := TreeRef{Source: src.idx, Tree: t}
+			treeLabel := metrics.Label{Key: "tree", Value: fmt.Sprintf("t%d", t)}
+			reg.Gauge("omcast_fleet_tree_viewers",
+				"Viewers currently assigned to this tree.",
+				srcLabel, treeLabel).Set(float64(s.ctrl.Load(r)))
+			reg.Gauge("omcast_fleet_tree_headroom",
+				"Free viewer slots in this tree.",
+				srcLabel, treeLabel).Set(float64(s.cfg.TreeCapacity - s.ctrl.Load(r)))
+			reg.Gauge("omcast_fleet_tree_failovers",
+				"Failover episodes that orphaned viewers of this tree.",
+				srcLabel, treeLabel).Set(float64(s.treeFailovers[src.idx*s.cfg.TreesPerSource+t]))
+		}
+	}
+}
+
+// Run builds and runs a session in one call.
+func Run(cfg Config) (Result, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

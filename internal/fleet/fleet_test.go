@@ -1,0 +1,415 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"omcast/internal/metrics"
+	"omcast/internal/tracing"
+)
+
+// killConfig is the canonical source-kill scenario: three sources, one dies
+// five seconds in, the orphans fail over to the survivors.
+func killConfig() Config {
+	return Config{
+		Seed:              42,
+		Sources:           3,
+		TreesPerSource:    2,
+		TreeCapacity:      16,
+		Viewers:           40,
+		Horizon:           30 * time.Second,
+		HeartbeatInterval: 500 * time.Millisecond,
+		SuspectMisses:     2,
+		DownMisses:        4,
+		RejoinBackoffBase: 100 * time.Millisecond,
+		RejoinBackoffMax:  2 * time.Second,
+		AdmitPerInterval:  4,
+		MaxReassignTime:   6 * time.Second,
+		MaxOutageRatio:    0.25,
+		Kills:             []TimedEvent{{At: 5 * time.Second, Source: 0}},
+	}
+}
+
+func TestFailoverBound(t *testing.T) {
+	res, err := Run(killConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Orphaned == 0 {
+		t.Fatal("source kill orphaned no viewers")
+	}
+	if res.Reassigned != res.Orphaned {
+		t.Fatalf("reassigned %d of %d orphans", res.Reassigned, res.Orphaned)
+	}
+	if res.Unassigned != 0 {
+		t.Fatalf("%d viewers still orphaned at horizon", res.Unassigned)
+	}
+	if len(res.BoundViolations) > 0 {
+		t.Fatalf("bound violations: %v", res.BoundViolations)
+	}
+	// Detection alone takes DownMisses heartbeat intervals, so the worst
+	// reassignment cannot be instant.
+	if res.MaxReassign < 2*500*time.Millisecond {
+		t.Fatalf("max reassign %v implausibly fast for a 4-miss detector", res.MaxReassign)
+	}
+	if res.P99Reassign < res.P50Reassign {
+		t.Fatalf("p99 %v < p50 %v", res.P99Reassign, res.P50Reassign)
+	}
+	// The dead source's trees must end empty and down.
+	for _, tl := range res.TreeLoads {
+		if tl.Source == 0 {
+			if tl.Viewers != 0 || tl.State != "down" {
+				t.Fatalf("dead source tree %+v not empty/down", tl)
+			}
+			if tl.Failovers == 0 {
+				t.Fatalf("dead source tree %+v recorded no failovers", tl)
+			}
+		}
+	}
+}
+
+func TestCascadingKills(t *testing.T) {
+	cfg := killConfig()
+	cfg.Seed = 43
+	cfg.TreeCapacity = 24 // the last source standing must hold all 40 viewers
+	cfg.Kills = []TimedEvent{
+		{At: 5 * time.Second, Source: 0},
+		{At: 15 * time.Second, Source: 1},
+	}
+	cfg.MaxOutageRatio = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Viewers that failed over to source 1 were orphaned a second time.
+	if res.Orphaned <= 40/3 {
+		t.Fatalf("cascade orphaned only %d viewers", res.Orphaned)
+	}
+	if res.Unassigned != 0 || res.Reassigned != res.Orphaned {
+		t.Fatalf("cascade left orphans: %+v", res)
+	}
+	if len(res.BoundViolations) > 0 {
+		t.Fatalf("bound violations: %v", res.BoundViolations)
+	}
+}
+
+func TestDrainZeroOutage(t *testing.T) {
+	cfg := killConfig()
+	cfg.Kills = nil
+	cfg.Drains = []TimedEvent{{At: 5 * time.Second, Source: 0}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drained != 1 {
+		t.Fatalf("drained %d sources, want 1", res.Drained)
+	}
+	if res.DrainMigrations == 0 {
+		t.Fatal("drain migrated no viewers")
+	}
+	if res.OutageRatio != 0 {
+		t.Fatalf("drain caused outage ratio %v, want 0 (make-before-break)", res.OutageRatio)
+	}
+	if res.Orphaned != 0 || res.Unassigned != 0 {
+		t.Fatalf("drain orphaned viewers: %+v", res)
+	}
+	for _, tl := range res.TreeLoads {
+		if tl.Source == 0 && (tl.Viewers != 0 || tl.State != "drained") {
+			t.Fatalf("drained source tree %+v not empty/drained", tl)
+		}
+	}
+}
+
+func TestRebalanceConverges(t *testing.T) {
+	cfg := Config{
+		Seed:              7,
+		Sources:           2,
+		TreesPerSource:    2,
+		TreeCapacity:      16,
+		Viewers:           30,
+		Horizon:           30 * time.Second,
+		HeartbeatInterval: 500 * time.Millisecond,
+		LoadSkew:          0.8,
+		RebalanceEvery:    time.Second,
+		RebalanceSlack:    2,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalanced == 0 {
+		t.Fatal("skewed load triggered no rebalancing")
+	}
+	min, max := cfg.TreeCapacity, 0
+	for _, tl := range res.TreeLoads {
+		if tl.Viewers < min {
+			min = tl.Viewers
+		}
+		if tl.Viewers > max {
+			max = tl.Viewers
+		}
+	}
+	if max-min > cfg.RebalanceSlack {
+		t.Fatalf("final spread %d exceeds slack %d: %+v", max-min, cfg.RebalanceSlack, res.TreeLoads)
+	}
+}
+
+func TestFlashCrowdAdmissionPaced(t *testing.T) {
+	cfg := killConfig()
+	cfg.Kills = nil
+	cfg.Viewers = 4
+	cfg.Arrivals = []Burst{{At: 2 * time.Second, Count: 50}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Viewers != 54 {
+		t.Fatalf("viewers %d, want 54", res.Viewers)
+	}
+	if res.Assigned != 54 {
+		t.Fatalf("assigned %d of 54 within horizon", res.Assigned)
+	}
+	// Pacing must have rejected some burst arrivals: the burst exceeds one
+	// interval's fleet-wide admission budget (3 sources x 4).
+	if res.Attempts <= res.Viewers {
+		t.Fatalf("attempts %d suggest no admission pacing", res.Attempts)
+	}
+}
+
+// churnedConfig exercises every feature at once for determinism checks.
+func churnedConfig() Config {
+	cfg := killConfig()
+	cfg.MeanLifetime = 40 * time.Second
+	cfg.LoadSkew = 0.3
+	cfg.RebalanceEvery = 2 * time.Second
+	cfg.Arrivals = []Burst{{At: 10 * time.Second, Count: 12}}
+	cfg.Drains = []TimedEvent{{At: 18 * time.Second, Source: 2}}
+	cfg.MaxOutageRatio = 0 // churned departures can strand an episode mid-backoff
+	cfg.MaxReassignTime = 0
+	return cfg
+}
+
+func runWithSpans(t *testing.T, cfg Config) (Result, []tracing.Span) {
+	t.Helper()
+	var spans []tracing.Span
+	cfg.Trace = tracing.RecorderFunc(func(sp tracing.Span) { spans = append(spans, sp) })
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, spans
+}
+
+func TestRunDeterministic(t *testing.T) {
+	encode := func() ([]byte, []byte) {
+		res, spans := runWithSpans(t, churnedConfig())
+		rj, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tracing.WriteJSONL(&buf, spans); err != nil {
+			t.Fatal(err)
+		}
+		return rj, buf.Bytes()
+	}
+	r1, s1 := encode()
+	r2, s2 := encode()
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("results differ across reruns:\n%s\n%s", r1, r2)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("span streams differ across reruns")
+	}
+}
+
+func TestFailoverSpans(t *testing.T) {
+	res, spans := runWithSpans(t, killConfig())
+	byID := make(map[string]tracing.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	roots, assigns, detects := 0, 0, 0
+	for _, sp := range spans {
+		switch {
+		case sp.Kind == tracing.KindFailover && sp.Parent == "":
+			roots++
+			cause := ""
+			for _, a := range sp.Attrs {
+				if a.K == "cause" {
+					cause = a.V
+				}
+			}
+			if cause != "source-down" {
+				t.Fatalf("failover span cause %q, want source-down", cause)
+			}
+			if sp.Outcome != "reassigned" {
+				t.Fatalf("failover span outcome %q", sp.Outcome)
+			}
+		case sp.Kind == tracing.KindAssign:
+			assigns++
+			if parent, ok := byID[sp.Parent]; !ok || parent.Kind != tracing.KindFailover {
+				t.Fatalf("assign span %s has no failover parent", sp.ID)
+			}
+		case sp.Kind == tracing.KindDetect:
+			detects++
+		}
+	}
+	if roots != res.Orphaned {
+		t.Fatalf("%d failover spans for %d orphans", roots, res.Orphaned)
+	}
+	if detects != res.Orphaned {
+		t.Fatalf("%d detect stages for %d orphans", detects, res.Orphaned)
+	}
+	if assigns < res.Reassigned {
+		t.Fatalf("%d assign attempts < %d reassignments", assigns, res.Reassigned)
+	}
+	// The analyzer must surface these episodes as failover latency stats.
+	var buf bytes.Buffer
+	if err := tracing.WriteJSONL(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := tracing.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tracing.Analyze(parsed)
+	if a.Failover == nil || a.Failover.Count != res.Orphaned {
+		t.Fatalf("analyzer failover stats %+v, want count %d", a.Failover, res.Orphaned)
+	}
+	if len(a.Failover.ByCause["source-down"]) != res.Orphaned {
+		t.Fatalf("analyzer cause breakdown %+v", a.Failover.ByCause)
+	}
+	var text bytes.Buffer
+	if err := a.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "failover latency") ||
+		!strings.Contains(text.String(), "cause source-down") {
+		t.Fatalf("analyze text missing failover section:\n%s", text.String())
+	}
+}
+
+func TestDrainSpans(t *testing.T) {
+	cfg := killConfig()
+	cfg.Kills = nil
+	cfg.Drains = []TimedEvent{{At: 5 * time.Second, Source: 1}}
+	res, spans := runWithSpans(t, cfg)
+	drains := 0
+	for _, sp := range spans {
+		if sp.Kind != tracing.KindFailover || sp.Parent != "" {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.K == "cause" && a.V == "drain" {
+				drains++
+				if sp.Outcome != "migrated" {
+					t.Fatalf("drain span outcome %q", sp.Outcome)
+				}
+				if sp.Duration() != 0 {
+					t.Fatalf("drain span duration %v, want 0 (make-before-break)", sp.Duration())
+				}
+			}
+		}
+	}
+	if drains != res.DrainMigrations {
+		t.Fatalf("%d drain spans for %d migrations", drains, res.DrainMigrations)
+	}
+}
+
+func TestFleetMetrics(t *testing.T) {
+	cfg := killConfig()
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot(cfg.Horizon.Seconds())
+	byName := make(map[string][]metrics.Metric)
+	for _, m := range snap.Metrics {
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	if got := byName["omcast_fleet_failovers_total"]; len(got) != 1 || got[0].Value != float64(res.Failovers) {
+		t.Fatalf("failovers counter %+v, want %d", got, res.Failovers)
+	}
+	if got := byName["omcast_fleet_tree_viewers"]; len(got) != cfg.Sources*cfg.TreesPerSource {
+		t.Fatalf("%d per-tree viewer gauges, want %d", len(got), cfg.Sources*cfg.TreesPerSource)
+	}
+	states := byName["omcast_fleet_source_state"]
+	downSeen := false
+	for _, m := range states {
+		for _, l := range m.Labels {
+			if l.Key == "source" && l.Value == "s0" && m.Value == float64(SourceDown) {
+				downSeen = true
+			}
+		}
+	}
+	if !downSeen {
+		t.Fatalf("source state gauges missing s0=down: %+v", states)
+	}
+	hist := byName["omcast_fleet_reassign_seconds"]
+	if len(hist) != 1 || hist[0].Hist == nil || hist[0].Hist.Count != uint64(res.Reassigned) {
+		t.Fatalf("reassign histogram %+v, want count %d", hist, res.Reassigned)
+	}
+}
+
+func TestControllerAssignReleaseZeroAlloc(t *testing.T) {
+	c := NewController(4, 2, 64)
+	refs := make([]TreeRef, 0, 128)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			r, ok := c.Assign()
+			if !ok {
+				panic("assign failed with free capacity")
+			}
+			refs = append(refs, r)
+		}
+		for _, r := range refs {
+			c.Release(r)
+		}
+		refs = refs[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("Assign/Release allocated %.1f per cycle, want 0", allocs)
+	}
+}
+
+func TestControllerPolicy(t *testing.T) {
+	c := NewController(2, 2, 2)
+	// Best fit ties toward the lowest index.
+	if r, ok := c.Assign(); !ok || r != (TreeRef{Source: 0, Tree: 0}) {
+		t.Fatalf("first assign -> %+v", r)
+	}
+	// Now (0,0) has less headroom than the rest; next pick is (0,1).
+	if r, ok := c.Assign(); !ok || r != (TreeRef{Source: 0, Tree: 1}) {
+		t.Fatalf("second assign -> %+v", r)
+	}
+	c.SetBlocked(1, true)
+	c.Replenish(1)
+	if r, ok := c.Assign(); !ok || r.Source != 0 {
+		t.Fatalf("blocked source assigned: %+v", r)
+	}
+	// Source 0's single token is spent; nothing else is assignable.
+	if _, ok := c.Assign(); ok {
+		t.Fatal("assign succeeded with all sources paced or blocked")
+	}
+	if c.Headroom() != 1 {
+		t.Fatalf("headroom %d, want 1 (blocked source excluded)", c.Headroom())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero sources accepted")
+	}
+	if _, err := Run(Config{Sources: 1, Kills: []TimedEvent{{Source: 3}}}); err == nil {
+		t.Fatal("out-of-range kill accepted")
+	}
+	if _, err := Run(Config{Sources: 1, Drains: []TimedEvent{{Source: -1}}}); err == nil {
+		t.Fatal("out-of-range drain accepted")
+	}
+}

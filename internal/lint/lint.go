@@ -123,9 +123,12 @@ func DefaultConfig() *Config {
 			// mutex ring live nodes dump over HTTP) stays outside, mirroring
 			// the metrics / metrics/live split.
 			"tracing",
+			// The federation control plane schedules everything on the shared
+			// simulator; it is deterministic end to end.
+			"fleet",
 		},
 		WallclockExtra: []string{"omcast/cmd/...", "omcast/examples/..."},
-		FloatPackages:  []string{"stats", "experiments", "stream", "multitree", "metrics"},
+		FloatPackages:  []string{"stats", "experiments", "stream", "multitree", "metrics", "fleet"},
 		// The live protocol runtime owns the state an adversarial datagram is
 		// trying to poison; cer and rost own the recovery/switching decisions
 		// such a datagram is trying to steer.

@@ -1,8 +1,12 @@
 package multitree
 
 import (
+	"sort"
 	"testing"
 	"time"
+
+	"omcast/internal/eventsim"
+	"omcast/internal/xrand"
 )
 
 // quickCfg is a small, fast session.
@@ -193,6 +197,177 @@ func TestStripePacketNumbering(t *testing.T) {
 				t.Fatalf("stripePacketAfter(%d,%v) = %d not minimal", tr, at, k)
 			}
 		}
+	}
+}
+
+// driveCorrelated builds a static two-stripe population, fails an interior
+// member of tree 1 at 50s, then fails an interior member of tree 0 at 55s —
+// while tree 1 is still mid-repair (its outage window runs to
+// 50s + DetectDelay + RejoinDelay = 65s) — and returns the session's final
+// accounting. Deterministic: same seed, same trees, same victims.
+func driveCorrelated(t *testing.T, quorum int, contribution Contribution) (*Session, Result) {
+	t.Helper()
+	cfg := Config{
+		Seed:          99,
+		Stripes:       2,
+		QuorumStripes: quorum,
+		Contribution:  contribution,
+		TargetSize:    40,
+		RootBandwidth: 4, // constrain the root so the trees have interior members
+		// Floor member bandwidth at 4 so every member can forward at least
+		// two children per stripe: the 40 members form real multi-level trees.
+		Bandwidth: xrand.BoundedPareto{Shape: 1.2, Lo: 4, Hi: 100},
+		Warmup:    time.Nanosecond, // measure essentially everything
+		Measure:   3600 * time.Second,
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sim.Schedule(0, func(sim *eventsim.Simulator) {
+		for i := 0; i < 40; i++ {
+			s.joinAll(s.newParticipant(0), 0)
+		}
+	})
+	if err := s.sim.Run(50 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pickInterior := func(tree int) *participant {
+		ids := make([]int64, 0, len(s.participants))
+		for id := range s.participants {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			p := s.participants[id]
+			if n := p.nodes[tree]; n != nil && n.Attached() && len(n.Children()) > 0 {
+				return p
+			}
+		}
+		t.Fatalf("no interior member in tree %d", tree)
+		return nil
+	}
+	s.depart(s.sim, pickInterior(1).id)
+	if err := s.sim.Run(55 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.depart(s.sim, pickInterior(0).id)
+	if err := s.sim.Run(200 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.finishAll()
+	return s, s.result()
+}
+
+// TestCorrelatedStripeFailures: when tree A loses an interior member while
+// tree B is mid-repair, both trees must record their own episodes and the
+// MDC quorum decides whether the overlap becomes an outage: with one stripe
+// of slack (quorum 1 of 2) the coding absorbs what the strict quorum counts.
+func TestCorrelatedStripeFailures(t *testing.T) {
+	_, strict := driveCorrelated(t, 2, SplitContribution)
+	_, slack := driveCorrelated(t, 1, SplitContribution)
+	if strict.Episodes == 0 {
+		t.Fatal("correlated failures ran no recovery episodes")
+	}
+	var epA, epB int
+	for _, tl := range strict.TreeLoads {
+		switch tl.Tree {
+		case 0:
+			epA = tl.Episodes
+		case 1:
+			epB = tl.Episodes
+		}
+	}
+	if epA == 0 || epB == 0 {
+		t.Fatalf("per-tree episodes = (%d, %d), want both trees charged", epA, epB)
+	}
+	if epA+epB != strict.Episodes {
+		t.Fatalf("per-tree episodes %d+%d != total %d", epA, epB, strict.Episodes)
+	}
+	// Identical runs, different quorum: raw delivery identical, outage only
+	// at the strict quorum.
+	if strict.FullQualityRatio != slack.FullQualityRatio {
+		t.Fatalf("quorum changed raw delivery: %g vs %g",
+			strict.FullQualityRatio, slack.FullQualityRatio)
+	}
+	if strict.OutageRatio < slack.OutageRatio {
+		t.Fatalf("strict quorum outage %g below slack quorum %g",
+			strict.OutageRatio, slack.OutageRatio)
+	}
+	if strict.OutageRatio == 0 {
+		t.Fatal("strict quorum saw no outage from correlated failures")
+	}
+	if slack.OutageRatio > 0 {
+		t.Fatalf("one stripe of MDC slack did not absorb a single-stripe-deep overlap: %g",
+			slack.OutageRatio)
+	}
+}
+
+// TestBlastRadiusAccounting: under SplitContribution one member can be
+// interior in several trees at once, so a single failure may disrupt
+// multiple stripes; DisjointContribution's interior-disjointness bounds the
+// blast radius at one stripe.
+func TestBlastRadiusAccounting(t *testing.T) {
+	_, split := driveCorrelated(t, 2, SplitContribution)
+	if split.MaxBlastRadius < 1 {
+		t.Fatalf("split blast radius %d after interior failures, want >= 1", split.MaxBlastRadius)
+	}
+	if split.MaxBlastRadius > 2 {
+		t.Fatalf("blast radius %d exceeds stripe count", split.MaxBlastRadius)
+	}
+	_, disjoint := driveCorrelated(t, 2, DisjointContribution)
+	if disjoint.MaxBlastRadius > 1 {
+		t.Fatalf("disjoint blast radius %d, want <= 1 (interior-node disjointness)",
+			disjoint.MaxBlastRadius)
+	}
+}
+
+// TestDisjointBlastRadiusUnderChurn: the blast-radius bound holds over a
+// whole churned session, not just a scripted failure pair.
+func TestDisjointBlastRadiusUnderChurn(t *testing.T) {
+	cfg := quickCfg(10, 3)
+	cfg.Contribution = DisjointContribution
+	_, res := runSession(t, cfg)
+	if res.MaxBlastRadius > 1 {
+		t.Fatalf("disjoint blast radius %d under churn, want <= 1", res.MaxBlastRadius)
+	}
+	if res.Episodes > 0 && res.MaxBlastRadius != 1 {
+		t.Fatalf("episodes ran (%d) but blast radius is %d", res.Episodes, res.MaxBlastRadius)
+	}
+}
+
+// TestLoads: per-tree load accounting matches the trees themselves.
+func TestLoads(t *testing.T) {
+	s, res := runSession(t, quickCfg(11, 3))
+	loads := s.Loads()
+	if len(loads) != 3 {
+		t.Fatalf("Loads() returned %d trees, want 3", len(loads))
+	}
+	epSum, disSum := 0, 0
+	for i, tl := range loads {
+		if tl.Tree != i {
+			t.Fatalf("loads[%d].Tree = %d", i, tl.Tree)
+		}
+		if want := s.Tree(i).Size() - 1; tl.Members != want {
+			t.Fatalf("tree %d Members = %d, want %d (size minus root)", i, tl.Members, want)
+		}
+		if tl.Interior > tl.Members {
+			t.Fatalf("tree %d interior %d > members %d", i, tl.Interior, tl.Members)
+		}
+		if tl.MaxDepth != s.Tree(i).MaxDepth() {
+			t.Fatalf("tree %d MaxDepth = %d, want %d", i, tl.MaxDepth, s.Tree(i).MaxDepth())
+		}
+		epSum += tl.Episodes
+		disSum += tl.Disruptions
+	}
+	if epSum != res.Episodes {
+		t.Fatalf("per-tree episodes sum %d != total %d", epSum, res.Episodes)
+	}
+	if disSum != res.Disruptions {
+		t.Fatalf("per-tree disruptions sum %d != total %d", disSum, res.Disruptions)
+	}
+	if len(res.TreeLoads) != 3 {
+		t.Fatalf("Result.TreeLoads has %d trees, want 3", len(res.TreeLoads))
 	}
 }
 

@@ -198,9 +198,12 @@ type Stats struct {
 	PacketsRepaired int64
 	RepairsServed   int64
 	Rejoins         int64
-	Switches        int64
-	ELNsSent        int64
-	KnownMembers    int
+	// Failovers counts re-attachments completed after an involuntary
+	// detachment (Rejoins counts the detachments; this counts the landings).
+	Failovers    int64
+	Switches     int64
+	ELNsSent     int64
+	KnownMembers int
 	// PlayedSlots / StarvedSlots drive the live starving-time ratio: slots
 	// whose packet was (or was not) buffered by its playout deadline.
 	PlayedSlots  int64
@@ -262,6 +265,7 @@ type nodeMetrics struct {
 	elnSent          *live.Counter
 	gossipSent       *live.Counter
 	rejoins          *live.Counter
+	failovers        *live.Counter
 	switches         *live.Counter
 	playedSlots      *live.Counter
 	starvedSlots     *live.Counter
@@ -351,6 +355,7 @@ func newNodeMetrics(reg *live.Registry) nodeMetrics {
 		elnSent:              reg.Counter("omcast_node_eln_sent_total", "Explicit-loss-notification envelopes sent downstream."),
 		gossipSent:           reg.Counter("omcast_node_gossip_sent_total", "Membership gossip requests initiated."),
 		rejoins:              reg.Counter("omcast_node_rejoins_total", "Times the node lost its parent and re-entered joining."),
+		failovers:            reg.Counter("omcast_node_failovers_total", "Re-attachments completed after an involuntary detachment (parent death, leave or stall)."),
 		switches:             reg.Counter("omcast_node_switches_total", "ROST switch commits executed as initiator."),
 		playedSlots:          reg.Counter("omcast_node_played_slots_total", "Playout slots whose packet arrived by its deadline."),
 		starvedSlots:         reg.Counter("omcast_node_starved_slots_total", "Playout slots whose packet missed its deadline."),
@@ -426,6 +431,9 @@ type Node struct {
 	// sequence covered by a received ELN.
 	upstreamRepair int64 //guardedby:mu
 
+	// failingOver is set while the node is detached by a failure (not by its
+	// own choice); the next successful attach counts as a completed failover.
+	failingOver bool //guardedby:mu
 	// Join backoff: joinStreak counts consecutive unanswered attempts (reset
 	// on attach and detach); joinRng draws the deterministic jitter.
 	// The RNGs themselves are only touched from the single loop goroutine
@@ -787,6 +795,11 @@ func (n *Node) handleAccept(env wire.Envelope) {
 	n.parentSeen = time.Now()
 	n.attachedAt = n.parentSeen
 	n.depth = env.Depth + 1
+	if n.failingOver {
+		n.failingOver = false
+		n.stats.Failovers++
+		n.met.failovers.Inc()
+	}
 	n.met.attached.Set(1)
 	n.met.depth.Set(float64(n.depth))
 	n.lastJoinTarget = ""
@@ -968,6 +981,7 @@ func (n *Node) onParentFailure(cause string) {
 	n.mu.Lock()
 	n.attached = false
 	n.parent = ""
+	n.failingOver = true
 	n.stats.Rejoins++
 	n.met.rejoins.Inc()
 	n.met.attached.Set(0)
@@ -990,6 +1004,7 @@ func (n *Node) handleLeave(env wire.Envelope) {
 	if fromParent {
 		n.attached = false
 		n.parent = ""
+		n.failingOver = true
 		n.stats.Rejoins++
 		n.met.rejoins.Inc()
 		n.met.attached.Set(0)

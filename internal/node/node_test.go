@@ -194,6 +194,19 @@ func TestFailureRecovery(t *testing.T) {
 	if rejoins == 0 {
 		t.Fatal("no rejoins after an interior failure")
 	}
+	// Every orphan is re-attached by now, so the landing-side counter must
+	// have caught up: completed failovers are >= 1 and never outnumber the
+	// detachments that caused them.
+	failovers := int64(0)
+	for _, nd := range survivors {
+		failovers += nd.Stats().Failovers
+	}
+	if failovers == 0 {
+		t.Fatal("no completed failovers recorded after re-attachment")
+	}
+	if failovers > rejoins {
+		t.Fatalf("failovers %d > rejoins %d (landings cannot outnumber detachments)", failovers, rejoins)
+	}
 }
 
 // TestGracefulLeave: a Stop()ed node notifies neighbours, so children rejoin
