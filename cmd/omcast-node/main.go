@@ -14,6 +14,12 @@
 // Each node prints a status line every few seconds; SIGINT leaves
 // gracefully (children re-attach immediately).
 //
+// Sends default to the compact binary wire codec; -codec=json switches to
+// the JSON debug codec. Receives always auto-detect the framing, so mixed
+// fleets interoperate during a codec migration. Control-class messages
+// (joins, accepts, membership, switches, repair requests) ride a retransmit
+// shim tuned by -retx-attempts, -retx-base and -retx-inflight.
+//
 // With -http the node also serves its observability surface:
 //
 //	omcast-node -listen 127.0.0.1:0 -bootstrap 127.0.0.1:7000 -http 127.0.0.1:9090
@@ -126,11 +132,20 @@ func run() int {
 		guardRate  = flag.Float64("guard-rate", 0, "per-peer request rate limit in requests/second (0 = default)")
 		guardScore = flag.Float64("guard-score", 0, "misbehavior score that triggers quarantine (0 = default)")
 		traceBuf   = flag.Int("trace-buf", flight.DefaultSize, "span flight-recorder capacity served on /debug/trace (0 = disable span tracing)")
+		codecName  = flag.String("codec", "", "wire codec for sends: "+strings.Join(wire.CodecNames(), " or ")+" (default binary; receives auto-detect)")
+		retxN      = flag.Int("retx-attempts", 0, "max transmissions per control message (0 = default of 4, negative = disable the retransmit shim)")
+		retxBase   = flag.Duration("retx-base", 0, "first retransmit backoff (0 = default of heartbeat/2)")
+		retxCap    = flag.Int("retx-inflight", 0, "max unacked control messages per peer (0 = default of 32)")
 	)
 	flag.Parse()
 
 	if !*source && *bootstrap == "" {
 		fmt.Fprintln(os.Stderr, "omcast-node: members need -bootstrap")
+		return 2
+	}
+	if *codecName != "" && wire.CodecByName(*codecName) == nil {
+		fmt.Fprintf(os.Stderr, "omcast-node: unknown codec %q (want %s)\n",
+			*codecName, strings.Join(wire.CodecNames(), " or "))
 		return 2
 	}
 	var boots []wire.Addr
@@ -174,6 +189,10 @@ func run() int {
 		DisableGuard:         *noGuard,
 		GuardRequestRate:     *guardRate,
 		GuardQuarantineScore: *guardScore,
+		Codec:                *codecName,
+		RetxAttempts:         *retxN,
+		RetxBackoffBase:      *retxBase,
+		RetxInflight:         *retxCap,
 		Metrics:              reg,
 	}
 	var ring *flight.Ring
@@ -187,7 +206,8 @@ func run() int {
 	if *source {
 		role = "source"
 	}
-	fmt.Printf("omcast-node: %s listening on %s\n", role, n.Addr())
+	fmt.Printf("omcast-node: %s listening on %s (codec %s)\n",
+		role, n.Addr(), wire.CodecByName(*codecName).Name())
 	if *httpAddr != "" {
 		srv := &http.Server{Addr: *httpAddr, Handler: newMux(n, reg, ring)}
 		go func() {
@@ -212,10 +232,11 @@ func run() int {
 			return 0
 		case <-ticker.C:
 			s := n.Stats()
-			fmt.Printf("attached=%-5v depth=%d parent=%-22s children=%d packet=%d repaired=%d rejoins=%d failovers=%d switches=%d known=%d starving=%.2f%% quarantined=%d rejects=%d\n",
+			fmt.Printf("attached=%-5v depth=%d parent=%-22s children=%d packet=%d repaired=%d rejoins=%d failovers=%d switches=%d known=%d starving=%.2f%% quarantined=%d rejects=%d ctrl=%d retx=%d acked=%d expired=%d\n",
 				s.Attached, s.Depth, s.Parent, s.Children, s.HighestPacket,
 				s.PacketsRepaired, s.Rejoins, s.Failovers, s.Switches, s.KnownMembers,
-				s.StarvingRatio()*100, s.QuarantinedPeers, s.WireRejects)
+				s.StarvingRatio()*100, s.QuarantinedPeers, s.WireRejects,
+				s.CtrlSent, s.RetxSent, s.RetxAcked, s.RetxExpired)
 		}
 	}
 }

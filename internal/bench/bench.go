@@ -26,9 +26,11 @@ import (
 	"omcast/internal/eventsim"
 	"omcast/internal/experiments"
 	"omcast/internal/fleet"
+	"omcast/internal/node"
 	"omcast/internal/overlay"
 	"omcast/internal/topology"
 	"omcast/internal/tracing"
+	"omcast/internal/wire"
 	"omcast/internal/xrand"
 )
 
@@ -53,6 +55,11 @@ func Suite(quick bool) []Case {
 		{Name: "topology/delay", Bench: benchDelay},
 		{Name: "tracing/span-emit", Bench: benchSpanEmit},
 		{Name: "fleet/assign", Bench: benchFleetAssign},
+		{Name: "wire/encode-binary", Bench: benchWireEncode(wire.BinaryV1)},
+		{Name: "wire/decode-binary", Bench: benchWireDecode(wire.BinaryV1)},
+		{Name: "wire/encode-json", Bench: benchWireEncode(wire.JSONDebug)},
+		{Name: "wire/decode-json", Bench: benchWireDecode(wire.JSONDebug)},
+		{Name: "node/attach-retx", Bench: benchAttachRetx},
 		{Name: "experiments/fig11-tiny", Bench: benchFig11Tiny},
 	}
 }
@@ -183,6 +190,93 @@ func benchFleetAssign(b *testing.B) {
 			b.Fatal("fleet full")
 		}
 		ctrl.Release(ref)
+	}
+}
+
+// benchEnvelope is the codec benchmark workload: a stream packet with a
+// 256-byte payload — the by-volume hot path of a live overlay, and the shape
+// where the binary codec's zero-copy payload decode matters most.
+func benchEnvelope() wire.Envelope {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return wire.Envelope{Type: wire.TypePacket, From: "10.0.0.1:7000", Packet: 123456, Payload: payload}
+}
+
+func benchWireEncode(c wire.Codec) func(b *testing.B) {
+	return func(b *testing.B) {
+		env := benchEnvelope()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Encode(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchWireDecode(c wire.Codec) func(b *testing.B) {
+	return func(b *testing.B) {
+		data, err := c.Encode(benchEnvelope())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchAttachRetx is the control-plane composite: one member boots against a
+// standing source, completes the join/accept exchange through the retransmit
+// shim (sequence, ack, dedup bookkeeping), then leaves gracefully — the
+// attach round-trip cost a live overlay pays per arriving viewer.
+func benchAttachRetx(b *testing.B) {
+	network := node.NewMemNetwork(nil)
+	defer network.Close()
+	// The accelerated timing profile: attach latency is dominated by one
+	// backoff step scaled by the heartbeat interval (the first join attempt
+	// only fetches membership), so slow timers would measure the config, not
+	// the control path.
+	srcCfg := node.Config{
+		Source:            true,
+		Bandwidth:         4,
+		StreamRate:        1, // quiet data plane: the bench times control traffic
+		HeartbeatInterval: 10 * time.Millisecond,
+		GossipInterval:    25 * time.Millisecond,
+	}
+	srcEp, err := network.Endpoint("source")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := node.New(srcCfg, srcEp)
+	src.Start()
+	defer src.Kill()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := node.Config{
+			Bandwidth:         3,
+			Bootstrap:         []wire.Addr{"source"},
+			HeartbeatInterval: 10 * time.Millisecond,
+			GossipInterval:    25 * time.Millisecond,
+		}
+		ep, err := network.Endpoint(wire.Addr(fmt.Sprintf("m%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nd := node.New(cfg, ep)
+		nd.Start()
+		for !nd.Stats().Attached {
+			runtime.Gosched()
+		}
+		nd.Stop() // graceful leave frees the slot for the next iteration
 	}
 }
 

@@ -108,6 +108,15 @@ type Rule struct {
 	// ForgeFactor scales the "btp" forgery (claim' = claim*f + f);
 	// zero means the default of 50.
 	ForgeFactor float64 `json:"forge_factor,omitempty"`
+
+	// Class restricts the whole rule to one message class: "control" hits
+	// join/accept/leave/membership/switch/repair-request exchanges (and their
+	// acks), "data" hits the rest, "" hits everything. Datagrams outside the
+	// class pass the link untouched — the fault shape that isolates the
+	// control plane, as in the control-loss scenario. The live network still
+	// draws the link's per-datagram decision for non-matching traffic, so
+	// decision indexing stays class-independent.
+	Class string `json:"class,omitempty"`
 }
 
 // IsZero reports whether the rule injects nothing.
@@ -138,6 +147,11 @@ func (r Rule) Validate() error {
 	if r.ForgeFactor < 0 {
 		return fmt.Errorf("faultnet: negative forge_factor")
 	}
+	switch r.Class {
+	case "", ClassControl, ClassData:
+	default:
+		return fmt.Errorf("faultnet: unknown class %q (want %q or %q)", r.Class, ClassControl, ClassData)
+	}
 	return nil
 }
 
@@ -147,6 +161,14 @@ const (
 	ForgeBTP = "btp"
 	// ForgeRepair inverts repair ranges in flight.
 	ForgeRepair = "repair"
+)
+
+// Message classes for Rule.Class.
+const (
+	// ClassControl matches control-plane exchanges and their acks.
+	ClassControl = "control"
+	// ClassData matches everything else: packets, heartbeats, ELN, repair data.
+	ClassData = "data"
 )
 
 // String renders a compact human-readable rule summary.
@@ -185,6 +207,9 @@ func (r Rule) String() string {
 			f += fmt.Sprintf("x%g", r.ForgeFactor)
 		}
 		parts = append(parts, f)
+	}
+	if r.Class != "" {
+		parts = append(parts, fmt.Sprintf("class=%s", r.Class))
 	}
 	return strings.Join(parts, " ")
 }

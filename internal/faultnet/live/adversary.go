@@ -15,12 +15,15 @@ const defaultForgeFactor = 50
 // It returns the forged datagram and whether anything changed. Datagrams that
 // do not decode, or whose type the forge kind does not target, pass through
 // untouched — the forger is a protocol-aware attacker, not a fuzzer (Corrupt
-// models the latter).
+// models the latter). The forgery is codec-preserving: a binary datagram is
+// re-forged as binary, a JSON one as JSON, so the rewrite stays invisible at
+// the framing layer.
 func forgeBytes(rule faultnet.Rule, data []byte) ([]byte, bool) {
 	if rule.Forge == "" {
 		return data, false
 	}
-	env, err := wire.Decode(data)
+	codec := wire.Detect(data)
+	env, err := codec.Decode(data)
 	if err != nil {
 		return data, false
 	}
@@ -46,11 +49,26 @@ func forgeBytes(rule faultnet.Rule, data []byte) ([]byte, bool) {
 	default:
 		return data, false
 	}
-	forged, err := wire.Encode(env)
+	forged, err := codec.Encode(env)
 	if err != nil {
 		return data, false
 	}
 	return forged, true
+}
+
+// datagramClass sorts a datagram into the Rule.Class vocabulary. Control
+// covers the attachment/membership/switch/repair-request exchanges plus their
+// acks (the reverse leg of the same exchange); everything else — including
+// datagrams too mangled to decode — is data.
+func datagramClass(data []byte) string {
+	env, err := wire.Detect(data).DecodeRaw(data)
+	if err != nil {
+		return faultnet.ClassData
+	}
+	if wire.ControlClass(env.Type) || env.Type == wire.TypeAck {
+		return faultnet.ClassControl
+	}
+	return faultnet.ClassData
 }
 
 // corruptBytes flips one bit of the datagram at the decision's deterministic

@@ -357,7 +357,10 @@ func (n *Network) send(inner node.Transport, to wire.Addr, data []byte) error {
 	}
 	st := n.linkLocked(from, toS)
 	rule := n.ruleLocked(from, toS)
-	if n.down[from] || n.down[toS] || rule.Block || n.partitionedLocked(from, toS) {
+	// A class-restricted rule leaves other-class datagrams untouched — but
+	// node/link outages and partitions are physical, not per-class.
+	classMiss := rule.Class != "" && datagramClass(data) != rule.Class
+	if n.down[from] || n.down[toS] || (rule.Block && !classMiss) || n.partitionedLocked(from, toS) {
 		st.stats.Blocked++
 		n.met.blocked.Inc()
 		n.mu.Unlock()
@@ -365,7 +368,13 @@ func (n *Network) send(inner node.Transport, to wire.Addr, data []byte) error {
 	}
 	st.stats.Sent++
 	n.met.datagrams.Inc()
+	// The decision is drawn for every datagram — even ones the class filter
+	// exempts — so decision index n depends only on (seed, link, n).
 	dec := st.dec.Next(rule)
+	if classMiss {
+		n.mu.Unlock()
+		return inner.Send(to, data)
+	}
 
 	if rule.RateBytes > 0 {
 		now := time.Now()

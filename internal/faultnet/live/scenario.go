@@ -99,6 +99,13 @@ var Scenarios = []Scenario{
 			Events: []faultnet.Event{
 				{At: d(500 * time.Millisecond), Until: d(1200 * time.Millisecond),
 					Action: faultnet.ActionPartition, From: "source", To: "*", Symmetric: true},
+				// The first post-heal second stays lossy on the source's links:
+				// the gap keeps re-opening while the backoff gate is closed, so
+				// the suppression bound below measures the gate, not the
+				// scheduler's luck with out-of-order repair data.
+				{At: d(1200 * time.Millisecond), Until: d(2200 * time.Millisecond),
+					Action: faultnet.ActionRule, From: "source", To: "*",
+					Rule: rp(faultnet.Rule{Drop: 0.25})},
 			},
 		},
 		Bounds: Bounds{
@@ -298,6 +305,34 @@ var Scenarios = []Scenario{
 		// attach time, not the end-state snapshot.
 		Bounds: Bounds{
 			AttachWithin: 8 * time.Second,
+		},
+	},
+	{
+		Name:    "control-loss",
+		About:   "30%+ loss on control-class datagrams only (joins, accepts, membership, switches, repair requests and their acks) while the data plane stays clean; the retransmit shim must keep attachment exchanges completing, proven by a source kill mid-loss",
+		Nodes:   10,
+		Sources: 2,
+		Seed:    1015,
+		Warmup:  5 * time.Second,
+		// The class filter is the point: data packets flow untouched, so any
+		// outage is purely a control-plane failure to (re-)attach.
+		Duration: 3500 * time.Millisecond,
+		Schedule: faultnet.Schedule{
+			DefaultRule: rp(faultnet.Rule{Drop: 0.35, Class: faultnet.ClassControl}),
+			Events: []faultnet.Event{
+				{At: d(500 * time.Millisecond), Action: faultnet.ActionCrash, Node: "source1"},
+			},
+		},
+		Bounds: Bounds{
+			RequireAllAttached: true,
+			// The source-kill budget plus headroom for retransmit rounds: each
+			// lost join/accept costs one capped backoff step instead of a full
+			// watchdog timeout, so 30% control loss only stretches failover,
+			// never stalls it.
+			MaxReassignTime:  3 * time.Second,
+			MaxStarvingRatio: 0.7,
+			MaxOutageRatio:   0.5,
+			MinRejoinsTotal:  1, // the kill must orphan someone
 		},
 	},
 	{

@@ -89,6 +89,23 @@ func FuzzHandlers(f *testing.F) {
 	f.Add([]byte(`{"type":1,"from":"j","bandwidth":3.5}`),
 		[]byte(`{"type":4,"from":"p"}`),
 		[]byte(`{"type":9,"from":"r","packet":2,"payload":"eA=="}`))
+	// Binary-framing seeds: onDatagram auto-detects the codec, so the same
+	// handlers must hold their invariants against binary datagrams too —
+	// including ctrl-stamped control messages, their acks, and a datagram
+	// that is nothing but a mangled binary header.
+	bin := func(env wire.Envelope) []byte {
+		b, err := wire.EncodeBinary(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(bin(wire.Envelope{Type: wire.TypeJoin, From: "j", Bandwidth: 3, Ctrl: 1}),
+		bin(wire.Envelope{Type: wire.TypeAck, From: "p", Ctrl: 1}),
+		bin(wire.Envelope{Type: wire.TypePacket, From: "p", Packet: 7, Payload: []byte{1, 2, 3}}))
+	f.Add(bin(wire.Envelope{Type: wire.TypeLeave, From: "p", Ctrl: 2}),
+		bin(wire.Envelope{Type: wire.TypeMembershipRequest, From: "x", Limit: 8, Ctrl: 3}),
+		[]byte{0xF5, 0x4D, 0x02})
 	f.Fuzz(func(t *testing.T, d1, d2, d3 []byte) {
 		member := fuzzNode(false)
 		source := fuzzNode(true)

@@ -21,7 +21,7 @@ type sinkTransport struct {
 func (s *sinkTransport) Addr() wire.Addr { return s.addr }
 
 func (s *sinkTransport) Send(to wire.Addr, data []byte) error {
-	env, err := wire.Decode(data)
+	env, err := wire.Detect(data).Decode(data)
 	if err != nil {
 		return err
 	}

@@ -101,6 +101,29 @@ type Config struct {
 	// costs one pointer check per hook.
 	Trace tracing.Recorder
 
+	// Codec names the wire codec for sent datagrams: "binary" (the default)
+	// or "json" (the strict debug codec, readable with standard tooling).
+	// Received datagrams are decoded by detection, so nodes configured with
+	// different codecs interoperate.
+	Codec string
+	// RetxAttempts bounds how many times a control-class message (join,
+	// accept/reject, leave, membership, switch, repair-request) is
+	// transmitted before the reliability shim gives up: the first send plus
+	// up to RetxAttempts-1 retransmits, each awaiting an ack. Zero keeps the
+	// default (4); negative disables the shim (pure fire-and-forget, the
+	// pre-shim behaviour). Data-class traffic is never retransmitted.
+	RetxAttempts int
+	// RetxBackoffBase/Max bound the capped jittered backoff between
+	// retransmits of one control message (defaults: HeartbeatInterval/2 and
+	// 4x HeartbeatInterval) — the same doubling policy as the join and
+	// repair backoffs, drawn from its own deterministic stream.
+	RetxBackoffBase time.Duration
+	RetxBackoffMax  time.Duration
+	// RetxInflight caps unacked control messages per peer; sends over the
+	// cap fall back to fire-and-forget so a dead peer cannot pin unbounded
+	// retransmit state (default 32).
+	RetxInflight int
+
 	// DisableGuard switches the per-peer misbehavior guard off (validation
 	// still applies; rejects just go unattributed). Test/ablation knob.
 	DisableGuard bool
@@ -184,6 +207,18 @@ func (c Config) withDefaults() Config {
 	if c.GuardAuditSlack <= 0 {
 		c.GuardAuditSlack = 2
 	}
+	if c.RetxAttempts == 0 {
+		c.RetxAttempts = 4
+	}
+	if c.RetxBackoffBase <= 0 {
+		c.RetxBackoffBase = c.HeartbeatInterval / 2
+	}
+	if c.RetxBackoffMax <= 0 {
+		c.RetxBackoffMax = 4 * c.HeartbeatInterval
+	}
+	if c.RetxInflight <= 0 {
+		c.RetxInflight = 32
+	}
 	return c
 }
 
@@ -224,6 +259,20 @@ type Stats struct {
 	StallRejoins int64
 	// WireRejects counts datagrams that failed wire decode/validation.
 	WireRejects int64
+	// Reliability-shim counters. CtrlSent counts control messages sent under
+	// ack protection; RetxSent counts retransmissions of those; RetxAcked
+	// counts first acks received; RetxExpired counts messages abandoned
+	// after RetxAttempts transmissions; RetxOverflow counts control sends
+	// demoted to fire-and-forget by the per-peer in-flight cap; RetxDupDrops
+	// counts received control messages suppressed by the dedup window (the
+	// ack is still re-sent); RetxInflight is the current unacked total.
+	CtrlSent     int64
+	RetxSent     int64
+	RetxAcked    int64
+	RetxExpired  int64
+	RetxOverflow int64
+	RetxDupDrops int64
+	RetxInflight int
 	// GuardRateLimited counts requests dropped by the per-peer token bucket;
 	// GuardQuarantineDrops counts datagrams dropped because their sender was
 	// quarantined; GuardQuarantines counts quarantine sentences handed out;
@@ -286,6 +335,20 @@ type nodeMetrics struct {
 	repairBackoff    *live.Gauge
 	stallSeconds     *live.Gauge
 
+	// Reliability-shim instruments (see the Stats retx counters).
+	ctrlSent     *live.Counter
+	retxSent     *live.Counter
+	retxAcked    *live.Counter
+	retxExpired  *live.Counter
+	retxOverflow *live.Counter
+	retxDupDrops *live.Counter
+	retxInflight *live.Gauge
+
+	// Per-codec datagram counters, pre-registered per codec name: tx is the
+	// configured send codec, rx is the detected codec of accepted receives.
+	codecTx map[string]*live.Counter
+	codecRx map[string]*live.Counter
+
 	// Guard instruments. wireRejects and implausible are pre-registered per
 	// reason/kind so label cardinality stays fixed.
 	wireRejects          map[string]*live.Counter
@@ -322,6 +385,19 @@ func (m *nodeMetrics) noteImplausible(kind string) {
 	}
 }
 
+// noteCodecTx / noteCodecRx bump the per-codec datagram counters (nil-safe).
+func (m *nodeMetrics) noteCodecTx(name string) {
+	if m.codecTx != nil {
+		m.codecTx[name].Inc()
+	}
+}
+
+func (m *nodeMetrics) noteCodecRx(name string) {
+	if m.codecRx != nil {
+		m.codecRx[name].Inc()
+	}
+}
+
 func newNodeMetrics(reg *live.Registry) nodeMetrics {
 	peerLabel := func(v string) metrics.Label { return metrics.Label{Key: "peer", Value: v} }
 	wireRejects := make(map[string]*live.Counter, len(wire.Reasons()))
@@ -336,9 +412,28 @@ func newNodeMetrics(reg *live.Registry) nodeMetrics {
 			"Wire-valid datagrams rejected at the handler boundary as contextually absurd, by kind.",
 			metrics.Label{Key: "kind", Value: k})
 	}
+	codecTx := make(map[string]*live.Counter, len(wire.CodecNames()))
+	codecRx := make(map[string]*live.Counter, len(wire.CodecNames()))
+	for _, c := range wire.CodecNames() {
+		codecTx[c] = reg.Counter("omcast_wire_codec_tx_total",
+			"Datagrams encoded and handed to the transport, by codec.",
+			metrics.Label{Key: "codec", Value: c})
+		codecRx[c] = reg.Counter("omcast_wire_codec_rx_total",
+			"Datagrams accepted by wire decode, by detected codec.",
+			metrics.Label{Key: "codec", Value: c})
+	}
 	return nodeMetrics{
 		wireRejects:          wireRejects,
 		implausible:          implausible,
+		codecTx:              codecTx,
+		codecRx:              codecRx,
+		ctrlSent:             reg.Counter("omcast_node_retx_ctrl_sent_total", "Control-class messages sent under ack protection."),
+		retxSent:             reg.Counter("omcast_node_retx_sent_total", "Retransmissions of unacked control-class messages."),
+		retxAcked:            reg.Counter("omcast_node_retx_acked_total", "Control-class messages confirmed by a first ack."),
+		retxExpired:          reg.Counter("omcast_node_retx_expired_total", "Control-class messages abandoned after the retransmit budget."),
+		retxOverflow:         reg.Counter("omcast_node_retx_overflow_total", "Control sends demoted to fire-and-forget by the per-peer in-flight cap."),
+		retxDupDrops:         reg.Counter("omcast_node_retx_dup_drops_total", "Received control messages suppressed as duplicates by the dedup window."),
+		retxInflight:         reg.Gauge("omcast_node_retx_inflight", "Control-class messages currently awaiting an ack."),
 		guardRateLimited:     reg.Counter("omcast_node_guard_rate_limited_total", "Requests dropped by the per-peer token bucket."),
 		guardQuarantineDrops: reg.Counter("omcast_node_guard_quarantine_drops_total", "Datagrams dropped because their sender was quarantined."),
 		guardQuarantines:     reg.Counter("omcast_node_guard_quarantines_total", "Quarantine sentences handed out to misbehaving peers."),
@@ -407,6 +502,14 @@ type Node struct {
 	switching  bool                //guardedby:mu
 
 	membership map[wire.Addr]memberRecord //guardedby:mu
+	// retx is the reliability shim's per-peer state: unacked control sends
+	// awaiting retransmit on one side, the receive dedup window on the other
+	// (see retx.go). retxRng draws retransmit jitter; unlike the loop-owned
+	// join/repair RNGs it is shared by timer goroutines, so draws happen
+	// under mu. codec encodes outgoing datagrams (receive is by detection).
+	retx    map[wire.Addr]*retxPeer //guardedby:mu
+	retxRng *xrand.Source           //guardedby:mu
+	codec   wire.Codec
 	// guard holds the per-peer misbehavior state (see guard.go); jumpStreak
 	// counts consecutive parent packets rejected as implausible sequence
 	// jumps, so a genuine stream discontinuity resynchronises instead of
@@ -490,6 +593,7 @@ func New(cfg Config, tr Transport) *Node {
 		children:   make(map[wire.Addr]*peer),
 		membership: make(map[wire.Addr]memberRecord),
 		guard:      make(map[wire.Addr]*guardPeer),
+		retx:       make(map[wire.Addr]*retxPeer),
 		buffer:     make(map[int64][]byte),
 		highest:    -1,
 		playFirst:  -1,
@@ -497,8 +601,13 @@ func New(cfg Config, tr Transport) *Node {
 		pendLast:   -1,
 		done:       make(chan struct{}),
 	}
+	n.codec = wire.CodecByName(n.cfg.Codec)
+	if n.codec == nil {
+		n.codec = wire.BinaryV1 // unknown names fall back to the default
+	}
 	n.joinRng = xrand.NewNamed(n.cfg.Seed, "node:join:"+string(tr.Addr()))
 	n.repairRng = xrand.NewNamed(n.cfg.Seed, "node:repair:"+string(tr.Addr()))
+	n.retxRng = xrand.NewNamed(n.cfg.Seed, "node:retx:"+string(tr.Addr()))
 	if n.cfg.Metrics != nil {
 		n.met = newNodeMetrics(n.cfg.Metrics)
 	}
@@ -575,6 +684,7 @@ func (n *Node) Stats() Stats {
 	s.HighestPacket = n.highest
 	s.KnownMembers = len(n.membership)
 	s.QuarantinedPeers = n.quarantinedCountLocked(time.Now())
+	s.RetxInflight = n.retxInflightLocked()
 	return s
 }
 
@@ -586,14 +696,30 @@ func (n *Node) spawn(loop func()) {
 	}()
 }
 
+// send transmits one envelope. Control-class messages go through the
+// reliability shim (sequence-numbered, acked, retransmitted — see retx.go)
+// unless it is disabled or the peer's in-flight window is full; everything
+// else is fire-and-forget.
 func (n *Node) send(to wire.Addr, env wire.Envelope) {
 	env.From = n.Addr()
-	data, err := wire.Encode(env)
+	if n.cfg.RetxAttempts > 0 && wire.ControlClass(env.Type) && env.Ctrl == 0 {
+		if n.sendReliable(to, env) {
+			return
+		}
+		// In-flight cap reached: demoted to fire-and-forget below.
+	}
+	data, err := n.codec.Encode(env)
 	if err != nil {
 		return // unencodable envelopes are a programming error; drop
 	}
+	n.transmit(to, data)
+}
+
+// transmit hands encoded bytes to the transport and counts them.
+func (n *Node) transmit(to wire.Addr, data []byte) {
 	n.met.txDatagrams.Inc()
 	n.met.txBytes.Add(int64(len(data)))
+	n.met.noteCodecTx(n.codec.Name())
 	_ = n.transport.Send(to, data) // datagram semantics: errors are drops
 }
 
@@ -1754,7 +1880,8 @@ func (n *Node) onDatagram(data []byte) {
 		return
 	default:
 	}
-	env, err := wire.Decode(data)
+	codec := wire.Detect(data)
+	env, err := codec.Decode(data)
 	if err != nil {
 		// Malformed or semantically invalid: drop, count by reason, and —
 		// when the envelope parsed far enough to name a sender — charge the
@@ -1766,10 +1893,25 @@ func (n *Node) onDatagram(data []byte) {
 		n.noteWireReject(env.From)
 		return
 	}
+	n.met.noteCodecRx(codec.Name())
 	if !n.guardAdmit(env) {
 		return // rate-limited, quarantined or audit-failed
 	}
 	n.touchMember(env.From)
+	// Reliable control delivery: always (re-)ack a tagged message — the
+	// sender retransmits until an ack survives the network — but hand only
+	// the first copy to its handler.
+	if env.Ctrl != 0 && env.Type != wire.TypeAck {
+		dup := n.ctrlSeen(env.From, env.Ctrl)
+		n.send(env.From, wire.Envelope{Type: wire.TypeAck, Ctrl: env.Ctrl})
+		if dup {
+			n.mu.Lock()
+			n.stats.RetxDupDrops++
+			n.mu.Unlock()
+			n.met.retxDupDrops.Inc()
+			return
+		}
+	}
 	switch env.Type {
 	case wire.TypeJoin:
 		n.handleJoin(env)
@@ -1803,6 +1945,8 @@ func (n *Node) onDatagram(data []byte) {
 		n.mu.Unlock()
 	case wire.TypeSwitchCommit:
 		n.handleSwitchCommit(env)
+	case wire.TypeAck:
+		n.handleAck(env)
 	}
 }
 

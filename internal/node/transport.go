@@ -34,6 +34,16 @@ var ErrClosed = errors.New("node: transport closed")
 // destinations.
 var ErrUnknownAddr = errors.New("node: unknown address")
 
+// ErrOversize is returned by UDPTransport.Send for datagrams over the UDP
+// payload ceiling, instead of letting the OS fail (or worse, fragment) them.
+var ErrOversize = errors.New("node: datagram exceeds UDP payload ceiling")
+
+// MaxUDPDatagram is the largest payload one UDP/IPv4 datagram can carry:
+// 65535 minus the 20-byte IP and 8-byte UDP headers. wire.MaxDatagram (64
+// KiB) is slightly above it, so the transport enforces its own ceiling — an
+// envelope that validates can still be unsendable over UDP.
+const MaxUDPDatagram = 65507
+
 // MemNetwork is an in-process datagram network for tests and examples: each
 // endpoint is a registered mailbox, delivery happens on a per-endpoint
 // goroutine after a configurable latency.
@@ -231,6 +241,12 @@ type UDPTransport struct {
 	handler func([]byte) //guardedby:mu
 	closed  bool         //guardedby:mu
 	wg      sync.WaitGroup
+
+	// oversizeDrops counts sends refused by the MaxUDPDatagram ceiling;
+	// dropMetric mirrors it onto a live registry when SetMetrics was called
+	// (the same observability pattern as MemNetwork's mailbox drops).
+	oversizeDrops atomic.Int64
+	dropMetric    atomic.Pointer[live.Counter]
 }
 
 var _ Transport = (*UDPTransport)(nil)
@@ -268,6 +284,17 @@ func (t *UDPTransport) SetHandler(h func([]byte)) {
 	t.handler = h
 }
 
+// SetMetrics registers the transport's instruments on a live registry; safe
+// to call at any point, including while traffic is flowing.
+func (t *UDPTransport) SetMetrics(reg *live.Registry) {
+	c := reg.Counter("omcast_node_udp_oversize_dropped_total",
+		"Datagrams refused by UDPTransport.Send for exceeding the UDP payload ceiling.")
+	t.dropMetric.Store(c)
+}
+
+// OversizeDrops reports how many sends the MTU ceiling refused.
+func (t *UDPTransport) OversizeDrops() int64 { return t.oversizeDrops.Load() }
+
 // Send implements Transport.
 func (t *UDPTransport) Send(to wire.Addr, data []byte) error {
 	t.mu.Lock()
@@ -275,6 +302,11 @@ func (t *UDPTransport) Send(to wire.Addr, data []byte) error {
 	t.mu.Unlock()
 	if closed {
 		return ErrClosed
+	}
+	if len(data) > MaxUDPDatagram {
+		t.oversizeDrops.Add(1)
+		t.dropMetric.Load().Inc() // nil receiver is the uninstrumented no-op
+		return fmt.Errorf("node: sending %d bytes to %q: %w", len(data), to, ErrOversize)
 	}
 	raddr, err := net.ResolveUDPAddr("udp", string(to))
 	if err != nil {

@@ -1,0 +1,69 @@
+package wire
+
+// Codec is one on-wire representation of the envelope vocabulary. Both
+// codecs share the validation vocabulary and the attribution contract
+// (Decode returns the partially parsed envelope alongside a validation
+// error); receivers pick the decoder per datagram with Detect, so a node
+// configured to send one codec still understands peers speaking the other.
+type Codec interface {
+	// Name labels the codec in flags, status output and metric labels.
+	Name() string
+	// Encode serialises a validated envelope.
+	Encode(env Envelope) ([]byte, error)
+	// Decode parses and semantically validates one datagram.
+	Decode(b []byte) (Envelope, error)
+	// DecodeRaw parses without semantic validation (tooling only; the
+	// result is attacker-controlled until Validate accepts it).
+	DecodeRaw(b []byte) (Envelope, error)
+}
+
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string                        { return "binary" }
+func (binaryCodec) Encode(env Envelope) ([]byte, error) { return EncodeBinary(env) }
+func (binaryCodec) Decode(b []byte) (Envelope, error)   { return DecodeBinary(b) }
+func (binaryCodec) DecodeRaw(b []byte) (Envelope, error) {
+	return DecodeBinaryRaw(b)
+}
+
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string                         { return "json" }
+func (jsonCodec) Encode(env Envelope) ([]byte, error)  { return Encode(env) }
+func (jsonCodec) Decode(b []byte) (Envelope, error)    { return Decode(b) }
+func (jsonCodec) DecodeRaw(b []byte) (Envelope, error) { return DecodeRaw(b) }
+
+// BinaryV1 is the versioned binary codec — the default for real transports.
+var BinaryV1 Codec = binaryCodec{}
+
+// JSONDebug is the strict JSON codec, kept for debuggability (datagrams
+// readable with tcpdump and standard tooling).
+var JSONDebug Codec = jsonCodec{}
+
+// CodecByName resolves a -codec flag value. The empty string picks the
+// default (binary); unknown names return nil.
+func CodecByName(name string) Codec {
+	switch name {
+	case "", "binary":
+		return BinaryV1
+	case "json":
+		return JSONDebug
+	}
+	return nil
+}
+
+// CodecNames lists the valid CodecByName inputs, for flag help and metric
+// pre-registration.
+func CodecNames() []string { return []string{"binary", "json"} }
+
+// Detect picks the decoder for a received datagram: binary if the magic
+// prefix is present, the JSON debug codec otherwise. A JSON envelope starts
+// with '{' and can never carry the magic, so detection is exact for honest
+// traffic; garbage lands in whichever decoder its first bytes resemble and
+// is rejected there.
+func Detect(b []byte) Codec {
+	if IsBinary(b) {
+		return BinaryV1
+	}
+	return JSONDebug
+}

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+)
+
+// TestGoldenBinaryEnvelopes pins the exact binary v1 bytes of every message
+// type (control types with a Ctrl tag, since that is how the retransmit shim
+// sends them). As with the JSON goldens, a diff here is a wire-format break:
+// deployed nodes would stop interoperating and the checked-in fuzz corpus
+// would rot. The decode direction also asserts the canonical property —
+// re-encoding an accepted datagram reproduces it byte-identically.
+func TestGoldenBinaryEnvelopes(t *testing.T) {
+	cases := []struct {
+		env    Envelope
+		golden string // hex
+	}{
+		{
+			Envelope{Type: TypeJoin, From: "j", Bandwidth: 3.5, Ctrl: 1},
+			"f54d010201016a020000000000000c401001",
+		},
+		{
+			Envelope{Type: TypeAccept, From: "p", Depth: 2, Ctrl: 2},
+			"f54d010401017003041002",
+		},
+		{
+			Envelope{Type: TypeReject, From: "p", Ctrl: 3},
+			"f54d01060101701003",
+		},
+		{
+			Envelope{Type: TypeLeave, From: "c", Ctrl: 4},
+			"f54d01080101631004",
+		},
+		{
+			Envelope{Type: TypeHeartbeat, From: "p", Bandwidth: 3, Depth: 1, Seq: 7, BTP: 42.5},
+			"f54d010a010170020000000000000840030204070e0000000000404540",
+		},
+		{
+			Envelope{Type: TypePacket, From: "s", Packet: 100, Payload: []byte{1, 2, 3}},
+			"f54d010c01017305c8010603010203",
+		},
+		{
+			Envelope{Type: TypeELN, From: "p", FirstMissing: 10, LastMissing: 20},
+			"f54d010e01017007140828",
+		},
+		{
+			Envelope{Type: TypeRepairRequest, From: "a", FirstMissing: 5, LastMissing: 25,
+				Chain: []Addr{"r2", "r3"}, Requester: "orig", Epsilon: 0.25, Ctrl: 5},
+			"f54d0110010161070a083209020272320272330a046f7269670b000000000000d03f1005",
+		},
+		{
+			Envelope{Type: TypeRepairData, From: "r", Packet: 15, Payload: []byte("x")},
+			"f54d0112010172051e060178",
+		},
+		{
+			Envelope{Type: TypeMembershipRequest, From: "a", Limit: 100,
+				Members: []MemberInfo{{Addr: "a", Depth: 2, Spare: 1, Bandwidth: 3}}, Ctrl: 6},
+			"f54d01140101610c01016104020000000000000840000dc8011006",
+		},
+		{
+			Envelope{Type: TypeMembershipReply, From: "b", Members: []MemberInfo{
+				{Addr: "m1", Depth: 3, Spare: 2, Bandwidth: 4, Ancestors: []Addr{"p", "root"}},
+			}, Ctrl: 7},
+			"f54d01160101620c01026d310604000000000000104002017004726f6f741007",
+		},
+		{
+			Envelope{Type: TypeSwitchPropose, From: "c", BTP: 123.4, Ctrl: 8},
+			"f54d01180101630e9a99999999d95e401008",
+		},
+		{
+			Envelope{Type: TypeSwitchAccept, From: "p", NewParent: "gp", Ctrl: 9},
+			"f54d011a0101700f0267701009",
+		},
+		{
+			Envelope{Type: TypeSwitchReject, From: "p", Ctrl: 10},
+			"f54d011c010170100a",
+		},
+		{
+			Envelope{Type: TypeSwitchCommit, From: "i", Chain: []Addr{"old"}, NewParent: "np", Ctrl: 11},
+			"f54d011e0101690901036f6c640f026e70100b",
+		},
+		{
+			Envelope{Type: TypeAck, From: "r", Ctrl: 12},
+			"f54d0120010172100c",
+		},
+	}
+	covered := map[Type]bool{}
+	for _, tc := range cases {
+		covered[tc.env.Type] = true
+		golden, err := hex.DecodeString(tc.golden)
+		if err != nil {
+			t.Fatalf("bad golden hex for %v: %v", tc.env.Type, err)
+		}
+		b, err := EncodeBinary(tc.env)
+		if err != nil {
+			t.Fatalf("EncodeBinary(%v): %v", tc.env.Type, err)
+		}
+		if !bytes.Equal(b, golden) {
+			t.Errorf("%v binary encoding drifted:\n got  %x\n want %x", tc.env.Type, b, golden)
+		}
+		got, err := DecodeBinary(golden)
+		if err != nil {
+			t.Fatalf("DecodeBinary(%v golden): %v", tc.env.Type, err)
+		}
+		if !reflect.DeepEqual(got, tc.env) {
+			t.Errorf("%v golden round trip changed the envelope:\n got  %+v\n want %+v", tc.env.Type, got, tc.env)
+		}
+		again, err := EncodeBinary(got)
+		if err != nil {
+			t.Fatalf("re-encoding %v: %v", tc.env.Type, err)
+		}
+		if !bytes.Equal(again, golden) {
+			t.Errorf("%v re-encode not canonical:\n got  %x\n want %x", tc.env.Type, again, golden)
+		}
+	}
+	for ty := TypeJoin; ty <= TypeAck; ty++ {
+		if !covered[ty] {
+			t.Errorf("no binary golden case for %v", ty)
+		}
+	}
+}
+
+// TestBinaryRejects exercises the explicit rejection policy: wrong magic,
+// unknown version, unknown / out-of-order / duplicate / explicit-zero
+// fields, non-minimal varints, truncation and trailing garbage all fail with
+// the right guard-visible reason.
+func TestBinaryRejects(t *testing.T) {
+	enc := func(env Envelope) []byte {
+		b, err := EncodeBinary(env)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return b
+	}
+	base := enc(Envelope{Type: TypeJoin, From: "j", Bandwidth: 3.5})
+	cases := []struct {
+		name   string
+		data   []byte
+		reason string
+	}{
+		{"empty", nil, ReasonMalformed},
+		{"magic-only", []byte{BinaryMagic0, BinaryMagic1}, ReasonMalformed},
+		{"wrong-magic", append([]byte{'{', 'x'}, base[2:]...), ReasonMalformed},
+		{"future-version", append([]byte{BinaryMagic0, BinaryMagic1, 2}, base[3:]...), ReasonVersion},
+		{"version-zero", append([]byte{BinaryMagic0, BinaryMagic1, 0}, base[3:]...), ReasonVersion},
+		{"oversize", make([]byte, MaxDatagram+1), ReasonSize},
+		{"unknown-field", append(append([]byte{}, base...), 99, 1), ReasonField},
+		{"field-order", []byte{BinaryMagic0, BinaryMagic1, 1, 2 /*join*/, 3, 2 /*depth=1*/, 1, 1, 'j'}, ReasonField},
+		{"duplicate-field", []byte{BinaryMagic0, BinaryMagic1, 1, 2, 1, 1, 'j', 1, 1, 'k'}, ReasonField},
+		{"explicit-zero-depth", []byte{BinaryMagic0, BinaryMagic1, 1, 2, 1, 1, 'j', 3, 0}, ReasonField},
+		{"explicit-empty-from", []byte{BinaryMagic0, BinaryMagic1, 1, 2, 1, 0}, ReasonField},
+		{"non-minimal-varint", []byte{BinaryMagic0, BinaryMagic1, 1, 2, 1, 1, 'j', 4, 0x80, 0x00}, ReasonField},
+		{"truncated-string", []byte{BinaryMagic0, BinaryMagic1, 1, 2, 1, 5, 'j'}, ReasonMalformed},
+		{"truncated-float", []byte{BinaryMagic0, BinaryMagic1, 1, 2, 1, 1, 'j', 2, 1, 2, 3}, ReasonMalformed},
+		{"trailing-garbage", append(append([]byte{}, base...), 0), ReasonField},
+		{"unknown-type", enc(Envelope{Type: Type(99), From: "x"}), ReasonType},
+		{"ctrl-on-packet", enc(Envelope{Type: TypePacket, From: "s", Packet: 1, Ctrl: 3}), ReasonCtrl},
+		{"ack-without-ctrl", enc(Envelope{Type: TypeAck, From: "r"}), ReasonCtrl},
+	}
+	for _, tc := range cases {
+		_, err := DecodeBinary(tc.data)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if r := Reason(err); r != tc.reason {
+			t.Errorf("%s: reason %q, want %q (%v)", tc.name, r, tc.reason, err)
+		}
+	}
+	// Attribution: a validation reject still names the claimed sender.
+	env, err := DecodeBinary(enc(Envelope{Type: TypePacket, From: "evil", Packet: 1, Ctrl: 3}))
+	if err == nil || env.From != "evil" {
+		t.Fatalf("validation reject lost attribution: env=%+v err=%v", env, err)
+	}
+}
+
+// TestBinaryPayloadAliasing pins the zero-copy contract: the decoded payload
+// shares the input buffer's backing array instead of copying.
+func TestBinaryPayloadAliasing(t *testing.T) {
+	b, err := EncodeBinary(Envelope{Type: TypePacket, From: "s", Packet: 7, Payload: []byte{9, 9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := DecodeBinary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if env.Payload[2] == 9 {
+		t.Fatal("payload was copied, not aliased")
+	}
+}

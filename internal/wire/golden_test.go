@@ -78,6 +78,10 @@ func TestGoldenEnvelopes(t *testing.T) {
 			Envelope{Type: TypeSwitchCommit, From: "i", Chain: []Addr{"old"}, NewParent: "np"},
 			`{"type":15,"from":"i","chain":["old"],"new_parent":"np"}`,
 		},
+		{
+			Envelope{Type: TypeAck, From: "r", Ctrl: 9},
+			`{"type":16,"from":"r","ctrl":9}`,
+		},
 	}
 	covered := map[Type]bool{}
 	for _, tc := range cases {
@@ -97,7 +101,7 @@ func TestGoldenEnvelopes(t *testing.T) {
 			t.Errorf("%v golden round trip changed the envelope:\n got  %+v\n want %+v", tc.env.Type, got, tc.env)
 		}
 	}
-	for ty := TypeJoin; ty <= TypeSwitchCommit; ty++ {
+	for ty := TypeJoin; ty <= TypeAck; ty++ {
 		if !covered[ty] {
 			t.Errorf("no golden case for %v", ty)
 		}

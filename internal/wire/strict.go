@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// Strict key discipline for the JSON debug codec. encoding/json binds object
+// keys to struct fields case-insensitively and lets a later duplicate key
+// overwrite an earlier one — so `{"TYPE":6,...}` and `{"from":"a","from":"b"}`
+// both decode, and the same semantic envelope has many byte encodings. That
+// widens the attack surface (the PR 4 fuzzers found validators and canonical
+// re-encoding disagreeing over such aliases), so the wire decoder walks the
+// token stream and rejects any key that is not the exact canonical spelling,
+// and any key that appears twice in one object.
+
+// envelopeKeys is the canonical key set of Envelope's JSON encoding.
+var envelopeKeys = map[string]bool{
+	"type": true, "from": true, "bandwidth": true, "depth": true,
+	"seq": true, "packet": true, "payload": true,
+	"first_missing": true, "last_missing": true, "chain": true,
+	"requester": true, "epsilon": true, "members": true, "limit": true,
+	"btp": true, "new_parent": true, "ctrl": true,
+}
+
+// memberKeys is the canonical key set of MemberInfo's JSON encoding.
+var memberKeys = map[string]bool{
+	"addr": true, "depth": true, "spare": true, "bandwidth": true,
+	"ancestors": true,
+}
+
+// strictKeys re-walks an envelope that already json.Unmarshal-ed cleanly and
+// rejects unknown, case-mismatched or duplicate keys. t is the (leniently)
+// parsed message type, used only to label the error.
+func strictKeys(b []byte, t Type) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+
+	// The walk tracks object nesting: the root object carries envelope keys;
+	// objects inside the "members" array carry member keys. Unmarshal already
+	// succeeded, so no other object shape can occur.
+	type frame struct {
+		object  bool            // object vs array
+		keys    map[string]bool // allowed keys (objects only)
+		seen    map[string]bool // keys observed (objects only)
+		members bool            // array holding member objects
+		wantKey bool            // next string token is a key
+	}
+	var stack []frame
+	var lastKey string
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			// io.EOF after the value; Unmarshal vetted syntax already.
+			return nil
+		}
+		top := func() *frame {
+			if len(stack) == 0 {
+				return nil
+			}
+			return &stack[len(stack)-1]
+		}
+		switch v := tok.(type) {
+		case json.Delim:
+			switch v {
+			case '{':
+				keys := envelopeKeys
+				if f := top(); f != nil {
+					if !f.object && f.members {
+						keys = memberKeys
+					} else if f.object {
+						// An object value under some envelope key: no such
+						// field exists, so Unmarshal would have failed.
+						keys = map[string]bool{}
+					}
+				}
+				stack = append(stack, frame{object: true, keys: keys,
+					seen: make(map[string]bool, len(keys)), wantKey: true})
+			case '[':
+				members := false
+				if f := top(); f != nil && f.object {
+					members = lastKey == "members" && f.keys["members"]
+				}
+				stack = append(stack, frame{members: members})
+			case '}', ']':
+				stack = stack[:len(stack)-1]
+				if f := top(); f != nil && f.object {
+					f.wantKey = true
+				}
+			}
+		case string:
+			f := top()
+			if f != nil && f.object && f.wantKey {
+				if !f.keys[v] {
+					return bad(t, ReasonField, "unknown or case-mismatched key %q", v)
+				}
+				if f.seen[v] {
+					return bad(t, ReasonField, "duplicate key %q", v)
+				}
+				f.seen[v] = true
+				lastKey = v
+				f.wantKey = false
+			} else if f != nil && f.object {
+				f.wantKey = true
+			}
+		default:
+			if f := top(); f != nil && f.object {
+				f.wantKey = true
+			}
+		}
+	}
+}

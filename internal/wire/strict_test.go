@@ -1,0 +1,55 @@
+package wire
+
+import "testing"
+
+// TestStrictJSONKeys is the regression suite for the JSON laxity fix:
+// encoding/json's case-insensitive field matching and last-duplicate-wins
+// behaviour used to give one envelope many byte encodings; the strict
+// decoder now rejects every alias with reason "field" while keeping sender
+// attribution for the guard layer.
+func TestStrictJSONKeys(t *testing.T) {
+	reject := []struct {
+		name string
+		data string
+	}{
+		{"case-mismatched-type", `{"Type":6,"from":"s","packet":1,"payload":"AQID"}`},
+		{"case-mismatched-from", `{"type":6,"FROM":"s","packet":1,"payload":"AQID"}`},
+		{"case-mismatched-snake", `{"type":7,"from":"p","First_Missing":1,"last_missing":2}`},
+		{"duplicate-key", `{"type":6,"from":"a","from":"b","packet":1,"payload":"AQID"}`},
+		{"duplicate-type", `{"type":1,"type":1,"from":"j"}`},
+		{"unknown-key", `{"type":1,"from":"j","extra":1}`},
+		{"case-mismatched-member", `{"type":11,"from":"b","members":[{"Addr":"m","depth":1,"spare":1,"bandwidth":1}]}`},
+		{"duplicate-member-key", `{"type":11,"from":"b","members":[{"addr":"m","addr":"m2","depth":1,"spare":1,"bandwidth":1}]}`},
+		{"unknown-member-key", `{"type":11,"from":"b","members":[{"addr":"m","depth":1,"spare":1,"bandwidth":1,"x":2}]}`},
+	}
+	for _, tc := range reject {
+		if _, err := Decode([]byte(tc.data)); err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.data)
+		} else if r := Reason(err); r != ReasonField {
+			t.Errorf("%s: reason %q, want %q (%v)", tc.name, r, ReasonField, err)
+		}
+	}
+
+	// Canonical spellings keep decoding, including every nested shape.
+	accept := []string{
+		`{"type":1,"from":"j","bandwidth":3.5}`,
+		`{"type":8,"from":"a","first_missing":5,"last_missing":25,"chain":["r2","r3"],"requester":"orig","epsilon":0.25}`,
+		`{"type":11,"from":"b","members":[{"addr":"m1","depth":3,"spare":2,"bandwidth":4,"ancestors":["p","root"]}]}`,
+		`{"type":16,"from":"r","ctrl":9}`,
+	}
+	for _, data := range accept {
+		if _, err := Decode([]byte(data)); err != nil {
+			t.Errorf("canonical envelope rejected: %v\n%s", err, data)
+		}
+	}
+
+	// Attribution survives a strict-key reject: the leniently parsed sender
+	// rides along so the guard can charge it.
+	env, err := Decode([]byte(`{"type":1,"from":"evil","BANDWIDTH":3}`))
+	if err == nil {
+		t.Fatal("case-mismatched key accepted")
+	}
+	if env.From != "evil" {
+		t.Fatalf("strict reject lost attribution: %+v", env)
+	}
+}

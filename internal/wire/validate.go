@@ -61,6 +61,9 @@ const (
 	ReasonMembers   = "members"   // oversized or corrupt member list
 	ReasonLimit     = "limit"     // membership limit outside [0, MaxLimit]
 	ReasonPayload   = "payload"   // payload over MaxPayload
+	ReasonVersion   = "version"   // binary envelope with an unknown version byte
+	ReasonField     = "field"     // unknown, duplicate or non-canonical field
+	ReasonCtrl      = "ctrl"      // reliable-delivery tag on a data-class type, or a tagless ack
 )
 
 // ValidationError reports a semantically invalid envelope. The envelope
@@ -100,7 +103,7 @@ func Reasons() []string {
 	return []string{
 		ReasonMalformed, ReasonSize, ReasonType, ReasonSender, ReasonAddr,
 		ReasonNumeric, ReasonRange, ReasonSpan, ReasonChain, ReasonMembers,
-		ReasonLimit, ReasonPayload,
+		ReasonLimit, ReasonPayload, ReasonVersion, ReasonField, ReasonCtrl,
 	}
 }
 
@@ -128,7 +131,7 @@ func ValidAddr(a Addr) bool {
 // honest node produces.
 func Validate(env Envelope) error {
 	t := env.Type
-	if t < TypeJoin || t > TypeSwitchCommit {
+	if t < TypeJoin || t > TypeAck {
 		return bad(t, ReasonType, "unknown message type %d", int(t))
 	}
 	if env.From == "" {
@@ -163,6 +166,15 @@ func Validate(env Envelope) error {
 	}
 	if env.Packet < 0 {
 		return bad(t, ReasonRange, "negative packet sequence %d", env.Packet)
+	}
+	// Ctrl tags mark reliable control delivery: an ack must name the sequence
+	// it answers, and data-class traffic (fire-and-forget by design) must not
+	// carry one — a tag there would trick receivers into generating acks.
+	if t == TypeAck && env.Ctrl == 0 {
+		return bad(t, ReasonCtrl, "ack without a ctrl sequence")
+	}
+	if env.Ctrl != 0 && t != TypeAck && !ControlClass(t) {
+		return bad(t, ReasonCtrl, "%v carries a ctrl sequence", t)
 	}
 	if err := validateRange(env); err != nil {
 		return err

@@ -1,9 +1,11 @@
 // Package wire defines the message vocabulary of the live protocol runtime
 // (internal/node): the joining handshake, parent/child heartbeats, stream
 // packets, Explicit Loss Notification, CER repair exchanges, membership
-// gossip and the ROST switching handshake. Messages travel as
-// length-delimited JSON envelopes — compact enough for a control protocol,
-// and trivially debuggable with standard tooling.
+// gossip, the ROST switching handshake, and the control-delivery acks of the
+// retransmit shim. Envelopes travel in one of two codecs (see Codec): the
+// versioned binary v1 format (the default on real transports) and a strict
+// JSON debug codec — self-describing datagrams, trivially inspectable with
+// standard tooling. Receivers tell them apart by the binary magic prefix.
 package wire
 
 import (
@@ -49,6 +51,9 @@ const (
 	TypeSwitchReject
 	// TypeSwitchCommit finalises the exchange; both sides re-point links.
 	TypeSwitchCommit
+	// TypeAck acknowledges one reliable control message (Ctrl carries the
+	// sequence being acked). Acks themselves are fire-and-forget.
+	TypeAck
 )
 
 // String names the message type.
@@ -84,6 +89,8 @@ func (t Type) String() string {
 		return "switch-reject"
 	case TypeSwitchCommit:
 		return "switch-commit"
+	case TypeAck:
+		return "ack"
 	default:
 		return fmt.Sprintf("Type(%d)", int(t))
 	}
@@ -145,6 +152,27 @@ type Envelope struct {
 	BTP float64 `json:"btp,omitempty"` // initiator's claimed bandwidth-time product
 	// NewParent tells a re-pointed child where to attach after a commit.
 	NewParent Addr `json:"new_parent,omitempty"`
+
+	// Ctrl is the reliable-delivery sequence of the retransmit shim: non-zero
+	// on control-class messages the sender wants acked, and on the Ack that
+	// answers one. Zero means fire-and-forget.
+	Ctrl uint64 `json:"ctrl,omitempty"`
+}
+
+// ControlClass reports whether a message type belongs to the reliable control
+// class: the handshakes whose loss stalls the protocol into a timeout cycle
+// (join/accept/reject/leave, membership gossip, ROST switching, repair
+// requests). Data-class traffic — stream packets, repair data, heartbeats,
+// ELN and the acks themselves — is periodic or best-effort by design and
+// stays fire-and-forget.
+func ControlClass(t Type) bool {
+	switch t {
+	case TypeJoin, TypeAccept, TypeReject, TypeLeave,
+		TypeMembershipRequest, TypeMembershipReply, TypeRepairRequest,
+		TypeSwitchPropose, TypeSwitchAccept, TypeSwitchReject, TypeSwitchCommit:
+		return true
+	}
+	return false
 }
 
 // Encode serialises the envelope.
@@ -156,11 +184,15 @@ func Encode(env Envelope) ([]byte, error) {
 	return b, nil
 }
 
-// DecodeRaw parses an envelope WITHOUT semantic validation: only the
-// datagram size cap and JSON well-formedness are enforced. Everything in the
-// result is attacker-controlled until Validate accepts it — which is exactly
-// how the wire-taint lint rule treats DecodeRaw results. Use Decode unless
-// you are a tool (fuzzer, adversary model, wire inspector) that needs the
+// DecodeRaw parses a JSON envelope WITHOUT semantic validation: only the
+// datagram size cap, JSON well-formedness and strict key discipline are
+// enforced. Key discipline closes encoding/json's laxity: a key that matches
+// a field only case-insensitively, or appears twice, is rejected (reason
+// "field") instead of silently bound — an attacker must produce the exact
+// canonical encoding, not one of many aliases. Everything in the result is
+// attacker-controlled until Validate accepts it — which is exactly how the
+// wire-taint lint rule treats DecodeRaw results. Use Decode unless you are a
+// tool (fuzzer, adversary model, wire inspector) that needs the
 // pre-validation view.
 func DecodeRaw(b []byte) (Envelope, error) {
 	if len(b) > MaxDatagram {
@@ -170,6 +202,11 @@ func DecodeRaw(b []byte) (Envelope, error) {
 	var env Envelope
 	if err := json.Unmarshal(b, &env); err != nil {
 		return Envelope{}, fmt.Errorf("wire: decoding: %w", err)
+	}
+	// Lenient parse first so a strict-key reject still names a sender the
+	// guard layer can charge.
+	if err := strictKeys(b, env.Type); err != nil {
+		return env, err
 	}
 	return env, nil
 }

@@ -25,6 +25,7 @@ func TestRoundTrip(t *testing.T) {
 		{Type: TypeSwitchAccept, From: "p"},
 		{Type: TypeSwitchReject, From: "p"},
 		{Type: TypeSwitchCommit, From: "a", NewParent: "a"},
+		{Type: TypeAck, From: "a", Ctrl: 7},
 	}
 	for _, env := range cases {
 		b, err := Encode(env)
@@ -62,7 +63,7 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestTypeStrings(t *testing.T) {
-	for ty := TypeJoin; ty <= TypeSwitchCommit; ty++ {
+	for ty := TypeJoin; ty <= TypeAck; ty++ {
 		if s := ty.String(); strings.HasPrefix(s, "Type(") {
 			t.Fatalf("type %d has no name", int(ty))
 		}
