@@ -19,6 +19,7 @@ import (
 	"omcast/internal/experiments"
 	"omcast/internal/metrics"
 	"omcast/internal/profiling"
+	"omcast/internal/runtimecfg"
 )
 
 func main() {
@@ -27,18 +28,25 @@ func main() {
 
 func run() int {
 	var (
-		seed    = flag.Int64("seed", 1, "base random seed")
-		workers = flag.Int("workers", 0, "worker pool size for independent runs (0 = GOMAXPROCS; output is identical for every setting)")
-		quick   = flag.Bool("quick", false, "reduced scale for a fast smoke pass")
-		out     = flag.String("o", "", "also write the report to this file")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		metOut  = flag.String("metrics-out", "", "write accumulated metrics (Prometheus text format) to this file")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		workers  = flag.Int("workers", 0, "worker pool size for independent runs (0 = GOMAXPROCS; output is identical for every setting)")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke pass")
+		paranoid = flag.Bool("paranoid", false, "full-scan invariant audits during every run (debugging aid; output comparable only to other -paranoid runs)")
+		memlimit = flag.String("memlimit", "", "soft Go runtime memory limit, e.g. 8GiB (default: no limit)")
+		gcpct    = flag.Int("gcpercent", -1, "GOGC percentage (default -1: keep the runtime default of 100)")
+		out      = flag.String("o", "", "also write the report to this file")
+		verbose  = flag.Bool("v", false, "print per-run progress")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metOut   = flag.String("metrics-out", "", "write accumulated metrics (Prometheus text format) to this file")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	if _, err := runtimecfg.Apply(*memlimit, *gcpct); err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-all: %v\n", err)
+		return 2
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Paranoid: *paranoid}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

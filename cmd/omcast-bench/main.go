@@ -9,16 +9,20 @@
 //	omcast-bench -quick -o BENCH_ci.json  # CI smoke pass
 //	omcast-bench -baseline ""             # measure only, no comparison
 //	omcast-bench -threshold 0.10          # stricter gate
+//	omcast-bench -scale -memlimit 32GiB   # add the fig-scale sweep (up to M=10^6)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"omcast/internal/bench"
 	"omcast/internal/lint"
+	"omcast/internal/runtimecfg"
 )
 
 func main() {
@@ -31,8 +35,17 @@ func run() int {
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "previous report to compare against (empty disables)")
 		threshold = flag.Float64("threshold", 0.25, "ns/op regression threshold as a fraction (0.25 = +25%)")
 		quick     = flag.Bool("quick", false, "reduced suite for CI smoke passes")
+		scale     = flag.Bool("scale", false, "also run the fig-scale sweep (bytes/member, ns/event) into the report")
+		scaleSz   = flag.String("scale-sizes", "", "comma-separated member counts for -scale (default 1000,10000,100000,1000000)")
+		memlimit  = flag.String("memlimit", "", "soft Go runtime memory limit, e.g. 8GiB (default: no limit)")
+		gcpct     = flag.Int("gcpercent", -1, "GOGC percentage (default -1: keep the runtime default of 100)")
 	)
 	flag.Parse()
+
+	if _, err := runtimecfg.Apply(*memlimit, *gcpct); err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", err)
+		return 2
+	}
 
 	//lint:ignore no-wallclock reason: report naming and metadata only; never feeds simulation state
 	date := time.Now().UTC().Format("2006-01-02")
@@ -48,6 +61,26 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", err)
 		return 1
+	}
+	if *scale {
+		sizes := bench.DefaultScaleSizes()
+		if *scaleSz != "" {
+			parsed, perr := parseSizes(*scaleSz)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", perr)
+				return 2
+			}
+			sizes = parsed
+		}
+		fmt.Printf("running fig-scale sweep %v (quick=%v)...\n", sizes, *quick)
+		points, serr := bench.RunScale(sizes, *quick, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "omcast-bench: %v\n", serr)
+			return 1
+		}
+		rep.Scale = points
 	}
 	if stats, err := analyzerStats(); err != nil {
 		// The analyzer riding along must not sink a perf run.
@@ -89,6 +122,19 @@ func run() int {
 	}
 	fmt.Println("no regressions beyond threshold")
 	return 0
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // analyzerStats runs the full typed lint suite over the module and returns

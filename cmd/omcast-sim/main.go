@@ -5,6 +5,7 @@
 //	omcast-sim -fig fig4                 # full-scale run of Figure 4
 //	omcast-sim -fig fig14 -quick         # reduced-scale smoke run
 //	omcast-sim -fig fig11 -size 4000 -v  # single-size figure at custom M
+//	omcast-sim -fig fig-scale -memlimit 16GiB -scale-sizes 1000000
 //	omcast-sim -list                     # list experiment IDs
 package main
 
@@ -19,6 +20,7 @@ import (
 	"omcast/internal/experiments"
 	"omcast/internal/metrics"
 	"omcast/internal/profiling"
+	"omcast/internal/runtimecfg"
 )
 
 func main() {
@@ -32,11 +34,15 @@ func run() int {
 		seed     = flag.Int64("seed", 1, "base random seed")
 		size     = flag.Int("size", 0, "member count for single-size figures (default 8000)")
 		sizes    = flag.String("sizes", "", "comma-separated member counts for size sweeps (default 2000,5000,8000,11000,14000)")
+		scaleSz  = flag.String("scale-sizes", "", "comma-separated member counts for fig-scale (default 2000,14000,140000)")
 		warmup   = flag.Duration("warmup", 0, "warm-up horizon (default 3h)")
 		measure  = flag.Duration("measure", 0, "measurement window (default 1h)")
 		replicas = flag.Int("replicas", 0, "seeds behind Figure 14's confidence intervals (default 5)")
 		workers  = flag.Int("workers", 0, "worker pool size for independent runs (0 = GOMAXPROCS; output is identical for every setting)")
 		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		paranoid = flag.Bool("paranoid", false, "full-scan invariant audits during every run (debugging aid; output comparable only to other -paranoid runs)")
+		memlimit = flag.String("memlimit", "", "soft Go runtime memory limit, e.g. 8GiB (default: no limit)")
+		gcpct    = flag.Int("gcpercent", -1, "GOGC percentage (default -1: keep the runtime default of 100)")
 		asCSV    = flag.Bool("csv", false, "emit the table as CSV instead of aligned text")
 		verbose  = flag.Bool("v", false, "print per-run progress")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -56,6 +62,10 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	if _, err := runtimecfg.Apply(*memlimit, *gcpct); err != nil {
+		fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", err)
+		return 2
+	}
 	opts := experiments.Options{
 		Seed:     *seed,
 		Size:     *size,
@@ -64,6 +74,7 @@ func run() int {
 		Replicas: *replicas,
 		Workers:  *workers,
 		Quick:    *quick,
+		Paranoid: *paranoid,
 	}
 	if *sizes != "" {
 		parsed, err := parseSizes(*sizes)
@@ -72,6 +83,14 @@ func run() int {
 			return 2
 		}
 		opts.Sizes = parsed
+	}
+	if *scaleSz != "" {
+		parsed, err := parseSizes(*scaleSz)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omcast-sim: %v\n", err)
+			return 2
+		}
+		opts.ScaleSizes = parsed
 	}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) {

@@ -28,6 +28,7 @@ import (
 	"omcast/internal/fleet"
 	"omcast/internal/node"
 	"omcast/internal/overlay"
+	"omcast/internal/stream"
 	"omcast/internal/topology"
 	"omcast/internal/tracing"
 	"omcast/internal/wire"
@@ -52,6 +53,8 @@ func Suite(quick bool) []Case {
 		{Name: "eventsim/run-dense", Bench: benchRunDense(dense)},
 		{Name: "eventsim/cancel-churn", Bench: benchCancelChurn},
 		{Name: "overlay/sample-100", Bench: benchSample},
+		{Name: "overlay/attach-detach-dense", Bench: benchAttachDetachDense},
+		{Name: "stream/interval-account", Bench: benchIntervalAccount},
 		{Name: "topology/delay", Bench: benchDelay},
 		{Name: "tracing/span-emit", Bench: benchSpanEmit},
 		{Name: "fleet/assign", Bench: benchFleetAssign},
@@ -143,6 +146,110 @@ func benchSpanEmit(b *testing.B) {
 		sp.Child(tracing.KindFetch, int64(i%128), at).End(at+time.Second, "striped")
 		sp.End(at+2*time.Second, "filled")
 		at += time.Millisecond
+	}
+}
+
+// benchAttachDetachDense exercises the struct-of-arrays mutation path: leaf
+// detach/re-attach cycles (intrusive child-list surgery plus level-index
+// maintenance) with a periodic remove/new-member pair driving the dense-ID
+// free list. The overlay package's AllocsPerRun tests pin the zero-alloc
+// contract; this case keeps the per-mutation latency on the trend line.
+func benchAttachDetachDense(b *testing.B) {
+	tree, err := overlay.NewTree(0, 1_000_000, func(a, c topology.NodeID) time.Duration { return time.Millisecond })
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nParents, nLeaves = 2000, 1000
+	parents := make([]*overlay.Member, 0, nParents)
+	for i := 0; i < nParents; i++ {
+		m := tree.NewMember(topology.NodeID(i), 8, time.Duration(i))
+		if err := tree.Attach(m, tree.Root()); err != nil {
+			b.Fatal(err)
+		}
+		parents = append(parents, m)
+	}
+	leaves := make([]*overlay.Member, 0, nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		m := tree.NewMember(topology.NodeID(nParents+i), 1, time.Duration(i))
+		if err := tree.Attach(m, parents[i%nParents]); err != nil {
+			b.Fatal(err)
+		}
+		leaves = append(leaves, m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := leaves[i%nLeaves]
+		if err := tree.Detach(l); err != nil {
+			b.Fatal(err)
+		}
+		if err := tree.Attach(l, parents[(i*7)%nParents]); err != nil {
+			b.Fatal(err)
+		}
+		if i%16 == 0 {
+			// Free-list churn: retire the leaf's slot and mint a fresh one.
+			if _, err := tree.Remove(l); err != nil {
+				b.Fatal(err)
+			}
+			m := tree.NewMember(topology.NodeID(nParents+i%nLeaves), 1, time.Duration(i))
+			if err := tree.Attach(m, parents[(i*7)%nParents]); err != nil {
+				b.Fatal(err)
+			}
+			leaves[i%nLeaves] = m
+		}
+	}
+}
+
+// benchSelector returns a canned recovery group (the selection algorithms
+// have their own cer benchmarks; this case times the accounting).
+type benchSelector struct{ group []*overlay.Member }
+
+func (s *benchSelector) Select(*overlay.Member, int) []*overlay.Member { return s.group }
+
+// benchIntervalAccount is the episode hot path of the streaming model: one
+// failure of a 64-child relay, fanning 64 recovery episodes over ~128
+// members through the interval accounting (dense plan, sorted slacks, binary
+// search, watermark sealing) — the per-failure cost the fig-scale runs pay.
+func benchIntervalAccount(b *testing.B) {
+	delay := func(a, c topology.NodeID) time.Duration {
+		if a == c {
+			return 0
+		}
+		return time.Millisecond
+	}
+	tree, err := overlay.NewTree(0, 1000, delay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attach := topology.NodeID(1)
+	mk := func(parent *overlay.Member, bw float64) *overlay.Member {
+		m := tree.NewMember(attach, bw, 0)
+		attach++
+		if err := tree.Attach(m, parent); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	relay := mk(tree.Root(), 200)
+	for i := 0; i < 64; i++ {
+		mk(mk(relay, 4), 2)
+	}
+	sel := &benchSelector{}
+	for i := 0; i < 3; i++ {
+		sel.group = append(sel.group, mk(tree.Root(), 2))
+	}
+	model := stream.NewModel(tree, delay, sel, xrand.New(1), stream.Config{GroupSize: 3, Striped: true})
+	tree.VisitSubtree(tree.Root(), func(m *overlay.Member) {
+		if m != tree.Root() {
+			model.Register(m, 0)
+		}
+	})
+	now := 100 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.OnFailure(relay, now)
+		now += 20 * time.Second
 	}
 }
 
@@ -323,6 +430,10 @@ type Report struct {
 	// surface) so analyzer cost and tree health trend alongside the perf
 	// numbers. Populated by cmd/omcast-bench; Compare ignores it.
 	Analyzer map[string]float64 `json:"analyzer,omitempty"`
+	// Scale carries the fig-scale sweep (bytes/member and ns/event per
+	// member count). Populated by cmd/omcast-bench -scale; Compare ignores
+	// it.
+	Scale []ScalePoint `json:"scale,omitempty"`
 }
 
 // Run executes the cases with testing.Benchmark and assembles a report.

@@ -468,6 +468,90 @@ func PlanRecoveryDetail(ep Episode, servers []Server) (Plan, []ServerPlan) {
 	return planRecovery(ep, servers, true)
 }
 
+// Lost marks a packet with no repair arrival in a PlanRecoveryInto result.
+const Lost time.Duration = -1
+
+// PlanRecoveryInto is PlanRecovery with dense output for the streaming hot
+// path: element i of the returned slice holds the repair arrival time of
+// packet FirstMissing+i, or Lost for packets the group cannot supply. buf is
+// reused when large enough, so steady-state episodes allocate nothing. The
+// arithmetic mirrors PlanRecovery expression for expression; the two are
+// equivalence-tested, which is what lets the interval accounting in stream
+// replace the per-packet map without disturbing any figure output.
+func PlanRecoveryInto(ep Episode, servers []Server, buf []time.Duration) []time.Duration {
+	count := ep.LastMissing - ep.FirstMissing + 1
+	if count <= 0 {
+		return buf[:0]
+	}
+	if int64(cap(buf)) < count {
+		buf = make([]time.Duration, count)
+	} else {
+		buf = buf[:count]
+	}
+	for i := range buf {
+		buf[i] = Lost
+	}
+	if len(servers) == 0 || ep.Rate <= 0 {
+		return buf
+	}
+	usable := servers
+	if !ep.Striped {
+		usable = nil
+		for _, s := range servers {
+			if s.Epsilon > 0 {
+				usable = []Server{s}
+				break
+			}
+		}
+		if len(usable) == 0 {
+			return buf
+		}
+	}
+	type slice struct {
+		lo, hi float64
+		srv    Server
+	}
+	var slices []slice
+	cum := 0.0
+	for _, s := range usable {
+		if cum >= 1 || s.Epsilon <= 0 {
+			continue
+		}
+		hi := math.Min(1, cum+s.Epsilon)
+		slices = append(slices, slice{lo: cum, hi: hi, srv: s})
+		cum = hi
+	}
+	aggregate := 0.0
+	for _, s := range usable {
+		if s.Epsilon > 0 {
+			aggregate += s.Epsilon
+		}
+	}
+	rate := aggregate * ep.Rate // packets per second
+	backlog := int64(0)
+	for n := ep.FirstMissing; n <= ep.LastMissing; n++ {
+		frac := float64(n%100) / 100
+		covered := false
+		for _, sl := range slices {
+			if frac >= sl.lo && frac < sl.hi {
+				at := ep.RequestAt + sl.srv.ChainDelay
+				if g := ep.Gen(n); g > at {
+					at = g // live forwarding of not-yet-generated packets
+				}
+				buf[n-ep.FirstMissing] = at + sl.srv.Transfer
+				covered = true
+				break
+			}
+		}
+		if !covered && aggregate > 0 {
+			service := time.Duration(float64(backlog+1) / rate * float64(time.Second))
+			buf[n-ep.FirstMissing] = ep.ResumeAt + service + usable[0].Transfer
+			backlog++
+		}
+	}
+	return buf
+}
+
 func planRecovery(ep Episode, servers []Server, detail bool) (Plan, []ServerPlan) {
 	plan := make(Plan, ep.LastMissing-ep.FirstMissing+1)
 	if len(servers) == 0 || ep.Rate <= 0 {

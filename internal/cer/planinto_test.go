@@ -1,0 +1,64 @@
+package cer
+
+import (
+	"testing"
+	"time"
+
+	"omcast/internal/xrand"
+)
+
+// TestPlanRecoveryIntoMatchesPlanRecovery pins the dense planner to the map
+// planner over randomized episodes and server groups: every packet either
+// appears in both with the same arrival time or in neither (Lost). This is
+// the contract that lets the streaming hot path drop the per-episode map.
+func TestPlanRecoveryIntoMatchesPlanRecovery(t *testing.T) {
+	rng := xrand.New(21)
+	tree, _ := buildTree(t, 1, 1)
+	var buf []time.Duration // reused across trials, as stream.Model does
+	for trial := 0; trial < 400; trial++ {
+		rate := 10.0
+		first := int64(rng.Intn(5000))
+		last := first + int64(rng.Intn(300)) - 1 // empty episodes included
+		failedAt := time.Duration(first) * time.Second / 10
+		ep := Episode{
+			FirstMissing: first,
+			LastMissing:  last,
+			RequestAt:    failedAt + 5*time.Second,
+			ResumeAt:     failedAt + 15*time.Second,
+			Rate:         rate,
+			Gen:          func(n int64) time.Duration { return time.Duration(float64(n) / rate * float64(time.Second)) },
+			Striped:      rng.Intn(2) == 0,
+		}
+		var servers []Server
+		for i := rng.Intn(5); i > 0; i-- {
+			servers = append(servers, Server{
+				Member:     tree.Root(),
+				Epsilon:    float64(rng.Intn(10)) / rate, // zero-epsilon servers included
+				ChainDelay: time.Duration(rng.Intn(50)) * time.Millisecond,
+				Transfer:   time.Duration(rng.Intn(50)) * time.Millisecond,
+			})
+		}
+		want := PlanRecovery(ep, servers)
+		got := PlanRecoveryInto(ep, servers, buf)
+		buf = got
+		wantLen := int(last - first + 1)
+		if wantLen < 0 {
+			wantLen = 0
+		}
+		if len(got) != wantLen {
+			t.Fatalf("trial %d: dense plan has %d entries, want %d", trial, len(got), wantLen)
+		}
+		for n := first; n <= last; n++ {
+			at, ok := want[n]
+			dense := got[n-first]
+			switch {
+			case ok && dense == Lost:
+				t.Fatalf("trial %d: packet %d repaired at %v in map plan, Lost in dense plan", trial, n, at)
+			case !ok && dense != Lost:
+				t.Fatalf("trial %d: packet %d Lost in map plan, repaired at %v in dense plan", trial, n, dense)
+			case ok && dense != at:
+				t.Fatalf("trial %d: packet %d arrival %v (map) vs %v (dense)", trial, n, at, dense)
+			}
+		}
+	}
+}

@@ -262,7 +262,7 @@ func (a *relaxedOrdered) weakestOutranked(level []*overlay.Member, m *overlay.Me
 // Every forced reconnection is charged to the protocol-overhead metric.
 func (a *relaxedOrdered) replace(tree *overlay.Tree, m, victim *overlay.Member, now time.Duration) error {
 	parent := victim.Parent()
-	children := append([]*overlay.Member(nil), victim.Children()...)
+	children := victim.Children()
 	for _, c := range children {
 		if err := tree.Detach(c); err != nil {
 			return fmt.Errorf("construct: detaching child %d of victim: %w", c.ID, err)

@@ -46,6 +46,14 @@ type Options struct {
 	// SweepSeeds averages the Figure 4/7/8/10 size sweep over this many
 	// seeds; zero means 3.
 	SweepSeeds int
+	// ScaleSizes are the member counts for the fig-scale sweep; nil means
+	// {2000, 14000, 140000} — the paper's smallest and largest sweep sizes
+	// plus the Figure 4 re-run at ten times the paper's N. The table reports
+	// only seed-deterministic observables (disruptions, delay, event
+	// counts); bytes/member and ns/event live in BENCH scale artifacts
+	// (internal/bench.RunScale), which is also where the 10^6-member single
+	// run belongs.
+	ScaleSizes []int
 	// Workers bounds the worker pool running a figure's independent work
 	// units; zero means GOMAXPROCS, 1 forces sequential execution. Every
 	// setting produces byte-identical output: results, metrics and progress
@@ -56,6 +64,12 @@ type Options struct {
 	// caller left at their zero value, so tests can combine Quick's small
 	// topology with custom sizes or windows.
 	Quick bool
+	// Paranoid routes every run's invariant checks through the full O(n)
+	// scan and schedules periodic tree audits (omcast.Config.Paranoid). The
+	// audit events can shift same-time tie-breaks, so paranoid outputs are
+	// only comparable to other paranoid runs — it is a debugging aid, not a
+	// reporting mode.
+	Paranoid bool
 	// Progress, when non-nil, receives one line per completed run. Lines
 	// for a figure's work units are delivered after the figure's batch
 	// completes, in canonical unit order regardless of Workers; the
@@ -89,6 +103,12 @@ func (o Options) withDefaults() Options {
 		if o.SweepSeeds <= 0 {
 			o.SweepSeeds = 1
 		}
+		if o.ScaleSizes == nil {
+			o.ScaleSizes = []int{250, 500}
+		}
+	}
+	if o.ScaleSizes == nil {
+		o.ScaleSizes = []int{2000, 14000, 140000}
 	}
 	if o.Sizes == nil {
 		o.Sizes = []int{2000, 5000, 8000, 11000, 14000}
@@ -126,6 +146,7 @@ func (o Options) baseConfig(seed int64, alg omcast.Algorithm, size int) omcast.C
 		Warmup:     o.Warmup,
 		Measure:    o.Measure,
 		Metrics:    o.Metrics,
+		Paranoid:   o.Paranoid,
 	}
 	if o.Quick {
 		cfg.Topology = omcast.SmallTopology()
@@ -200,7 +221,7 @@ func IDs() []string {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14",
 		"ablation-recovery", "ablation-rejoin", "ablation-priority", "ablation-guard",
-		"extension-multitree", "fig-fleet",
+		"extension-multitree", "fig-fleet", "fig-scale",
 	}
 }
 
@@ -305,6 +326,8 @@ func (r *Runner) Run(id string) (Table, error) {
 		t, err = r.extensionMultiTree()
 	case "fig-fleet":
 		t, err = r.figFleet()
+	case "fig-scale":
+		t, err = r.figScale()
 	default:
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
@@ -1050,6 +1073,70 @@ func (r *Runner) figFleet() (Table, error) {
 		return Table{}, err
 	}
 	t.Rows = rows
+	return t, nil
+}
+
+// figScale is the million-member experiment family's deterministic half: the
+// Figure 4 headline metric (disruptions per node) re-run far beyond the
+// paper's 2000-14000 sweep — by default up to ten times the paper's largest
+// N — for the min-depth baseline and ROST, alongside the event counts that
+// anchor the BENCH scale artifacts' ns/event figures. Every column is a pure
+// function of the seed, so the table is byte-identical across worker counts
+// like every other figure; machine-dependent observables (bytes/member,
+// ns/event) are deliberately excluded and reported by internal/bench.RunScale
+// instead.
+func (r *Runner) figScale() (Table, error) {
+	algs := []omcast.Algorithm{omcast.MinimumDepth, omcast.ROST}
+	t := Table{
+		Title:  "Scale sweep: Figure 4 metric beyond the paper's sizes (min-depth vs ROST)",
+		Header: []string{"target M", "avg size", "events"},
+		Notes: []string{
+			"paper sweeps 2000-14000 members; the largest default size here is 10x the paper's N",
+			"bytes/member and ns/event are machine observables: see BENCH scale artifacts (omcast-bench -scale)",
+		},
+	}
+	for _, alg := range algs {
+		t.Header = append(t.Header,
+			alg.String()+" disruptions", alg.String()+" delay")
+	}
+	type cell struct {
+		size int
+		alg  omcast.Algorithm
+	}
+	cells := make([]cell, 0, len(r.opts.ScaleSizes)*len(algs))
+	for _, size := range r.opts.ScaleSizes {
+		for _, alg := range algs {
+			cells = append(cells, cell{size, alg})
+		}
+	}
+	results, err := runUnits(r, len(cells), func(o Options, i int) (omcast.ScaleResult, error) {
+		c := cells[i]
+		res, err := omcast.RunScale(o.baseConfig(o.Seed, c.alg, c.size))
+		if err != nil {
+			return omcast.ScaleResult{}, fmt.Errorf("scale %v at %d: %w", c.alg, c.size, err)
+		}
+		o.progress("fig-scale %-26s M=%-7d disruptions=%.2f events=%d", c.alg, c.size, res.AvgDisruptions, res.Events)
+		return res, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	i := 0
+	for _, size := range r.opts.ScaleSizes {
+		perAlg := results[i : i+len(algs)]
+		row := []string{
+			fmt.Sprintf("%d", size),
+			fmt.Sprintf("%.0f", perAlg[0].AvgSize),
+			fmt.Sprintf("%d", perAlg[0].Events+perAlg[1].Events),
+		}
+		for _, res := range perAlg {
+			row = append(row,
+				fmt.Sprintf("%.2f", res.AvgDisruptions),
+				fmt.Sprintf("%.0fms", res.AvgServiceDelayMS))
+		}
+		t.Rows = append(t.Rows, row)
+		i += len(algs)
+	}
 	return t, nil
 }
 

@@ -52,7 +52,7 @@ func figureOutput(t *testing.T, id string, workers int) (string, string) {
 // streaming grid), workers 1, 2 and 8 must produce byte-identical tables,
 // progress streams and metrics snapshots.
 func TestParallelByteIdentical(t *testing.T) {
-	for _, id := range []string{"fig4", "fig6", "fig13", "fig-fleet"} {
+	for _, id := range []string{"fig4", "fig6", "fig13", "fig-fleet", "fig-scale"} {
 		wantTab, wantSnap := figureOutput(t, id, 1)
 		for _, workers := range []int{2, 8} {
 			gotTab, gotSnap := figureOutput(t, id, workers)

@@ -215,6 +215,10 @@ type Session struct {
 	// maxBlastRadius is the most stripes any single member failure
 	// disrupted (subtrees orphaned). DisjointContribution bounds it at 1.
 	maxBlastRadius int
+
+	// arrivalBuf is the reusable dense repair-plan buffer (one arrival per
+	// missing stripe packet; negative = lost).
+	arrivalBuf []time.Duration
 }
 
 // rostDriver adapts the rost protocol per tree (kept minimal: the full
@@ -453,7 +457,7 @@ func (s *Session) depart(sim *eventsim.Simulator, id int64) {
 	now := sim.Now()
 	blast := 0
 	for t := 0; t < s.cfg.Stripes; t++ {
-		if m := p.nodes[t]; m != nil && m.Attached() && len(m.Children()) > 0 {
+		if m := p.nodes[t]; m != nil && m.Attached() && m.NumChildren() > 0 {
 			blast++
 		}
 	}
@@ -465,7 +469,7 @@ func (s *Session) depart(sim *eventsim.Simulator, id int64) {
 		if m == nil {
 			continue
 		}
-		if m.Attached() && len(m.Children()) > 0 {
+		if m.Attached() && m.NumChildren() > 0 {
 			s.onStripeFailure(t, m, now)
 		}
 		ancestors := s.trees[t].Ancestors(m)
@@ -522,8 +526,8 @@ func (s *Session) onStripeFailure(t int, failed *overlay.Member, now time.Durati
 		if last < first {
 			continue
 		}
-		plan := s.planRecovery(t, c, cp, first, last, now+s.cfg.DetectDelay, outageEnd, stripeRate)
-		s.applyEpisode(t, c, first, last, plan, now)
+		arrivals := s.planRecovery(t, c, cp, first, last, now+s.cfg.DetectDelay, outageEnd, stripeRate)
+		s.applyEpisode(t, c, first, last, arrivals, now)
 	}
 }
 
@@ -549,7 +553,7 @@ func (s *Session) stripePacketAfter(t int, at time.Duration) int64 {
 // Members of OTHER stripe trees are natural low-correlation helpers, so the
 // group is drawn from the same participant population but checked for
 // health on this stripe.
-func (s *Session) planRecovery(t int, c *overlay.Member, cp *participant, first, last int64, requestAt, resumeAt time.Duration, stripeRate float64) cer.Plan {
+func (s *Session) planRecovery(t int, c *overlay.Member, cp *participant, first, last int64, requestAt, resumeAt time.Duration, stripeRate float64) []time.Duration {
 	selector := &cer.MLCSelector{Tree: s.trees[t], Rng: s.selectRng, Delay: s.topo.Delay}
 	group := selector.Select(c, 3)
 	servers := make([]cer.Server, 0, len(group))
@@ -569,7 +573,7 @@ func (s *Session) planRecovery(t int, c *overlay.Member, cp *participant, first,
 			Transfer:   s.topo.Delay(g.Attach, c.Attach),
 		})
 	}
-	return cer.PlanRecovery(cer.Episode{
+	s.arrivalBuf = cer.PlanRecoveryInto(cer.Episode{
 		FirstMissing: first,
 		LastMissing:  last,
 		RequestAt:    requestAt,
@@ -577,13 +581,14 @@ func (s *Session) planRecovery(t int, c *overlay.Member, cp *participant, first,
 		Rate:         stripeRate,
 		Gen:          func(k int64) time.Duration { return s.stripeGen(t, k) },
 		Striped:      true,
-	}, servers)
+	}, servers, s.arrivalBuf)
+	return s.arrivalBuf
 }
 
 // applyEpisode folds the plan into every affected participant's per-slot
 // quality accounting. A playback slot of duration Stripes/Rate seconds needs
 // all T stripe packets; we charge the affected stripe's misses.
-func (s *Session) applyEpisode(t int, c *overlay.Member, first, last int64, plan cer.Plan, failedAt time.Duration) {
+func (s *Session) applyEpisode(t int, c *overlay.Member, first, last int64, arrivals []time.Duration, failedAt time.Duration) {
 	s.trees[t].VisitSubtree(c, func(d *overlay.Member) {
 		p := s.byNode[t][d.ID]
 		if p == nil || p.viewStart > failedAt {
@@ -599,8 +604,8 @@ func (s *Session) applyEpisode(t int, c *overlay.Member, first, last int64, plan
 		}
 		for k := from; k <= last; k++ {
 			deadline := s.stripeGen(t, k) + s.cfg.Buffer
-			arrival, ok := plan[k]
-			if !ok || arrival+hop > deadline {
+			arrival := arrivals[k-first]
+			if arrival < 0 || arrival+hop > deadline {
 				p.badSlots++ // this stripe's packet misses its slot
 				if s.inMeasurement(deadline) {
 					s.Disruptions++
@@ -699,7 +704,7 @@ func (s *Session) Loads() []TreeLoad {
 				return
 			}
 			tl.Members++
-			if len(m.Children()) > 0 {
+			if m.NumChildren() > 0 {
 				tl.Interior++
 			}
 			if sp := m.SpareDegree(); sp > 0 {

@@ -8,10 +8,11 @@ import (
 	"omcast/internal/xrand"
 )
 
-// TestSampleAllocCeiling pins Sample's steady-state allocation budget: one
-// allocation per call (the result slice the caller owns). The per-call dedup
-// map is gone — duplicates are tracked in the tree's epoch-stamped scratch
-// buffer. A regression here fails go test, not just the bench report.
+// TestSampleAllocCeiling pins Sample's steady-state allocation budget: zero.
+// The per-call dedup map became the tree's epoch-stamped scratch in PR 5; the
+// result slice itself is now a tree-owned reusable buffer (returned with
+// capacity == length so caller appends copy). A regression here fails go
+// test, not just the bench report.
 func TestSampleAllocCeiling(t *testing.T) {
 	tree, err := NewTree(0, 100, func(a, b topology.NodeID) time.Duration { return time.Millisecond })
 	if err != nil {
@@ -21,7 +22,7 @@ func TestSampleAllocCeiling(t *testing.T) {
 		tree.NewMember(topology.NodeID(i), 0.5, time.Duration(i))
 	}
 	rng := xrand.New(1)
-	// One warm call sizes the scratch buffer.
+	// One warm call sizes the scratch buffers.
 	if got := tree.Sample(rng, 100, nil); len(got) != 100 {
 		t.Fatalf("warm sample returned %d members", len(got))
 	}
@@ -30,7 +31,70 @@ func TestSampleAllocCeiling(t *testing.T) {
 			t.Fatal("short sample")
 		}
 	})
-	if allocs > 1 {
-		t.Fatalf("Sample allocates %.1f times per call, want <= 1 (the result slice)", allocs)
+	if allocs > 0 {
+		t.Fatalf("Sample allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestSampleResultAppendSafe pins the scratch-buffer contract: the returned
+// slice has capacity == length, so a caller appending to it (construct's
+// candidate list appends the root) gets a private copy instead of scribbling
+// into the tree's scratch.
+func TestSampleResultAppendSafe(t *testing.T) {
+	tree, err := NewTree(0, 100, func(a, b topology.NodeID) time.Duration { return time.Millisecond })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tree.NewMember(topology.NodeID(i), 0.5, time.Duration(i))
+	}
+	rng := xrand.New(2)
+	got := tree.Sample(rng, 50, nil)
+	if cap(got) != len(got) {
+		t.Fatalf("Sample returned cap %d != len %d; caller appends would alias the scratch", cap(got), len(got))
+	}
+	extended := append(got, tree.Root())
+	again := tree.Sample(rng, 50, nil)
+	if extended[len(extended)-1] != tree.Root() {
+		t.Fatal("append result clobbered by the next Sample call")
+	}
+	_ = again
+}
+
+// TestCheckInvariantsAllocCeiling pins both invariant checkers at zero
+// steady-state allocations: the incremental path walks the epoch-stamped
+// dirty list, and the full path's former per-call seen map is an
+// epoch-stamped scratch buffer.
+func TestCheckInvariantsAllocCeiling(t *testing.T) {
+	tree, err := NewTree(0, 100, func(a, b topology.NodeID) time.Duration { return time.Millisecond })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents := []*Member{tree.Root()}
+	for i := 0; i < 2000; i++ {
+		m := tree.NewMember(topology.NodeID(i), 2, time.Duration(i))
+		if err := tree.Attach(m, parents[i%len(parents)]); err == nil {
+			parents = append(parents, m)
+		}
+	}
+	// Warm both scratch buffers.
+	if err := tree.CheckInvariantsFull(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := tree.CheckInvariantsFull(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("CheckInvariantsFull allocates %.1f times per call, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("CheckInvariants allocates %.1f times per call, want 0", allocs)
 	}
 }

@@ -1,0 +1,226 @@
+package overlay
+
+import "fmt"
+
+// Invariant checking comes in two flavors:
+//
+//   - CheckInvariants (default): incremental. Every structural mutation
+//     stamps the dense indexes it touched into a dirty list (deduplicated
+//     with an epoch-stamped scratch, the same pattern as Sample's dedup), and
+//     the check validates only those members' local invariants plus O(1)
+//     global counters. Steady-state cost is O(changed since the last check),
+//     not O(members).
+//   - CheckInvariantsFull: the historical full scan — every member, the
+//     reachability audit and the complete level-index sweep. It is O(n) and
+//     allocation-free (the former per-call seen map is an epoch-stamped
+//     scratch buffer now).
+//
+// SetParanoid(true) routes every CheckInvariants call through the full scan
+// (the -paranoid escape hatch on the CLIs). The two paths are
+// equivalence-tested: on valid trees both return nil, and corruptions
+// injected into freshly-mutated members are reported by both.
+
+// SetParanoid selects whether CheckInvariants performs the full O(n) scan
+// (true) or the incremental O(changed) check (false, the default).
+func (t *Tree) SetParanoid(on bool) { t.paranoid = on }
+
+// Paranoid reports whether full-scan invariant checking is forced.
+func (t *Tree) Paranoid() bool { return t.paranoid }
+
+// markDirty records that the member at dense index i was structurally
+// mutated since the last invariant check. Deduplicated via epoch stamps, so
+// repeated mutations of the same member cost O(1) and no allocation.
+func (t *Tree) markDirty(i int32) {
+	if t.dirtyStamp[i] != t.dirtyEpoch {
+		t.dirtyStamp[i] = t.dirtyEpoch
+		t.dirtyList = append(t.dirtyList, i)
+	}
+}
+
+// resetDirty clears the dirty set by bumping the epoch.
+func (t *Tree) resetDirty() {
+	t.dirtyList = t.dirtyList[:0]
+	t.dirtyEpoch++
+	if t.dirtyEpoch == 0 { // epoch wrapped: stale stamps could collide
+		clear(t.dirtyStamp)
+		t.dirtyEpoch = 1
+	}
+}
+
+// CheckInvariants verifies structural invariants and returns the first
+// violation found, or nil. By default it is incremental: only members
+// mutated since the previous call are examined (plus O(1) global counter
+// cross-checks), so steady-state calls are O(changed). With SetParanoid(true)
+// it performs the full scan instead. Either way the dirty set is drained.
+func (t *Tree) CheckInvariants() error {
+	if t.paranoid {
+		return t.CheckInvariantsFull()
+	}
+	defer t.resetDirty()
+	for _, i := range t.dirtyList {
+		if t.handle[i] == nil {
+			continue // slot freed since it was dirtied
+		}
+		if err := t.checkLocal(i); err != nil {
+			return err
+		}
+	}
+	return t.checkCounters()
+}
+
+// checkCounters cross-checks the O(1) global invariants: the two
+// independently maintained attached counters (flag flips vs level
+// insert/remove) and the live-member count against the order list.
+func (t *Tree) checkCounters() error {
+	if t.attachedCount != t.levelCount {
+		return fmt.Errorf("overlay: %d members attached, level index holds %d", t.attachedCount, t.levelCount)
+	}
+	if t.liveCount != len(t.order)+1 {
+		return fmt.Errorf("overlay: %d live members, order list holds %d (+root)", t.liveCount, len(t.order))
+	}
+	return nil
+}
+
+// checkLocal validates the member at dense index i against its immediate
+// neighborhood: degree bound, child-link integrity (parent pointers, sibling
+// back-links, count), attached children's depth and path delay, and its own
+// slots in the level and order indexes.
+func (t *Tree) checkLocal(i int32) error {
+	m := t.handle[i]
+	if t.kidCount[i] > t.outDeg[i] {
+		return fmt.Errorf("overlay: member %d has %d children, degree %d", m.ID, t.kidCount[i], t.outDeg[i])
+	}
+	var n int32
+	prev := none
+	for c := t.firstKid[i]; c != none; c = t.nextSib[c] {
+		n++
+		if n > t.kidCount[i] {
+			return fmt.Errorf("overlay: member %d child list longer than its count %d", m.ID, t.kidCount[i])
+		}
+		if t.handle[c] == nil {
+			return fmt.Errorf("overlay: member %d links freed child slot %d", m.ID, c)
+		}
+		if t.parent[c] != i {
+			return fmt.Errorf("overlay: member %d's child %d has wrong parent", m.ID, t.handle[c].ID)
+		}
+		if t.prevSib[c] != prev {
+			return fmt.Errorf("overlay: member %d's child %d has broken sibling back-link", m.ID, t.handle[c].ID)
+		}
+		if t.attached[c] {
+			if t.depth[c] != t.depth[i]+1 {
+				return fmt.Errorf("overlay: member %d depth %d, parent depth %d", t.handle[c].ID, t.depth[c], t.depth[i])
+			}
+			want := t.pathDelay[i] + t.delayFn(m.Attach, t.handle[c].Attach)
+			if t.pathDelay[c] != want {
+				return fmt.Errorf("overlay: member %d pathDelay %v, want %v", t.handle[c].ID, t.pathDelay[c], want)
+			}
+		}
+		prev = c
+	}
+	if n != t.kidCount[i] {
+		return fmt.Errorf("overlay: member %d child list holds %d, count says %d", m.ID, n, t.kidCount[i])
+	}
+	if t.lastKid[i] != prev {
+		return fmt.Errorf("overlay: member %d lastKid does not terminate its child list", m.ID)
+	}
+	if t.attached[i] {
+		d := int(t.depth[i])
+		li := t.levelIdx[i]
+		if d < 0 || d >= len(t.levels) || li < 0 || int(li) >= len(t.levels[d]) || t.levels[d][li] != m {
+			return fmt.Errorf("overlay: level index corrupt at depth %d slot %d (member %d)", d, li, m.ID)
+		}
+		if p := t.parent[i]; p != none && !t.attached[p] {
+			return fmt.Errorf("overlay: member %d attached under detached parent %d", m.ID, t.handle[p].ID)
+		}
+		if t.parent[i] == none && m != t.root {
+			return fmt.Errorf("overlay: member %d attached with no parent", m.ID)
+		}
+	} else {
+		if t.levelIdx[i] != none {
+			return fmt.Errorf("overlay: detached member %d still in the level index", m.ID)
+		}
+		if t.depth[i] != -1 && t.parent[i] == none {
+			return fmt.Errorf("overlay: detached parentless member %d has depth %d", m.ID, t.depth[i])
+		}
+	}
+	if m != t.root {
+		oi := t.orderIdx[i]
+		if oi < 0 || int(oi) >= len(t.order) || t.order[oi] != m {
+			return fmt.Errorf("overlay: member %d missing from the order index", m.ID)
+		}
+	}
+	return nil
+}
+
+// CheckInvariantsFull verifies every structural invariant with a complete
+// O(n) scan: the pre-order walk from the source (degree bounds, link
+// integrity, depths, path delays, double-reachability), the
+// every-attached-member-is-reachable audit in ID order, and the full
+// level-index sweep. Allocation-free: reachability is tracked in an
+// epoch-stamped scratch buffer.
+func (t *Tree) CheckInvariantsFull() error {
+	defer t.resetDirty()
+	if len(t.invSeen) < len(t.handle) {
+		t.invSeen = make([]uint32, len(t.handle))
+		t.invEpoch = 0
+	}
+	t.invEpoch++
+	if t.invEpoch == 0 { // epoch wrapped: stale stamps could collide
+		clear(t.invSeen)
+		t.invEpoch = 1
+	}
+	if err := t.invWalk(t.root.idx); err != nil {
+		return err
+	}
+	// Every attached member must be reachable from the root. Scan in ID
+	// order (idToIdx is ID-ordered by construction) so the violation
+	// reported first is the same on every run.
+	for id := 1; id < len(t.idToIdx); id++ {
+		i := t.idToIdx[id]
+		if i >= 0 && t.attached[i] && t.invSeen[i] != t.invEpoch {
+			return fmt.Errorf("overlay: attached member %d unreachable from source", id)
+		}
+	}
+	// Level index must agree with member depths.
+	counted := 0
+	for d, level := range t.levels {
+		for li, m := range level {
+			if m.idx < 0 || int(t.depth[m.idx]) != d || int(t.levelIdx[m.idx]) != li || !t.attached[m.idx] {
+				return fmt.Errorf("overlay: level index corrupt at depth %d slot %d (member %d)", d, li, m.ID)
+			}
+			counted++
+		}
+	}
+	attachedCount := 0
+	for _, m := range t.handle {
+		if m != nil && t.attached[m.idx] {
+			attachedCount++
+		}
+	}
+	if counted != attachedCount {
+		return fmt.Errorf("overlay: level index holds %d members, %d attached", counted, attachedCount)
+	}
+	if attachedCount != t.attachedCount || counted != t.levelCount {
+		return fmt.Errorf("overlay: maintained counters (%d attached, %d level) disagree with scan (%d attached)",
+			t.attachedCount, t.levelCount, attachedCount)
+	}
+	return t.checkCounters()
+}
+
+// invWalk is CheckInvariantsFull's pre-order walk over the subtree at dense
+// index i, stamping reachability and checking the per-member invariants.
+func (t *Tree) invWalk(i int32) error {
+	if t.invSeen[i] == t.invEpoch {
+		return fmt.Errorf("overlay: member %d reachable twice", t.handle[i].ID)
+	}
+	t.invSeen[i] = t.invEpoch
+	if err := t.checkLocal(i); err != nil {
+		return err
+	}
+	for c := t.firstKid[i]; c != none; c = t.nextSib[c] {
+		if err := t.invWalk(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,12 +7,31 @@
 // The package is purely structural: which parent a member picks, when nodes
 // switch positions, and how losses are repaired live in the construct, rost
 // and cer packages.
+//
+// # Memory layout
+//
+// Member state is stored struct-of-arrays: Tree keeps parallel slices
+// (parent, first-child/next-sibling links, depth, degree, path delay,
+// attached flags, lock owners) indexed by a dense int32 index allocated from
+// a free list. The exported *Member is a small stable handle carrying only
+// identity and statistics fields plus the dense index; all structural
+// accessors delegate to the arrays. MemberID remains the stable external
+// name, mapped through one dense idToIdx table (IDs are sequential and never
+// reused, so the table is a flat slice, not a map). This keeps a member's
+// hot structural state at ~100 contiguous bytes and removes per-member
+// children slices, which is what lets a single run hold 10^6 members.
+//
+// The child lists are intrusive doubly linked lists (firstKid/lastKid,
+// prevSib/nextSib). Their mutation rules replicate the previous
+// children-slice semantics exactly — append at the tail, removal moves the
+// former tail into the removed slot — because child order is
+// determinism-bearing: it drives orphan ordering, level-list order and
+// pre-order traversal, and therefore the RNG streams of every experiment.
 package overlay
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"omcast/internal/topology"
@@ -22,6 +41,9 @@ import (
 // MemberID identifies an overlay member for the lifetime of a simulation.
 // IDs are never reused. The zero value is not a valid ID.
 type MemberID int64
+
+// none is the sentinel dense index ("no member").
+const none int32 = -1
 
 // Common structural errors.
 var (
@@ -34,8 +56,12 @@ var (
 	ErrNotAttached = errors.New("overlay: member is not attached to the tree")
 )
 
-// Member is one overlay node. Fields other than the exported identity and
-// statistics fields are maintained by Tree and must not be mutated directly.
+// Member is one overlay node: a stable handle into the tree's
+// struct-of-arrays state. The exported identity and statistics fields live on
+// the handle; structural state (parent, children, depth, ...) lives in the
+// Tree's parallel slices and is reached through the accessor methods. After
+// the member is removed from the tree the structural accessors return
+// zero values (nil parent, no children, depth -1, not attached).
 type Member struct {
 	ID MemberID
 	// Attach is the stub router the member sits on.
@@ -54,39 +80,84 @@ type Member struct {
 	// the paper's protocol-overhead metric.
 	Reconnections int
 
-	parent    *Member
-	children  []*Member
-	depth     int
-	pathDelay time.Duration
-	attached  bool
-
-	// lockOwner is the ID of the in-flight switching operation holding this
-	// member, or zero when unlocked (ROST locking protocol).
-	lockOwner int64
-
-	// orderIdx / levelIdx index the member inside Tree.order and
-	// Tree.levels[depth] for O(1) removal.
-	orderIdx int
-	levelIdx int
+	// tree/idx locate the member's structural state. idx is -1 once the
+	// member has been removed from the tree.
+	tree *Tree
+	idx  int32
 }
 
 // Parent returns the current parent, or nil for the root (and for detached
 // members).
-func (m *Member) Parent() *Member { return m.parent }
+func (m *Member) Parent() *Member {
+	if m.tree == nil || m.idx < 0 {
+		return nil
+	}
+	p := m.tree.parent[m.idx]
+	if p < 0 {
+		return nil
+	}
+	return m.tree.handle[p]
+}
 
-// Children returns the member's children. The returned slice is owned by the
-// tree; callers must not mutate it.
-func (m *Member) Children() []*Member { return m.children }
+// Children returns the member's children as a freshly allocated slice the
+// caller may keep. Hot paths should prefer NumChildren/VisitChildren, which
+// do not allocate.
+func (m *Member) Children() []*Member {
+	t := m.tree
+	if t == nil || m.idx < 0 || t.kidCount[m.idx] == 0 {
+		return nil
+	}
+	out := make([]*Member, 0, t.kidCount[m.idx])
+	for c := t.firstKid[m.idx]; c != none; c = t.nextSib[c] {
+		out = append(out, t.handle[c])
+	}
+	return out
+}
 
-// Depth returns the member's layer (root = 0).
-func (m *Member) Depth() int { return m.depth }
+// NumChildren returns the member's current child count without allocating.
+func (m *Member) NumChildren() int {
+	if m.tree == nil || m.idx < 0 {
+		return 0
+	}
+	return int(m.tree.kidCount[m.idx])
+}
+
+// VisitChildren calls fn for each child in child-list order without
+// allocating. fn must not mutate the tree.
+func (m *Member) VisitChildren(fn func(*Member)) {
+	t := m.tree
+	if t == nil || m.idx < 0 {
+		return
+	}
+	for c := t.firstKid[m.idx]; c != none; c = t.nextSib[c] {
+		fn(t.handle[c])
+	}
+}
+
+// Depth returns the member's layer (root = 0), or -1 when detached.
+func (m *Member) Depth() int {
+	if m.tree == nil || m.idx < 0 {
+		return -1
+	}
+	return int(m.tree.depth[m.idx])
+}
 
 // PathDelay returns the accumulated delay of the overlay path from the source.
-func (m *Member) PathDelay() time.Duration { return m.pathDelay }
+func (m *Member) PathDelay() time.Duration {
+	if m.tree == nil || m.idx < 0 {
+		return 0
+	}
+	return m.tree.pathDelay[m.idx]
+}
 
 // Attached reports whether the member currently has a position in the tree
 // (the root is always attached).
-func (m *Member) Attached() bool { return m.attached }
+func (m *Member) Attached() bool {
+	if m.tree == nil || m.idx < 0 {
+		return false
+	}
+	return m.tree.attached[m.idx]
+}
 
 // OutDegree returns the member's out-degree constraint: the number of
 // full-rate children its outbound bandwidth supports.
@@ -98,7 +169,7 @@ func (m *Member) OutDegree() int {
 }
 
 // SpareDegree returns how many more children the member can accept.
-func (m *Member) SpareDegree() int { return m.OutDegree() - len(m.children) }
+func (m *Member) SpareDegree() int { return m.OutDegree() - m.NumChildren() }
 
 // HasSpare reports whether the member can accept one more child.
 func (m *Member) HasSpare() bool { return m.SpareDegree() > 0 }
@@ -118,26 +189,79 @@ func (m *Member) BTP(now time.Duration) float64 {
 }
 
 // Locked reports whether the member is held by a switching operation.
-func (m *Member) Locked() bool { return m.lockOwner != 0 }
+func (m *Member) Locked() bool {
+	if m.tree == nil || m.idx < 0 {
+		return false
+	}
+	return m.tree.lockOwner[m.idx] != 0
+}
 
 // Tree is the overlay multicast tree. It is single-threaded by design (the
 // simulation kernel is sequential); no internal locking.
 type Tree struct {
-	root    *Member
-	members map[MemberID]*Member
-	// order lists attached and detached live members for O(1) sampling.
-	order []*Member
-	// levels[d] lists attached members at depth d.
-	levels [][]*Member
-	nextID MemberID
+	root *Member
 	// delayFn gives the unicast delay between two underlay routers.
 	delayFn func(a, b topology.NodeID) time.Duration
+	nextID  MemberID
+
+	// Struct-of-arrays member state, all indexed by the dense index. A slot
+	// is live iff handle[i] != nil.
+	handle    []*Member
+	parent    []int32
+	firstKid  []int32
+	lastKid   []int32
+	prevSib   []int32
+	nextSib   []int32
+	kidCount  []int32
+	outDeg    []int32 // floor(Bandwidth), cached for the degree invariant
+	depth     []int32 // -1 when detached
+	pathDelay []time.Duration
+	attached  []bool
+	// lockOwner is the ID of the in-flight switching operation holding the
+	// member, or zero when unlocked (ROST locking protocol).
+	lockOwner []int64
+	orderIdx  []int32
+	levelIdx  []int32
+
+	// free lists recycled dense indexes; idToIdx maps MemberID (sequential,
+	// never reused) to the member's dense index, or -1 once removed.
+	free    []int32
+	idToIdx []int32
+
+	// order lists attached and detached live members for O(1) sampling
+	// (the root excluded); levels[d] lists attached members at depth d.
+	order  []*Member
+	levels [][]*Member
+
+	// liveCount counts live members including the root. attachedCount and
+	// levelCount both track the number of attached members but are
+	// maintained at different mutation sites (attached-flag flips vs level
+	// insert/remove), so the incremental invariant check can compare them.
+	liveCount     int
+	attachedCount int
+	levelCount    int
+
 	// sampleSeen/sampleEpoch replace Sample's per-call dedup map: an index
 	// is "drawn this call" iff sampleSeen[i] == sampleEpoch. Bumping the
 	// epoch clears every stamp at once, so the buffer is reused across
-	// calls without touching its contents.
+	// calls without touching its contents. sampleOut is the reusable result
+	// buffer (Sample returns a full-capacity slice of it).
 	sampleSeen  []uint32
 	sampleEpoch uint32
+	sampleOut   []*Member
+
+	// Incremental invariant tracking: every structural mutation stamps the
+	// touched dense indexes into dirtyList (deduplicated by dirtyStamp /
+	// dirtyEpoch), so CheckInvariants is O(changed since last check).
+	dirtyStamp []uint32
+	dirtyEpoch uint32
+	dirtyList  []int32
+	// invSeen/invEpoch is the full checker's reachability scratch (the
+	// former per-call seen map).
+	invSeen  []uint32
+	invEpoch uint32
+	// paranoid forces every CheckInvariants call through the full O(n) scan.
+	paranoid bool
 }
 
 // NewTree creates a tree rooted at a source member placed on rootAttach with
@@ -151,48 +275,107 @@ func NewTree(rootAttach topology.NodeID, rootBandwidth float64, delayFn func(a, 
 		return nil, fmt.Errorf("overlay: root bandwidth %g cannot feed any child", rootBandwidth)
 	}
 	t := &Tree{
-		members: make(map[MemberID]*Member),
-		delayFn: delayFn,
-		nextID:  1,
+		delayFn:    delayFn,
+		nextID:     1,
+		idToIdx:    []int32{none}, // MemberID zero is invalid
+		dirtyEpoch: 1,
+		invEpoch:   0,
 	}
-	root := &Member{
+	root := t.newMemberAt(rootAttach, rootBandwidth, 0)
+	i := root.idx
+	t.attached[i] = true
+	t.attachedCount++
+	t.orderIdx[i] = none // the root is not sampleable as a rejoin candidate owner
+	t.levelIdx[i] = 0
+	t.depth[i] = 0
+	t.root = root
+	t.levels = append(t.levels, []*Member{root})
+	t.levelCount++
+	return t, nil
+}
+
+// newMemberAt allocates a dense slot (recycling from the free list when
+// possible), resets all of its per-slot state and registers the ID mapping.
+func (t *Tree) newMemberAt(attach topology.NodeID, bandwidth float64, now time.Duration) *Member {
+	m := &Member{
 		ID:        t.nextID,
-		Attach:    rootAttach,
-		Bandwidth: rootBandwidth,
-		attached:  true,
-		orderIdx:  -1, // the root is not sampleable as a rejoin candidate owner
-		levelIdx:  0,
+		Attach:    attach,
+		Bandwidth: bandwidth,
+		JoinTime:  now,
+		tree:      t,
 	}
 	t.nextID++
-	t.root = root
-	t.members[root.ID] = root
-	t.levels = append(t.levels, []*Member{root})
-	return t, nil
+	var i int32
+	if n := len(t.free); n > 0 {
+		i = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.handle[i] = m
+		t.parent[i] = none
+		t.firstKid[i] = none
+		t.lastKid[i] = none
+		t.prevSib[i] = none
+		t.nextSib[i] = none
+		t.kidCount[i] = 0
+		t.outDeg[i] = int32(m.OutDegree())
+		t.depth[i] = -1
+		t.pathDelay[i] = 0
+		t.attached[i] = false
+		t.lockOwner[i] = 0
+		t.orderIdx[i] = none
+		t.levelIdx[i] = none
+	} else {
+		i = int32(len(t.handle))
+		t.handle = append(t.handle, m)
+		t.parent = append(t.parent, none)
+		t.firstKid = append(t.firstKid, none)
+		t.lastKid = append(t.lastKid, none)
+		t.prevSib = append(t.prevSib, none)
+		t.nextSib = append(t.nextSib, none)
+		t.kidCount = append(t.kidCount, 0)
+		t.outDeg = append(t.outDeg, int32(m.OutDegree()))
+		t.depth = append(t.depth, -1)
+		t.pathDelay = append(t.pathDelay, 0)
+		t.attached = append(t.attached, false)
+		t.lockOwner = append(t.lockOwner, 0)
+		t.orderIdx = append(t.orderIdx, none)
+		t.levelIdx = append(t.levelIdx, none)
+		t.dirtyStamp = append(t.dirtyStamp, 0)
+	}
+	m.idx = i
+	t.idToIdx = append(t.idToIdx, i)
+	t.liveCount++
+	t.markDirty(i)
+	return m
 }
 
 // Root returns the source member.
 func (t *Tree) Root() *Member { return t.root }
 
 // Size returns the number of live members including the source.
-func (t *Tree) Size() int { return len(t.members) }
+func (t *Tree) Size() int { return t.liveCount }
 
 // Member returns the live member with the given ID, or nil.
-func (t *Tree) Member(id MemberID) *Member { return t.members[id] }
+func (t *Tree) Member(id MemberID) *Member {
+	if id <= 0 || int64(id) >= int64(len(t.idToIdx)) {
+		return nil
+	}
+	i := t.idToIdx[id]
+	if i < 0 {
+		return nil
+	}
+	return t.handle[i]
+}
+
+// byHandle reports whether m is a live member of this tree.
+func (t *Tree) byHandle(m *Member) bool {
+	return m != nil && m.tree == t && m.idx >= 0 && t.handle[m.idx] == m
+}
 
 // NewMember registers a live member without attaching it to the tree. The
 // caller attaches it with Attach once a parent is chosen.
 func (t *Tree) NewMember(attach topology.NodeID, bandwidth float64, now time.Duration) *Member {
-	m := &Member{
-		ID:        t.nextID,
-		Attach:    attach,
-		Bandwidth: bandwidth,
-		JoinTime:  now,
-		orderIdx:  len(t.order),
-		levelIdx:  -1,
-		depth:     -1,
-	}
-	t.nextID++
-	t.members[m.ID] = m
+	m := t.newMemberAt(attach, bandwidth, now)
+	t.orderIdx[m.idx] = int32(len(t.order))
 	t.order = append(t.order, m)
 	return m
 }
@@ -203,100 +386,126 @@ func (t *Tree) Attach(child, parent *Member) error {
 	switch {
 	case child == nil || parent == nil:
 		return ErrNotMember
-	case t.members[child.ID] != child || t.members[parent.ID] != parent:
+	case !t.byHandle(child) || !t.byHandle(parent):
 		return ErrNotMember
 	case child == parent:
 		return ErrSelfAttach
-	case child.parent != nil || child.attached:
+	case t.parent[child.idx] != none || t.attached[child.idx]:
 		return ErrHasParent
-	case !parent.attached:
+	case !t.attached[parent.idx]:
 		return ErrNotAttached
-	case !parent.HasSpare():
+	case t.kidCount[parent.idx] >= t.outDeg[parent.idx]:
 		return ErrFull
 	}
-	child.parent = parent
-	parent.children = append(parent.children, child)
-	child.attached = true
-	t.placeSubtree(child)
+	t.childAppend(parent.idx, child.idx)
+	t.placeSubtree(child.idx)
 	return nil
 }
 
-// placeSubtree recomputes depth, path delay and level indexing for m and all
-// its descendants (children of a rejoining member keep their subtrees, so a
-// re-attach moves whole subtrees).
-func (t *Tree) placeSubtree(m *Member) {
-	var place func(n *Member)
-	place = func(n *Member) {
-		n.depth = n.parent.depth + 1
-		n.pathDelay = n.parent.pathDelay + t.delayFn(n.parent.Attach, n.Attach)
-		n.attached = true
-		t.levelInsert(n)
-		for _, c := range n.children {
-			place(c)
+// placeSubtree recomputes depth, path delay and level indexing for the member
+// at dense index m and all its descendants, in pre-order (children of a
+// rejoining member keep their subtrees, so a re-attach moves whole subtrees).
+func (t *Tree) placeSubtree(m int32) {
+	n := m
+	for {
+		p := t.parent[n]
+		t.depth[n] = t.depth[p] + 1
+		t.pathDelay[n] = t.pathDelay[p] + t.delayFn(t.handle[p].Attach, t.handle[n].Attach)
+		if !t.attached[n] {
+			t.attached[n] = true
+			t.attachedCount++
 		}
+		t.levelInsert(n)
+		t.markDirty(n)
+		if fc := t.firstKid[n]; fc != none {
+			n = fc
+			continue
+		}
+		for n != m && t.nextSib[n] == none {
+			n = t.parent[n]
+		}
+		if n == m {
+			return
+		}
+		n = t.nextSib[n]
 	}
-	place(m)
 }
 
 // Detach unlinks m from its parent, leaving m's own subtree intact but
 // marking every node in it unattached (no live path from the source).
 func (t *Tree) Detach(m *Member) error {
-	if m == nil || t.members[m.ID] != m {
+	if m == nil || !t.byHandle(m) {
 		return ErrNotMember
 	}
 	if m == t.root {
 		return ErrRootLeave
 	}
-	if m.parent == nil {
+	if t.parent[m.idx] == none {
 		return ErrNotAttached
 	}
-	removeChild(m.parent, m)
-	m.parent = nil
-	var unplace func(n *Member)
-	unplace = func(n *Member) {
-		if n.attached {
+	t.childRemove(t.parent[m.idx], m.idx)
+	t.parent[m.idx] = none
+	// Unplace the whole subtree: depth resets to -1, path delay keeps its
+	// last attached value (historical behavior; callers gate on Attached).
+	n := m.idx
+	for {
+		if t.attached[n] {
 			t.levelRemove(n)
-			n.attached = false
-			n.depth = -1
+			t.attached[n] = false
+			t.attachedCount--
+			t.depth[n] = -1
 		}
-		for _, c := range n.children {
-			unplace(c)
+		t.markDirty(n)
+		if fc := t.firstKid[n]; fc != none {
+			n = fc
+			continue
 		}
+		for n != m.idx && t.nextSib[n] == none {
+			n = t.parent[n]
+		}
+		if n == m.idx {
+			return nil
+		}
+		n = t.nextSib[n]
 	}
-	unplace(m)
-	return nil
 }
 
 // Remove deletes a member from the overlay entirely (departure or failure)
 // and returns its now-orphaned children, each of which keeps its own subtree
 // and must rejoin. The children are returned detached.
 func (t *Tree) Remove(m *Member) ([]*Member, error) {
-	if m == nil || t.members[m.ID] != m {
+	if m == nil || !t.byHandle(m) {
 		return nil, ErrNotMember
 	}
 	if m == t.root {
 		return nil, ErrRootLeave
 	}
-	orphans := append([]*Member(nil), m.children...)
+	orphans := m.Children()
 	for _, c := range orphans {
 		if err := t.Detach(c); err != nil {
 			return nil, fmt.Errorf("overlay: detaching orphan %d: %w", c.ID, err)
 		}
 	}
-	if m.parent != nil {
+	if t.parent[m.idx] != none {
 		if err := t.Detach(m); err != nil {
 			return nil, fmt.Errorf("overlay: detaching leaver %d: %w", m.ID, err)
 		}
 	}
-	delete(t.members, m.ID)
-	t.orderRemove(m)
+	t.orderRemove(m.idx)
+	i := m.idx
+	t.idToIdx[m.ID] = none
+	t.handle[i] = nil
+	t.lockOwner[i] = 0
+	t.free = append(t.free, i)
+	t.liveCount--
+	m.idx = -1
 	return orphans, nil
 }
 
 // MoveSubtree re-parents m (and its whole subtree) under newParent. Used by
 // switching and eviction operations. m must currently be attached.
 func (t *Tree) MoveSubtree(m, newParent *Member) error {
-	if m == nil || newParent == nil || t.members[m.ID] != m || t.members[newParent.ID] != newParent {
+	if m == nil || newParent == nil || !t.byHandle(m) || !t.byHandle(newParent) {
 		return ErrNotMember
 	}
 	if m == t.root {
@@ -305,34 +514,44 @@ func (t *Tree) MoveSubtree(m, newParent *Member) error {
 	if m == newParent {
 		return ErrSelfAttach
 	}
-	if !newParent.attached {
+	if !t.attached[newParent.idx] {
 		return ErrNotAttached
 	}
 	// Reject moves under m's own subtree, which would detach the subtree
 	// from the source.
-	for p := newParent; p != nil; p = p.parent {
-		if p == m {
+	for p := newParent.idx; p != none; p = t.parent[p] {
+		if p == m.idx {
 			return ErrCycle
 		}
 	}
-	if !newParent.HasSpare() {
+	if t.kidCount[newParent.idx] >= t.outDeg[newParent.idx] {
 		return ErrFull
 	}
-	if m.parent != nil {
-		removeChild(m.parent, m)
-		m.parent = nil
-		// Temporarily unplace so Attach's invariants hold.
-		var unplace func(n *Member)
-		unplace = func(n *Member) {
-			if n.attached {
+	if t.parent[m.idx] != none {
+		t.childRemove(t.parent[m.idx], m.idx)
+		t.parent[m.idx] = none
+		// Temporarily unplace so Attach's invariants hold. Unlike Detach,
+		// depth is left in place; placeSubtree recomputes it immediately.
+		n := m.idx
+		for {
+			if t.attached[n] {
 				t.levelRemove(n)
-				n.attached = false
+				t.attached[n] = false
+				t.attachedCount--
 			}
-			for _, c := range n.children {
-				unplace(c)
+			t.markDirty(n)
+			if fc := t.firstKid[n]; fc != none {
+				n = fc
+				continue
 			}
+			for n != m.idx && t.nextSib[n] == none {
+				n = t.parent[n]
+			}
+			if n == m.idx {
+				break
+			}
+			n = t.nextSib[n]
 		}
-		unplace(m)
 	}
 	return t.Attach(m, newParent)
 }
@@ -346,30 +565,60 @@ func (t *Tree) VisitMembers(fn func(*Member)) {
 	}
 }
 
-// VisitSubtree calls fn for every attached member in m's subtree including m
-// itself, in pre-order.
+// VisitSubtree calls fn for every member in m's subtree including m itself,
+// in pre-order. fn must not mutate the tree structure.
 func (t *Tree) VisitSubtree(m *Member, fn func(*Member)) {
-	if m == nil {
+	if m == nil || m.idx < 0 || m.tree != t {
 		return
 	}
-	fn(m)
-	for _, c := range m.children {
-		t.VisitSubtree(c, fn)
+	n := m.idx
+	for {
+		fn(t.handle[n])
+		if fc := t.firstKid[n]; fc != none {
+			n = fc
+			continue
+		}
+		for n != m.idx && t.nextSib[n] == none {
+			n = t.parent[n]
+		}
+		if n == m.idx {
+			return
+		}
+		n = t.nextSib[n]
 	}
 }
 
 // SubtreeSize returns the number of members in m's subtree including m.
 func (t *Tree) SubtreeSize(m *Member) int {
-	n := 0
-	t.VisitSubtree(m, func(*Member) { n++ })
-	return n
+	if m == nil || m.idx < 0 || m.tree != t {
+		return 0
+	}
+	count := 0
+	n := m.idx
+	for {
+		count++
+		if fc := t.firstKid[n]; fc != none {
+			n = fc
+			continue
+		}
+		for n != m.idx && t.nextSib[n] == none {
+			n = t.parent[n]
+		}
+		if n == m.idx {
+			return count
+		}
+		n = t.nextSib[n]
+	}
 }
 
 // Ancestors returns the path from m's parent up to the root, nearest first.
 func (t *Tree) Ancestors(m *Member) []*Member {
+	if m == nil || m.idx < 0 {
+		return nil
+	}
 	var out []*Member
-	for p := m.parent; p != nil; p = p.parent {
-		out = append(out, p)
+	for p := t.parent[m.idx]; p != none; p = t.parent[p] {
+		out = append(out, t.handle[p])
 	}
 	return out
 }
@@ -397,18 +646,24 @@ func (t *Tree) Level(d int) []*Member {
 // excluding the root and the given member. This models a joining node's
 // bounded membership discovery ("until it obtains a certain number, say 100,
 // of known members").
+//
+// The returned slice is backed by a tree-owned scratch buffer and is valid
+// only until the next Sample call; its capacity equals its length, so
+// appending to it copies. Callers that retain the members across another
+// Sample must copy the slice first.
 func (t *Tree) Sample(rng *xrand.Source, n int, exclude *Member) []*Member {
 	if n <= 0 || len(t.order) == 0 {
 		return nil
 	}
 	if n >= len(t.order) {
-		out := make([]*Member, 0, len(t.order))
+		out := t.sampleBuf(len(t.order))
 		for _, m := range t.order {
 			if m != exclude {
 				out = append(out, m)
 			}
 		}
-		return out
+		t.sampleOut = out
+		return out[:len(out):len(out)]
 	}
 	// Partial Fisher-Yates over a scratch index space would disturb t.order;
 	// instead draw with rejection, which is cheap because n << len(order) in
@@ -425,7 +680,7 @@ func (t *Tree) Sample(rng *xrand.Source, n int, exclude *Member) []*Member {
 		clear(t.sampleSeen)
 		t.sampleEpoch = 1
 	}
-	out := make([]*Member, 0, n)
+	out := t.sampleBuf(n)
 	attempts := 0
 	maxAttempts := 20 * n
 	for len(out) < n && attempts < maxAttempts {
@@ -440,7 +695,17 @@ func (t *Tree) Sample(rng *xrand.Source, n int, exclude *Member) []*Member {
 		}
 		out = append(out, t.order[i])
 	}
-	return out
+	t.sampleOut = out
+	return out[:len(out):len(out)]
+}
+
+// sampleBuf returns the empty reusable sample output buffer with capacity for
+// at least n members.
+func (t *Tree) sampleBuf(n int) []*Member {
+	if cap(t.sampleOut) < n {
+		t.sampleOut = make([]*Member, 0, n)
+	}
+	return t.sampleOut[:0]
 }
 
 // RecordFailure increments the disruption counter of every attached member
@@ -448,14 +713,29 @@ func (t *Tree) Sample(rng *xrand.Source, n int, exclude *Member) []*Member {
 // departed). It returns how many members were disrupted. Per the paper's
 // metric, an abrupt departure disrupts each descendant once.
 func (t *Tree) RecordFailure(failed *Member) int {
-	n := 0
-	for _, c := range failed.children {
-		t.VisitSubtree(c, func(d *Member) {
-			d.Disruptions++
-			n++
-		})
+	if failed == nil || failed.idx < 0 {
+		return 0
 	}
-	return n
+	count := 0
+	for c := t.firstKid[failed.idx]; c != none; c = t.nextSib[c] {
+		n := c
+		for {
+			t.handle[n].Disruptions++
+			count++
+			if fc := t.firstKid[n]; fc != none {
+				n = fc
+				continue
+			}
+			for n != c && t.nextSib[n] == none {
+				n = t.parent[n]
+			}
+			if n == c {
+				break
+			}
+			n = t.nextSib[n]
+		}
+	}
+	return count
 }
 
 // Lock attempts to acquire the ROST switching lock on all given members on
@@ -467,12 +747,14 @@ func (t *Tree) Lock(op int64, members ...*Member) bool {
 		return false
 	}
 	for _, m := range members {
-		if m.lockOwner != 0 && m.lockOwner != op {
+		if m.idx >= 0 && t.lockOwner[m.idx] != 0 && t.lockOwner[m.idx] != op {
 			return false
 		}
 	}
 	for _, m := range members {
-		m.lockOwner = op
+		if m.idx >= 0 {
+			t.lockOwner[m.idx] = op
+		}
 	}
 	return true
 }
@@ -480,119 +762,112 @@ func (t *Tree) Lock(op int64, members ...*Member) bool {
 // Unlock releases the lock on all members held by operation op.
 func (t *Tree) Unlock(op int64, members ...*Member) {
 	for _, m := range members {
-		if m.lockOwner == op {
-			m.lockOwner = 0
+		if m.idx >= 0 && t.lockOwner[m.idx] == op {
+			t.lockOwner[m.idx] = 0
 		}
 	}
 }
 
-// CheckInvariants verifies structural invariants and returns the first
-// violation found, or nil. It is O(n) and intended for tests and debugging.
-func (t *Tree) CheckInvariants() error {
-	seen := make(map[MemberID]bool, len(t.members))
-	var walk func(m *Member) error
-	walk = func(m *Member) error {
-		if seen[m.ID] {
-			return fmt.Errorf("overlay: member %d reachable twice", m.ID)
-		}
-		seen[m.ID] = true
-		if len(m.children) > m.OutDegree() {
-			return fmt.Errorf("overlay: member %d has %d children, degree %d", m.ID, len(m.children), m.OutDegree())
-		}
-		for _, c := range m.children {
-			if c.parent != m {
-				return fmt.Errorf("overlay: member %d's child %d has wrong parent", m.ID, c.ID)
-			}
-			if c.attached {
-				if c.depth != m.depth+1 {
-					return fmt.Errorf("overlay: member %d depth %d, parent depth %d", c.ID, c.depth, m.depth)
-				}
-				want := m.pathDelay + t.delayFn(m.Attach, c.Attach)
-				if c.pathDelay != want {
-					return fmt.Errorf("overlay: member %d pathDelay %v, want %v", c.ID, c.pathDelay, want)
-				}
-			}
-			if err := walk(c); err != nil {
-				return err
-			}
-		}
-		return nil
+// childAppend links c as the new tail of p's child list.
+func (t *Tree) childAppend(p, c int32) {
+	t.parent[c] = p
+	t.prevSib[c] = t.lastKid[p]
+	t.nextSib[c] = none
+	if t.lastKid[p] == none {
+		t.firstKid[p] = c
+	} else {
+		t.nextSib[t.lastKid[p]] = c
 	}
-	if err := walk(t.root); err != nil {
-		return err
-	}
-	// Every attached member must be reachable from the root. Check in ID
-	// order so the violation reported first is the same on every run.
-	ids := make([]MemberID, 0, len(t.members))
-	for id := range t.members {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if m := t.members[id]; m.attached && !seen[id] {
-			return fmt.Errorf("overlay: attached member %d unreachable from source", id)
-		}
-	}
-	// Level index must agree with member depths.
-	counted := 0
-	for d, level := range t.levels {
-		for i, m := range level {
-			if m.depth != d || m.levelIdx != i || !m.attached {
-				return fmt.Errorf("overlay: level index corrupt at depth %d slot %d (member %d)", d, i, m.ID)
-			}
-			counted++
-		}
-	}
-	attachedCount := 0
-	for _, m := range t.members {
-		if m.attached {
-			attachedCount++
-		}
-	}
-	if counted != attachedCount {
-		return fmt.Errorf("overlay: level index holds %d members, %d attached", counted, attachedCount)
-	}
-	return nil
+	t.lastKid[p] = c
+	t.kidCount[p]++
+	t.markDirty(p)
+	t.markDirty(c)
 }
 
-func removeChild(parent, child *Member) {
-	for i, c := range parent.children {
-		if c == child {
-			last := len(parent.children) - 1
-			parent.children[i] = parent.children[last]
-			parent.children[last] = nil
-			parent.children = parent.children[:last]
-			return
+// childRemove unlinks c from p's child list, replicating the historical
+// children-slice semantics: the former tail child moves into c's position
+// (swap-remove), so sibling order changes exactly as it did with the slice.
+// This matters for determinism — child order feeds orphan ordering, level
+// order and pre-order traversal.
+func (t *Tree) childRemove(p, c int32) {
+	tail := t.lastKid[p]
+	if tail == c {
+		// c is the tail: plain pop.
+		pr := t.prevSib[c]
+		if pr == none {
+			t.firstKid[p] = none
+		} else {
+			t.nextSib[pr] = none
+		}
+		t.lastKid[p] = pr
+	} else {
+		// Snapshot c's neighbors, then unlink the tail and splice it into
+		// c's slot.
+		pr, nx := t.prevSib[c], t.nextSib[c]
+		pl := t.prevSib[tail]
+		t.nextSib[pl] = none
+		t.lastKid[p] = pl
+		if nx == tail {
+			// c was immediately before the tail: the tail simply takes
+			// c's place as the new last child.
+			if pr == none {
+				t.firstKid[p] = tail
+			} else {
+				t.nextSib[pr] = tail
+			}
+			t.prevSib[tail] = pr
+			t.nextSib[tail] = none
+			t.lastKid[p] = tail
+		} else {
+			if pr == none {
+				t.firstKid[p] = tail
+			} else {
+				t.nextSib[pr] = tail
+			}
+			t.prevSib[tail] = pr
+			t.nextSib[tail] = nx
+			t.prevSib[nx] = tail
 		}
 	}
+	t.prevSib[c] = none
+	t.nextSib[c] = none
+	t.kidCount[p]--
+	t.markDirty(p)
+	t.markDirty(c)
 }
 
-func (t *Tree) levelInsert(m *Member) {
-	for len(t.levels) <= m.depth {
+func (t *Tree) levelInsert(n int32) {
+	d := int(t.depth[n])
+	for len(t.levels) <= d {
 		t.levels = append(t.levels, nil)
 	}
-	m.levelIdx = len(t.levels[m.depth])
-	t.levels[m.depth] = append(t.levels[m.depth], m)
+	t.levelIdx[n] = int32(len(t.levels[d]))
+	t.levels[d] = append(t.levels[d], t.handle[n])
+	t.levelCount++
 }
 
-func (t *Tree) levelRemove(m *Member) {
-	level := t.levels[m.depth]
+func (t *Tree) levelRemove(n int32) {
+	d := int(t.depth[n])
+	level := t.levels[d]
 	last := len(level) - 1
-	level[m.levelIdx] = level[last]
-	level[m.levelIdx].levelIdx = m.levelIdx
+	moved := level[last]
+	level[t.levelIdx[n]] = moved
+	t.levelIdx[moved.idx] = t.levelIdx[n]
 	level[last] = nil
-	t.levels[m.depth] = level[:last]
-	m.levelIdx = -1
+	t.levels[d] = level[:last]
+	t.levelIdx[n] = none
+	t.levelCount--
 }
 
-func (t *Tree) orderRemove(m *Member) {
-	if m.orderIdx < 0 {
+func (t *Tree) orderRemove(n int32) {
+	if t.orderIdx[n] < 0 {
 		return
 	}
 	last := len(t.order) - 1
-	t.order[m.orderIdx] = t.order[last]
-	t.order[m.orderIdx].orderIdx = m.orderIdx
+	moved := t.order[last]
+	t.order[t.orderIdx[n]] = moved
+	t.orderIdx[moved.idx] = t.orderIdx[n]
 	t.order[last] = nil
 	t.order = t.order[:last]
-	m.orderIdx = -1
+	t.orderIdx[n] = none
 }

@@ -297,14 +297,14 @@ func (p *Protocol) tryInitiateSwitch(sim *eventsim.Simulator, m *overlay.Member)
 // lockSet gathers the nodes a switch must hold: the initiator, its parent,
 // grandparent, all of its children and all of its siblings.
 func (p *Protocol) lockSet(m, parent, grand *overlay.Member) []*overlay.Member {
-	set := make([]*overlay.Member, 0, 3+len(m.Children())+len(parent.Children()))
+	set := make([]*overlay.Member, 0, 3+m.NumChildren()+parent.NumChildren())
 	set = append(set, m, parent, grand)
-	set = append(set, m.Children()...)
-	for _, s := range parent.Children() {
+	m.VisitChildren(func(c *overlay.Member) { set = append(set, c) })
+	parent.VisitChildren(func(s *overlay.Member) {
 		if s != m {
 			set = append(set, s)
 		}
-	}
+	})
 	return set
 }
 
@@ -348,13 +348,13 @@ func (p *Protocol) completeSwitch(sim *eventsim.Simulator, op int64, mID, parent
 func (p *Protocol) performExchange(sim *eventsim.Simulator, m, parent *overlay.Member) error {
 	now := sim.Now()
 	grand := parent.Parent()
-	siblings := make([]*overlay.Member, 0, len(parent.Children())-1)
-	for _, s := range parent.Children() {
+	siblings := make([]*overlay.Member, 0, parent.NumChildren()-1)
+	parent.VisitChildren(func(s *overlay.Member) {
 		if s != m {
 			siblings = append(siblings, s)
 		}
-	}
-	childrenOfM := append([]*overlay.Member(nil), m.Children()...)
+	})
+	childrenOfM := m.Children()
 
 	// Dismantle the neighbourhood. Detached members keep their subtrees.
 	for _, c := range childrenOfM {

@@ -1,0 +1,68 @@
+// Package runtimecfg applies the memory knobs behind the CLIs' shared
+// -memlimit and -gcpercent flags. The simulator's struct-of-arrays core keeps
+// million-member sessions inside a few GiB of retained heap, but the Go
+// runtime's default GOGC=100 still lets the total footprint reach roughly
+// twice the live set between collections; a soft memory limit
+// (debug.SetMemoryLimit) trades GC CPU for a hard-ish footprint bound on
+// memory-constrained hosts.
+package runtimecfg
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strconv"
+	"strings"
+)
+
+// Apply installs the runtime knobs. memlimit is a byte size with an optional
+// binary suffix ("8GiB", "512MiB", "4G"); empty or "off" leaves the runtime
+// default (no limit). gcpercent sets GOGC; negative leaves the runtime
+// default (100). Returns the applied limit in bytes (0 when left alone).
+func Apply(memlimit string, gcpercent int) (int64, error) {
+	var applied int64
+	if s := strings.TrimSpace(memlimit); s != "" && !strings.EqualFold(s, "off") {
+		n, err := ParseBytes(s)
+		if err != nil {
+			return 0, fmt.Errorf("runtimecfg: -memlimit: %w", err)
+		}
+		debug.SetMemoryLimit(n)
+		applied = n
+	}
+	if gcpercent >= 0 {
+		debug.SetGCPercent(gcpercent)
+	}
+	return applied, nil
+}
+
+// ParseBytes parses a byte count with an optional binary-multiple suffix.
+// Accepted suffixes (case-insensitive): K/KB/KiB, M/MB/MiB, G/GB/GiB,
+// T/TB/TiB — all binary (1K = 1024), matching GOMEMLIMIT's units. A bare
+// number is bytes.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	for _, suf := range []struct {
+		text string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"TIB", 1 << 40}, {"TB", 1 << 40}, {"T", 1 << 40},
+	} {
+		if strings.HasSuffix(upper, suf.text) {
+			mult = suf.mult
+			t = strings.TrimSpace(t[:len(t)-len(suf.text)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid byte size %q (want e.g. 8GiB, 512MiB, 1073741824)", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n * mult, nil
+}

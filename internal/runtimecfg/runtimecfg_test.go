@@ -1,0 +1,77 @@
+package runtimecfg
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"1024", 1024},
+		{"4K", 4 << 10},
+		{"4KB", 4 << 10},
+		{"4KiB", 4 << 10},
+		{"512MiB", 512 << 20},
+		{"8GiB", 8 << 30},
+		{"8g", 8 << 30},
+		{"2TiB", 2 << 40},
+		{" 16 MiB ", 16 << 20},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "GiB", "-1", "0", "1.5G", "9999999999G", "12X"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	prevLimit := debug.SetMemoryLimit(-1)
+	prevGC := debug.SetGCPercent(100)
+	debug.SetGCPercent(prevGC)
+	defer func() {
+		debug.SetMemoryLimit(prevLimit)
+		debug.SetGCPercent(prevGC)
+	}()
+
+	// Empty and "off" leave the limit untouched.
+	for _, s := range []string{"", "off", "OFF", "  "} {
+		applied, err := Apply(s, -1)
+		if err != nil || applied != 0 {
+			t.Fatalf("Apply(%q, -1) = %d, %v", s, applied, err)
+		}
+		if got := debug.SetMemoryLimit(-1); got != prevLimit {
+			t.Fatalf("Apply(%q) changed the memory limit to %d", s, got)
+		}
+	}
+
+	applied, err := Apply("8GiB", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 8<<30 {
+		t.Fatalf("applied limit %d, want %d", applied, int64(8<<30))
+	}
+	if got := debug.SetMemoryLimit(-1); got != 8<<30 {
+		t.Fatalf("memory limit %d, want %d", got, int64(8<<30))
+	}
+	if got := debug.SetGCPercent(50); got != 50 {
+		t.Fatalf("GC percent %d, want 50", got)
+	}
+
+	if _, err := Apply("nonsense", -1); err == nil {
+		t.Fatal("bad memlimit accepted")
+	}
+}

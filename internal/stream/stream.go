@@ -10,9 +10,21 @@
 // accounting happens only inside disruption episodes. This yields the same
 // per-packet outcomes as simulating every hop of every packet at a tiny
 // fraction of the event count (see DESIGN.md).
+//
+// Episode accounting is interval-based: the repair plan is computed once per
+// episode into a dense arrival buffer (cer.PlanRecoveryInto), converted to a
+// per-packet slack array (deadline minus arrival), and each subtree member's
+// missed-packet count falls out of one binary search over the sorted slacks
+// — a member at repair-hop distance h misses exactly the packets with slack
+// below h. Per-member loss state is a watermark plus a small set of
+// accounted [from,to) spans (spanSet), never per-packet. The historical
+// per-packet loop survives only on the tracing path, which needs individual
+// stall spans; the two paths are equivalence-tested.
 package stream
 
 import (
+	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -42,6 +54,10 @@ const (
 	// ratio to enter the statistics (very short visits carry no signal).
 	DefaultMinViewTime = 30 * time.Second
 )
+
+// lostSlack marks a packet with no repair arrival in the slack array; it
+// compares below every real hop distance.
+const lostSlack = time.Duration(math.MinInt64)
 
 // Config parameterises the streaming model.
 type Config struct {
@@ -96,20 +112,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// state is the per-member playback bookkeeping.
+// state is the per-member playback bookkeeping. States live in one flat
+// slice indexed by MemberID (IDs are sequential and never reused), so there
+// are no per-member heap objects and no map hashing on the episode path.
 type state struct {
+	present   bool
 	viewStart time.Duration
 	// residual is the bandwidth (packets per second) this member donates to
 	// others' recovery.
 	residual float64
 	// starved accumulates playback slots whose packet missed its deadline.
 	starved time.Duration
-	// watermark is the highest missing sequence number already accounted,
-	// so overlapping episodes are not double-counted.
-	watermark int64
 	// outageUntil marks the end of the member's current feed interruption;
 	// a member cannot serve repairs while its own feed is down.
 	outageUntil time.Duration
+	// acc tracks the sequence ranges already accounted (watermark + spans),
+	// so overlapping episodes are not double-counted.
+	acc spanSet
 }
 
 // Model tracks playback quality for every overlay member.
@@ -120,8 +139,19 @@ type Model struct {
 	selector cer.Selector
 	rng      *xrand.Source
 
-	states map[overlay.MemberID]*state
+	// states is indexed by MemberID. Slot 0 is unused (the zero ID is
+	// invalid); departed members leave a cleared slot behind.
+	states []state
 	ratios []float64
+
+	// Reusable episode scratch: repair arrivals, per-packet slacks, the
+	// sorted slack copy, the per-member uncovered ranges and the server
+	// list. All bounded by the episode span / group size, reused forever.
+	arrivalBuf []time.Duration
+	slackBuf   []time.Duration
+	sortedBuf  []time.Duration
+	uncovBuf   []span
+	serverBuf  []cer.Server
 
 	// Episodes counts processed outage episodes (one per orphan per
 	// failure).
@@ -171,7 +201,6 @@ func NewModel(tree *overlay.Tree, delay func(a, b topology.NodeID) time.Duration
 		delay:    delay,
 		selector: selector,
 		rng:      rng,
-		states:   make(map[overlay.MemberID]*state),
 	}
 }
 
@@ -189,40 +218,58 @@ func (m *Model) packetAfter(t time.Duration) int64 {
 	return n
 }
 
+// stateOf returns the live state for id, or nil.
+func (m *Model) stateOf(id overlay.MemberID) *state {
+	if id <= 0 || int64(id) >= int64(len(m.states)) {
+		return nil
+	}
+	st := &m.states[id]
+	if !st.present {
+		return nil
+	}
+	return st
+}
+
 // Register starts playback tracking for a member (call on join).
 func (m *Model) Register(member *overlay.Member, now time.Duration) {
-	if _, ok := m.states[member.ID]; ok {
+	id := int64(member.ID)
+	for int64(len(m.states)) <= id {
+		m.states = append(m.states, state{})
+	}
+	st := &m.states[id]
+	if st.present {
 		return
 	}
-	m.states[member.ID] = &state{
+	*st = state{
+		present:   true,
 		viewStart: now,
 		residual:  m.rng.Float64() * m.cfg.ResidualMax,
-		watermark: -1,
+		acc:       spanSet{watermark: -1},
 	}
 }
 
 // Depart finalises a member's starving ratio (call when it leaves).
 func (m *Model) Depart(id overlay.MemberID, now time.Duration) {
-	st, ok := m.states[id]
-	if !ok {
+	st := m.stateOf(id)
+	if st == nil {
 		return
 	}
-	delete(m.states, id)
 	m.finalize(st, now)
+	*st = state{} // clear, releasing any span storage
 }
 
-// Finish finalises every still-present member at the end of a run, in ID
-// order: the ratios it appends feed the reported mean and CDF, so map
+// Finish finalises every still-present member at the end of a run. The
+// states slice is ID-indexed, so the ascending scan finalises in ID order
+// for free: the ratios it appends feed the reported mean and CDF, so
 // iteration order must not leak into results.
 func (m *Model) Finish(now time.Duration) {
-	ids := make([]overlay.MemberID, 0, len(m.states))
 	for id := range m.states {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		m.finalize(m.states[id], now)
-		delete(m.states, id)
+		st := &m.states[id]
+		if !st.present {
+			continue
+		}
+		m.finalize(st, now)
+		*st = state{}
 	}
 }
 
@@ -254,7 +301,7 @@ func (m *Model) OnFailure(failed *overlay.Member, now time.Duration) {
 	// failed sibling subtrees as unavailable.
 	for _, c := range orphans {
 		m.tree.VisitSubtree(c, func(d *overlay.Member) {
-			if st, ok := m.states[d.ID]; ok && st.viewStart <= now && st.outageUntil < outageEnd {
+			if st := m.stateOf(d.ID); st != nil && st.viewStart <= now && st.outageUntil < outageEnd {
 				st.outageUntil = outageEnd
 			}
 		})
@@ -270,22 +317,103 @@ func (m *Model) OnFailure(failed *overlay.Member, now time.Duration) {
 func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration) {
 	m.Episodes++
 	m.met.episodes.Inc()
-	repairedBefore, lostBefore := m.PacketsRepaired, m.PacketsLost
 	first := m.packetAfter(failedAt)
 	last := m.packetAfter(outageEnd) - 1
 	if last < first {
 		return
 	}
 	requestAt := failedAt + m.cfg.DetectDelay
+	if m.cfg.Trace != nil {
+		// Tracing needs individual stall spans and the per-server fetch
+		// detail, so it keeps the historical per-packet loop.
+		m.runEpisodeTraced(c, failedAt, outageEnd, first, last, requestAt)
+		return
+	}
+	servers, ep := m.episodeInputs(c, first, last, requestAt, outageEnd)
+	m.arrivalBuf = cer.PlanRecoveryInto(ep, servers, m.arrivalBuf)
+	arrivals := m.arrivalBuf
+	// slack(n) = playback deadline minus repair arrival: a member whose
+	// repairs travel one extra hop h misses exactly the packets with
+	// slack < h. Lost packets get a -inf slack. One sort, then each
+	// member's miss count is a binary search.
+	count := len(arrivals)
+	if cap(m.slackBuf) < count {
+		m.slackBuf = make([]time.Duration, count)
+	}
+	slacks := m.slackBuf[:count]
+	for i, at := range arrivals {
+		if at < 0 {
+			slacks[i] = lostSlack
+		} else {
+			slacks[i] = m.gen(first+int64(i)) + m.cfg.Buffer - at
+		}
+	}
+	sorted := append(m.sortedBuf[:0], slacks...)
+	slices.Sort(sorted)
+	m.sortedBuf = sorted
+	slot := time.Duration(float64(time.Second) / m.cfg.Rate)
+	repairedTotal, lostTotal := 0, 0
+	m.tree.VisitSubtree(c, func(d *overlay.Member) {
+		if d != c {
+			m.ELNMessages++
+			m.met.eln.Inc()
+		}
+		st := m.stateOf(d.ID)
+		if st == nil || st.viewStart > failedAt {
+			return
+		}
+		hop := time.Duration(0)
+		if d != c {
+			hop = m.delay(c.Attach, d.Attach)
+		}
+		m.uncovBuf = st.acc.appendUncovered(m.uncovBuf[:0], first, last+1)
+		missed, total := 0, int64(0)
+		for _, u := range m.uncovBuf {
+			total += u.to - u.from
+			if u.from == first && u.to == last+1 {
+				// Whole episode uncovered (the steady-state case): count
+				// via the sorted slacks.
+				missed += sort.Search(len(sorted), func(i int) bool { return sorted[i] >= hop })
+			} else {
+				// Watermark-clipped or span-fragmented range: linear over
+				// the raw slack window.
+				for n := u.from; n < u.to; n++ {
+					if slacks[n-first] < hop {
+						missed++
+					}
+				}
+			}
+		}
+		st.starved += time.Duration(missed) * slot
+		if d == c {
+			repairedTotal += int(total) - missed
+			lostTotal += missed
+		}
+		st.acc.add(first, last+1)
+		st.acc.seal(first) // failure times are monotone: forget everything below
+	})
+	m.PacketsRepaired += repairedTotal
+	m.PacketsLost += lostTotal
+	m.met.repaired.Add(float64(repairedTotal))
+	m.met.lost.Add(float64(lostTotal))
+	if m.cfg.OnEpisode != nil {
+		m.cfg.OnEpisode(c, failedAt, repairedTotal, lostTotal)
+	}
+}
+
+// runEpisodeTraced is the per-packet episode path behind Config.Trace: same
+// outcomes as the interval path (equivalence-tested), plus the causal span
+// with per-server fetch children and stall spans that need individual
+// packet deadlines.
+func (m *Model) runEpisodeTraced(c *overlay.Member, failedAt, outageEnd time.Duration, first, last int64, requestAt time.Duration) {
+	repairedBefore, lostBefore := m.PacketsRepaired, m.PacketsLost
 	// The episode span covers the service-interruption window (the paper's
 	// resilience metric); its children decompose it causally.
-	var sp *tracing.SpanBuilder
-	if m.cfg.Trace != nil {
-		sp = m.cfg.Trace.Start(tracing.KindRepair, int64(c.ID), failedAt).
-			AttrInt("first", first).AttrInt("last", last)
-		sp.Child(tracing.KindDetect, int64(c.ID), failedAt).End(requestAt, "gap-detected")
-	}
-	plan, detail := m.planFor(c, first, last, requestAt, outageEnd)
+	sp := m.cfg.Trace.Start(tracing.KindRepair, int64(c.ID), failedAt).
+		AttrInt("first", first).AttrInt("last", last)
+	sp.Child(tracing.KindDetect, int64(c.ID), failedAt).End(requestAt, "gap-detected")
+	servers, ep := m.episodeInputs(c, first, last, requestAt, outageEnd)
+	plan, detail := cer.PlanRecoveryDetail(ep, servers)
 	for _, fd := range detail {
 		start := requestAt + fd.Server.ChainDelay
 		if fd.Phase == "backlog" {
@@ -305,30 +433,29 @@ func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration)
 			m.ELNMessages++
 			m.met.eln.Inc()
 		}
-		st, ok := m.states[d.ID]
-		if !ok || st.viewStart > failedAt {
+		st := m.stateOf(d.ID)
+		if st == nil || st.viewStart > failedAt {
 			return
 		}
 		hop := time.Duration(0)
 		if d != c {
 			hop = m.delay(c.Attach, d.Attach)
 		}
-		from := first
-		if st.watermark+1 > from {
-			from = st.watermark + 1
-		}
-		for n := from; n <= last; n++ {
-			deadline := m.gen(n) + m.cfg.Buffer
-			arrival, repaired := plan[n]
-			if !repaired || arrival+hop > deadline {
-				st.starved += time.Duration(float64(time.Second) / m.cfg.Rate)
-			}
-			if d == c {
-				if repaired && arrival <= deadline {
-					m.PacketsRepaired++
-				} else {
-					m.PacketsLost++
-					if sp != nil {
+		// Walk the same uncovered ranges the interval path accounts, so the
+		// two paths charge identical packet sets.
+		m.uncovBuf = st.acc.appendUncovered(m.uncovBuf[:0], first, last+1)
+		for _, u := range m.uncovBuf {
+			for n := u.from; n < u.to; n++ {
+				deadline := m.gen(n) + m.cfg.Buffer
+				arrival, repaired := plan[n]
+				if !repaired || arrival+hop > deadline {
+					st.starved += time.Duration(float64(time.Second) / m.cfg.Rate)
+				}
+				if d == c {
+					if repaired && arrival <= deadline {
+						m.PacketsRepaired++
+					} else {
+						m.PacketsLost++
 						if stallSlots == 0 {
 							stallFirst = deadline
 						}
@@ -338,51 +465,49 @@ func (m *Model) runEpisode(c *overlay.Member, failedAt, outageEnd time.Duration)
 				}
 			}
 		}
-		if last > st.watermark {
-			st.watermark = last
-		}
+		st.acc.add(first, last+1)
+		st.acc.seal(first) // mirror the interval path's monotone forgetting
 	})
 	repaired := m.PacketsRepaired - repairedBefore
 	lost := m.PacketsLost - lostBefore
 	m.met.repaired.Add(float64(repaired))
 	m.met.lost.Add(float64(lost))
-	if sp != nil {
-		if stallSlots > 0 {
-			slot := time.Duration(float64(time.Second) / m.cfg.Rate)
-			sp.Child(tracing.KindStall, int64(c.ID), stallFirst).
-				AttrInt("slots", int64(stallSlots)).
-				End(stallLast+slot, "starved")
-		}
-		outcome := "filled"
-		switch {
-		case lost > 0 && repaired > 0:
-			outcome = "partial"
-		case lost > 0:
-			outcome = "abandoned"
-		}
-		sp.AttrInt("repaired", int64(repaired)).AttrInt("lost", int64(lost)).
-			End(outageEnd, outcome)
+	if stallSlots > 0 {
+		slot := time.Duration(float64(time.Second) / m.cfg.Rate)
+		sp.Child(tracing.KindStall, int64(c.ID), stallFirst).
+			AttrInt("slots", int64(stallSlots)).
+			End(stallLast+slot, "starved")
 	}
+	outcome := "filled"
+	switch {
+	case lost > 0 && repaired > 0:
+		outcome = "partial"
+	case lost > 0:
+		outcome = "abandoned"
+	}
+	sp.AttrInt("repaired", int64(repaired)).AttrInt("lost", int64(lost)).
+		End(outageEnd, outcome)
 	if m.cfg.OnEpisode != nil {
 		m.cfg.OnEpisode(c, failedAt, repaired, lost)
 	}
 }
 
-// planFor selects the recovery group for orphan c and plans the repairs.
-// The per-server detail is computed only when tracing is on.
-func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeAt time.Duration) (cer.Plan, []cer.ServerPlan) {
+// episodeInputs selects the recovery group for orphan c and assembles the
+// usable server list (reusing the model's scratch) plus the episode
+// description handed to the cer planner.
+func (m *Model) episodeInputs(c *overlay.Member, first, last int64, requestAt, resumeAt time.Duration) ([]cer.Server, cer.Episode) {
 	group := m.selector.Select(c, m.cfg.GroupSize)
 	m.RepairRequests++
 	m.met.requests.Inc()
-	servers := make([]cer.Server, 0, len(group))
+	servers := m.serverBuf[:0]
 	chain := time.Duration(0)
 	prev := c
 	for _, g := range group {
 		// The NACK chain hops requester -> g1 -> g2 -> ...
 		chain += m.delay(prev.Attach, g.Attach)
 		prev = g
-		st, ok := m.states[g.ID]
-		if !ok || st.outageUntil > requestAt {
+		st := m.stateOf(g.ID)
+		if st == nil || st.outageUntil > requestAt {
 			continue // the server's own feed is down: it cannot help
 		}
 		servers = append(servers, cer.Server{
@@ -392,6 +517,7 @@ func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeA
 			Transfer:   m.delay(g.Attach, c.Attach),
 		})
 	}
+	m.serverBuf = servers
 	ep := cer.Episode{
 		FirstMissing: first,
 		LastMissing:  last,
@@ -401,10 +527,7 @@ func (m *Model) planFor(c *overlay.Member, first, last int64, requestAt, resumeA
 		Gen:          m.gen,
 		Striped:      m.cfg.Striped,
 	}
-	if m.cfg.Trace == nil {
-		return cer.PlanRecovery(ep, servers), nil
-	}
-	return cer.PlanRecoveryDetail(ep, servers)
+	return servers, ep
 }
 
 // Result summarises playback quality.

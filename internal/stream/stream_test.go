@@ -337,9 +337,10 @@ func TestLateJoinerSkipsEpisode(t *testing.T) {
 func TestRegisterIdempotent(t *testing.T) {
 	w := buildWorld(t, 0)
 	m := newModel(t, w, Config{})
-	st := m.states[w.orphan.ID]
+	viewStart := m.states[w.orphan.ID].viewStart
+	residual := m.states[w.orphan.ID].residual
 	m.Register(w.orphan, 700*time.Second) // rejoin after failure
-	if m.states[w.orphan.ID] != st {
+	if m.states[w.orphan.ID].viewStart != viewStart || m.states[w.orphan.ID].residual != residual {
 		t.Fatal("re-registration reset playback state")
 	}
 }

@@ -30,6 +30,7 @@ package omcast
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -170,6 +171,14 @@ type Config struct {
 	// across same-seed runs; a registry may be shared across sequential runs
 	// to accumulate totals.
 	Metrics *metrics.Registry
+	// Paranoid turns on full-scan overlay invariant auditing: every
+	// CheckInvariants call walks the whole tree instead of the incremental
+	// dirty set, and the session audits the tree once a simulated minute,
+	// failing the run on the first violation. Debug escape hatch — the audit
+	// events make runs slower and their interleaving can shift same-time
+	// event tie-breaks, so outputs are only comparable to other -paranoid
+	// runs.
+	Paranoid bool
 }
 
 // FlashCrowd describes a burst of simultaneous arrivals.
@@ -241,6 +250,9 @@ type session struct {
 	referees *rost.Referees // nil unless enabled
 	driver   *churn.Driver
 	cheaters map[overlay.MemberID]bool // nil unless Cheaters > 0
+	// invariantErr records the first paranoid-audit violation; the run
+	// surfaces it once the event loop returns.
+	invariantErr error
 }
 
 // newSession builds the full substrate stack for cfg, with extra hooks
@@ -342,6 +354,21 @@ func newSession(cfg Config, extra churn.Hooks) (*session, error) {
 		}
 		s.driver.Burst(cfg.FlashCrowd.At, cfg.FlashCrowd.Size)
 	}
+	if cfg.Paranoid {
+		s.tree.SetParanoid(true)
+		var audit func(*eventsim.Simulator)
+		audit = func(sim *eventsim.Simulator) {
+			if s.invariantErr != nil {
+				return
+			}
+			if err := s.tree.CheckInvariants(); err != nil {
+				s.invariantErr = fmt.Errorf("omcast: paranoid audit at %v: %w", sim.Now(), err)
+				return
+			}
+			sim.ScheduleAfter(time.Minute, audit)
+		}
+		s.sim.ScheduleAfter(time.Minute, audit)
+	}
 	if cfg.Cheaters > 0 {
 		if cfg.Algorithm != ROST {
 			return nil, fmt.Errorf("omcast: cheater injection targets ROST's switching; algorithm is %v", cfg.Algorithm)
@@ -393,6 +420,14 @@ func (s *session) run() error {
 	s.driver.Start()
 	if err := s.sim.Run(s.driver.Horizon()); err != nil {
 		return fmt.Errorf("omcast: simulation failed: %w", err)
+	}
+	if s.invariantErr != nil {
+		return s.invariantErr
+	}
+	if s.cfg.Paranoid {
+		if err := s.tree.CheckInvariantsFull(); err != nil {
+			return fmt.Errorf("omcast: paranoid final audit: %w", err)
+		}
 	}
 	return nil
 }
@@ -495,6 +530,66 @@ func (s *session) treeResult() TreeResult {
 		}
 	}
 	return out
+}
+
+// ScaleResult is a TreeResult plus the observables of the fig-scale family:
+// the deterministic event count, and the measurement-harness costs (bytes of
+// heap retained per member, wall-clock nanoseconds per event). Only Events is
+// deterministic in the seed; the memory and time figures depend on the
+// machine and allocator and belong in BENCH artifacts, not figure tables.
+type ScaleResult struct {
+	TreeResult
+	// Events is the number of simulator events fired over the whole run
+	// (deterministic in the seed — byte-identical across worker counts).
+	Events uint64
+	// HeapBytes is the post-GC heap growth across the run: the retained
+	// footprint of the session (tree arrays, churn state, kernel queue).
+	HeapBytes uint64
+	// BytesPerMember is HeapBytes over the observed steady-state size.
+	BytesPerMember float64
+	// WallNs is the wall-clock cost of the run loop; NsPerEvent divides it
+	// by Events.
+	WallNs     int64
+	NsPerEvent float64
+}
+
+// RunScale executes one tree-level experiment and measures its footprint:
+// heap growth via runtime.ReadMemStats deltas around the run (with forced
+// collections so the delta reads retained bytes, not allocator slack) and
+// the wall-clock cost of the event loop. The simulation itself is exactly
+// Run — same seed, same events, same TreeResult.
+func RunScale(cfg Config) (ScaleResult, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	s, err := newSession(cfg, churn.Hooks{})
+	if err != nil {
+		return ScaleResult{}, err
+	}
+	//lint:ignore no-wallclock reason: harness measurement of the run loop, not simulation output
+	start := time.Now()
+	if err := s.run(); err != nil {
+		return ScaleResult{}, err
+	}
+	//lint:ignore no-wallclock reason: harness measurement of the run loop, not simulation output
+	wall := time.Since(start)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	out := ScaleResult{
+		TreeResult: s.treeResult(),
+		Events:     s.sim.Processed(),
+		WallNs:     wall.Nanoseconds(),
+	}
+	if after.HeapAlloc > before.HeapAlloc {
+		out.HeapBytes = after.HeapAlloc - before.HeapAlloc
+	}
+	if out.AvgSize > 0 {
+		out.BytesPerMember = float64(out.HeapBytes) / out.AvgSize
+	}
+	if out.Events > 0 {
+		out.NsPerEvent = float64(out.WallNs) / float64(out.Events)
+	}
+	return out, nil
 }
 
 // Recovery selects how packet losses are repaired (Figures 12-14).

@@ -382,3 +382,52 @@ func TestRunMultiTree(t *testing.T) {
 		t.Fatal("zero stripes accepted")
 	}
 }
+
+// TestRunParanoid: a paranoid run routes every invariant check through the
+// full scan and schedules periodic audits; a healthy session must still
+// complete and produce the usual metrics. (Paranoid runs are only
+// comparable to other paranoid runs — the audit events can shift same-time
+// tie-breaks — so this test makes no cross-mode output comparison.)
+func TestRunParanoid(t *testing.T) {
+	cfg := quickConfig(3, omcast.ROST)
+	cfg.Paranoid = true
+	res, err := omcast.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgSize <= 0 || res.Departures == 0 {
+		t.Fatalf("paranoid run produced no measurement: %+v", res)
+	}
+	// Paranoid mode is itself deterministic in the seed.
+	again, err := omcast.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgDisruptions != again.AvgDisruptions || res.AvgSize != again.AvgSize {
+		t.Fatalf("paranoid runs diverged: %+v vs %+v", res, again)
+	}
+}
+
+// TestRunScale: the scale harness must report the machine observables and
+// keep the simulation-derived fields identical to a plain Run of the same
+// configuration.
+func TestRunScale(t *testing.T) {
+	cfg := quickConfig(6, omcast.ROST)
+	sres, err := omcast.RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Events == 0 || sres.WallNs <= 0 || sres.NsPerEvent <= 0 {
+		t.Fatalf("scale observables missing: %+v", sres)
+	}
+	if sres.HeapBytes == 0 || sres.BytesPerMember <= 0 {
+		t.Fatalf("memory observables missing: %+v", sres)
+	}
+	plain, err := omcast.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.AvgDisruptions != plain.AvgDisruptions || sres.AvgSize != plain.AvgSize {
+		t.Fatalf("scale run diverged from plain run: %+v vs %+v", sres.TreeResult, plain)
+	}
+}
